@@ -1,0 +1,363 @@
+// Benchmarks backing EXPERIMENTS.md: one benchmark (family) per
+// reproduction experiment. The paper has no empirical tables — each
+// benchmark quantifies one analytical claim (C1–C9) plus F1, the paper's
+// own example queries. cmd/txbench prints the same measurements as tables.
+package txmldb_test
+
+import (
+	"fmt"
+	"testing"
+
+	"txmldb/internal/core"
+	"txmldb/internal/experiments"
+	"txmldb/internal/model"
+	"txmldb/internal/pagestore"
+	"txmldb/internal/store"
+)
+
+var day = experiments.Day
+
+func timeAtVersion(v int) model.Time {
+	return experiments.Start + model.Time(int64(v-1)*int64(day))
+}
+
+// --- F1: the paper's example queries on the Figure 1 data ---
+
+func BenchmarkF1Q1Snapshot(b *testing.B) {
+	db, _, err := experiments.Figure1DB(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const q = `SELECT R FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF1Q2Count(b *testing.B) {
+	db, _, err := experiments.Figure1DB(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const q = `SELECT SUM(R) FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF1Q3History(b *testing.B) {
+	db, _, err := experiments.Figure1DB(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const q = `SELECT TIME(R), R/price FROM doc("http://guide.com/restaurants.xml")[EVERY]/restaurant R WHERE R/name="Napoli"`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- C1: native vs stratum snapshot scans ---
+
+func BenchmarkC1Snapshot(b *testing.B) {
+	c := experiments.CorpusConfig{Docs: 8, Elems: 12, Versions: 16, Ops: 3, Seed: 1}
+	at := timeAtVersion(8)
+	pat := experiments.RestaurantPattern()
+
+	b.Run("native", func(b *testing.B) {
+		db, _, err := experiments.NativeDB(c, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(db.Store().Pages().BytesStored()), "storage_bytes")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.ScanT(pat, at); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stratum", func(b *testing.B) {
+		db, _, err := experiments.StratumDB(c, pagestore.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(db.Pages().BytesStored()), "storage_bytes")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.SnapshotScan(pat, at); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- C2: aggregate vs retrieval on old snapshots ---
+
+func BenchmarkC2OldSnapshot(b *testing.B) {
+	c := experiments.CorpusConfig{Docs: 4, Elems: 15, Versions: 32, Ops: 3, Seed: 2}
+	db, _, err := experiments.NativeDB(c, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	url := "http://guide000.example.com/restaurants.xml"
+	date := timeAtVersion(2).Std().Format("02/01/2006")
+	queries := map[string]string{
+		"count":  fmt.Sprintf(`SELECT SUM(R) FROM doc(%q)[%s]/restaurant R`, url, date),
+		"select": fmt.Sprintf(`SELECT R FROM doc(%q)[%s]/restaurant R`, url, date),
+	}
+	for name, q := range queries {
+		b.Run(name, func(b *testing.B) {
+			var recon int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := db.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recon = res.Metrics.Reconstructions
+			}
+			b.ReportMetric(float64(recon), "reconstructions/op")
+		})
+	}
+}
+
+// --- C3: reconstruction vs age and snapshot interval ---
+
+func BenchmarkC3Reconstruct(b *testing.B) {
+	c := experiments.CorpusConfig{Docs: 1, Elems: 20, Versions: 128, Ops: 2, Seed: 3}
+	for _, every := range []int{0, 32, 8} {
+		db, ids, err := experiments.NativeDB(c, core.Config{Store: store.Config{SnapshotEvery: every}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, target := range []int{127, 64, 1} {
+			name := fmt.Sprintf("snap=%d/version=%d", every, target)
+			b.Run(name, func(b *testing.B) {
+				db.Store().Pages().ResetStats()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.ReconstructVersion(ids[0], model.VersionNo(target)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				st := db.Store().Pages().Stats()
+				b.ReportMetric(float64(st.ExtentRead)/float64(b.N), "extent_reads/op")
+			})
+		}
+	}
+}
+
+// --- C4: CreTime strategies ---
+
+func BenchmarkC4CreTime(b *testing.B) {
+	c := experiments.CorpusConfig{Docs: 1, Elems: 10, Versions: 64, Ops: 2, Seed: 4}
+	db, ids, err := experiments.NativeDB(c, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := ids[0]
+	var eid model.EID
+	for v := 4; v < 16 && eid.X == 0; v++ {
+		for _, cand := range db.TimeIndex().CreatedIn(doc, model.Interval{Start: timeAtVersion(v), End: timeAtVersion(v) + 1}) {
+			if del, _ := db.TimeIndex().DelTime(cand); del == model.Forever {
+				eid = cand
+				break
+			}
+		}
+	}
+	if eid.X == 0 {
+		b.Fatal("no early element found")
+	}
+	cre, _ := db.CreTime(eid)
+	teid := model.TEID{E: eid, T: cre + day/2}
+
+	b.Run("traverse-from-teid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Store().CreTimeTraverse(teid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traverse-from-current", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Store().CreTimeTraverseFromCurrent(eid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.CreTime(eid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- C5: index maintenance alternatives ---
+
+func BenchmarkC5IndexLoad(b *testing.B) {
+	c := experiments.CorpusConfig{Docs: 4, Elems: 15, Versions: 12, Ops: 3, Seed: 5}
+	for _, kind := range []core.IndexKind{core.IndexVersions, core.IndexDeltas, core.IndexBoth} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var postings int
+			for i := 0; i < b.N; i++ {
+				db, _, err := experiments.NativeDB(c, core.Config{Index: kind})
+				if err != nil {
+					b.Fatal(err)
+				}
+				postings = db.FTI().Stats().Postings
+			}
+			b.ReportMetric(float64(postings), "postings")
+		})
+	}
+}
+
+func BenchmarkC5SnapshotScan(b *testing.B) {
+	c := experiments.CorpusConfig{Docs: 8, Elems: 15, Versions: 24, Ops: 3, Seed: 5}
+	pat := experiments.RestaurantPattern()
+	at := timeAtVersion(12)
+	for _, kind := range []core.IndexKind{core.IndexVersions, core.IndexDeltas, core.IndexBoth} {
+		db, _, err := experiments.NativeDB(c, core.Config{Index: kind})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.ScanT(pat, at); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- C6: delta placement ---
+
+func BenchmarkC6DocHistory(b *testing.B) {
+	c := experiments.CorpusConfig{Docs: 16, Elems: 10, Versions: 32, Ops: 2, Seed: 6}
+	for _, placement := range []pagestore.Placement{pagestore.Unclustered, pagestore.Clustered} {
+		db, ids, err := experiments.InterleavedNativeDB(c, core.Config{
+			Store: store.Config{Pages: pagestore.Config{Placement: placement, NearDistance: 16}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(placement.String(), func(b *testing.B) {
+			db.Store().Pages().ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.DocHistory(ids[3], model.Always); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := db.Store().Pages().Stats()
+			b.ReportMetric(float64(st.Seeks)/float64(b.N), "seeks/op")
+			b.ReportMetric(st.CostMs()/float64(b.N), "sim_disk_ms/op")
+		})
+	}
+}
+
+// --- C7: TPatternScanAll scaling ---
+
+func BenchmarkC7ScanAll(b *testing.B) {
+	for _, versions := range []int{8, 32, 128} {
+		c := experiments.CorpusConfig{Docs: 4, Elems: 12, Versions: versions, Ops: 3, Seed: 7}
+		db, _, err := experiments.NativeDB(c, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pat := experiments.RestaurantPattern()
+		b.Run(fmt.Sprintf("versions=%d/all", versions), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.ScanAll(pat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("versions=%d/snapshot", versions), func(b *testing.B) {
+			at := timeAtVersion(versions / 2)
+			for i := 0; i < b.N; i++ {
+				if _, err := db.ScanT(pat, at); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- C8: TS navigation operators ---
+
+func BenchmarkC8TSOperators(b *testing.B) {
+	c := experiments.CorpusConfig{Docs: 1, Elems: 10, Versions: 256, Ops: 1, Seed: 8}
+	db, ids, err := experiments.NativeDB(c, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	info, err := db.Info(ids[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	teid := model.TEID{E: model.EID{Doc: ids[0], X: info.RootXID}, T: timeAtVersion(128)}
+	b.Run("previousTS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.PreviousTS(teid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nextTS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.NextTS(teid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("currentTS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.CurrentTS(teid.E); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- C9: element vs document history ---
+
+func BenchmarkC9History(b *testing.B) {
+	c := experiments.CorpusConfig{Docs: 1, Elems: 12, Versions: 64, Ops: 2, Seed: 9}
+	db, ids, err := experiments.NativeDB(c, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cur, _, err := db.Current(ids[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	eid := model.EID{Doc: ids[0], X: cur.ChildElements("restaurant")[0].XID}
+	b.Run("document", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.DocHistory(ids[0], model.Always); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("element", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.ElementHistory(eid, model.Always); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

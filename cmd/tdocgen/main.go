@@ -1,0 +1,89 @@
+// Command tdocgen generates temporal XML document corpora for testing and
+// benchmarking: deterministic histories of evolving restaurant-guide
+// documents (or news feeds) written as one XML file per version.
+//
+// Usage:
+//
+//	tdocgen -docs 4 -versions 8 -out ./corpus
+//	tdocgen -news -versions 12 -out ./feed
+//	tdocgen -docs 1 -versions 3            # print to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"txmldb/internal/model"
+	"txmldb/internal/tdocgen"
+	"txmldb/internal/xmltree"
+)
+
+func main() {
+	var (
+		docs     = flag.Int("docs", 1, "number of documents")
+		versions = flag.Int("versions", 5, "versions per document")
+		elems    = flag.Int("elems", 10, "initial elements per document")
+		ops      = flag.Int("ops", 2, "edit operations per version")
+		seed     = flag.Int64("seed", 1, "random seed (same seed, same corpus)")
+		news     = flag.Bool("news", false, "generate news feeds instead of restaurant guides")
+		out      = flag.String("out", "", "output directory (default: stdout)")
+	)
+	flag.Parse()
+
+	g := tdocgen.New(tdocgen.Config{
+		Seed: *seed, Docs: *docs, Versions: *versions,
+		InitialElems: *elems, OpsPerVersion: *ops,
+		Start: model.Date(2001, 1, 1),
+	})
+
+	for d := 0; d < *docs; d++ {
+		var hist []tdocgen.Version
+		if *news {
+			hist = g.NewsHistory(d)
+		} else {
+			hist = g.History(d)
+		}
+		for v, hv := range hist {
+			if *out == "" {
+				fmt.Printf("<!-- %s version %d at %s -->\n", g.URL(d), v+1, hv.At)
+				fmt.Println(hv.Tree.Pretty())
+				continue
+			}
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			name := filepath.Join(*out, fmt.Sprintf("doc%03d-v%03d.xml", d, v+1))
+			if err := os.WriteFile(name, []byte(hv.Tree.Pretty()+"\n"), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d documents x %d versions to %s\n", *docs, *versions, *out)
+		// A manifest records URL and timestamps so loaders can replay
+		// the history in transaction-time order.
+		manifest := xmltree.NewElement("manifest")
+		for d := 0; d < *docs; d++ {
+			doc := xmltree.NewElement("document")
+			doc.SetAttr("url", g.URL(d))
+			hist := g.History(d)
+			if *news {
+				hist = g.NewsHistory(d)
+			}
+			for v, hv := range hist {
+				ver := xmltree.NewElement("version")
+				ver.SetAttr("file", fmt.Sprintf("doc%03d-v%03d.xml", d, v+1))
+				ver.SetAttr("stampms", fmt.Sprint(int64(hv.At)))
+				doc.AppendChild(ver)
+			}
+			manifest.AppendChild(doc)
+		}
+		path := filepath.Join(*out, "manifest.xml")
+		if err := os.WriteFile(path, []byte(manifest.Pretty()+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Command txmldb is an interactive shell and one-shot query runner for the
+// temporal XML database.
+//
+// Usage:
+//
+//	txmldb -demo -q 'SELECT R FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R'
+//	txmldb -demo                     # REPL over the paper's Figure 1 data
+//	txmldb -gen docs=4,versions=8    # REPL over a generated corpus
+//	txmldb -load url=FILE@dd/mm/yyyy # load version files (repeatable)
+//
+// In the REPL, each line is one query; ".docs" lists documents, ".quit"
+// exits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"txmldb"
+	"txmldb/internal/experiments"
+	"txmldb/internal/model"
+	"txmldb/internal/tdocgen"
+)
+
+// loadFlags collects repeatable -load url=FILE@date arguments.
+type loadFlags []string
+
+func (l *loadFlags) String() string     { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	var loads loadFlags
+	demo := flag.Bool("demo", false, "load the paper's Figure 1 restaurant history")
+	gen := flag.String("gen", "", "load a generated corpus, e.g. docs=4,versions=8,elems=10,seed=1")
+	q := flag.String("q", "", "run one query and exit")
+	dump := flag.String("dump", "", "after loading, dump the database to this directory and exit")
+	loadDir := flag.String("loaddir", "", "load a database dump directory before anything else")
+	flag.Var(&loads, "load", "load a document version: url=FILE@dd/mm/yyyy (repeatable)")
+	flag.Parse()
+
+	db := txmldb.Open(txmldb.Config{})
+	switch {
+	case *demo:
+		d, _, err := experiments.Figure1DB(coreConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		db = d
+	case *gen != "":
+		cfg, err := parseGen(*gen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := tdocgen.New(cfg).Load(db); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d generated documents\n", cfg.Docs)
+	}
+	if *loadDir != "" {
+		if err := db.Load(*loadDir); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded dump from %s\n", *loadDir)
+	}
+	for _, spec := range loads {
+		if err := loadFile(db, spec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *dump != "" {
+		if err := db.Dump(*dump); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dumped database to %s\n", *dump)
+		return
+	}
+
+	if *q != "" {
+		if err := runQuery(db, *q); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	repl(db)
+}
+
+func coreConfig() txmldb.Config { return txmldb.Config{} }
+
+func parseGen(spec string) (tdocgen.Config, error) {
+	cfg := tdocgen.Config{Seed: 1, Docs: 2, Versions: 5, Start: model.Date(2001, 1, 1)}
+	for _, kv := range strings.Split(spec, ",") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return cfg, fmt.Errorf("bad -gen entry %q (want key=value)", kv)
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return cfg, fmt.Errorf("bad -gen value %q: %w", kv, err)
+		}
+		switch parts[0] {
+		case "docs":
+			cfg.Docs = n
+		case "versions":
+			cfg.Versions = n
+		case "elems":
+			cfg.InitialElems = n
+		case "ops":
+			cfg.OpsPerVersion = n
+		case "seed":
+			cfg.Seed = int64(n)
+		default:
+			return cfg, fmt.Errorf("unknown -gen key %q", parts[0])
+		}
+	}
+	return cfg, nil
+}
+
+// loadFile handles url=FILE@dd/mm/yyyy: puts a new document or updates an
+// existing one at the given transaction time.
+func loadFile(db *txmldb.DB, spec string) error {
+	eq := strings.Index(spec, "=")
+	at := strings.LastIndex(spec, "@")
+	if eq < 0 || at < eq {
+		return fmt.Errorf("bad -load %q (want url=FILE@dd/mm/yyyy)", spec)
+	}
+	url, file, date := spec[:eq], spec[eq+1:at], spec[at+1:]
+	std, err := time.Parse("02/01/2006", date)
+	if err != nil {
+		return fmt.Errorf("bad -load date %q: %w", date, err)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	stamp := txmldb.TimeOf(std)
+	if id, ok := db.LookupDoc(url); ok {
+		_, _, err = db.UpdateXML(id, f, stamp)
+	} else {
+		_, err = db.PutXML(url, f, stamp)
+	}
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", file, err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s as %s @ %s\n", file, url, date)
+	return nil
+}
+
+func runQuery(db *txmldb.DB, src string) error {
+	res, err := db.Query(src)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Doc().Pretty())
+	fmt.Fprintf(os.Stderr, "%d rows; %d pattern matches, %d reconstructions\n",
+		len(res.Rows), res.Metrics.PatternMatches, res.Metrics.Reconstructions)
+	return nil
+}
+
+func repl(db *txmldb.DB) {
+	fmt.Fprintln(os.Stderr, `txmldb shell — one query per line; ".docs" lists documents, ".explain <query>" shows the plan, ".quit" exits`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Fprint(os.Stderr, "txmldb> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ".quit" || line == ".exit":
+			return
+		case strings.HasPrefix(line, ".explain "):
+			out, err := db.Explain(strings.TrimPrefix(line, ".explain "))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			fmt.Print(out)
+		case line == ".docs":
+			for _, id := range db.Docs() {
+				info, err := db.Info(id)
+				if err != nil {
+					continue
+				}
+				state := "live"
+				if !info.Live() {
+					state = "deleted " + info.Deleted.String()
+				}
+				fmt.Printf("  %3d  %-50s %2d versions, created %s, %s\n",
+					info.ID, info.Name, info.Versions, info.Created, state)
+			}
+		default:
+			if err := runQuery(db, line); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		}
+	}
+}

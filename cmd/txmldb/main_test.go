@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"txmldb"
+)
+
+func TestParseGen(t *testing.T) {
+	cfg, err := parseGen("docs=5,versions=9,elems=3,ops=2,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Docs != 5 || cfg.Versions != 9 || cfg.InitialElems != 3 ||
+		cfg.OpsPerVersion != 2 || cfg.Seed != 7 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	for _, bad := range []string{"docs", "docs=x", "nope=3"} {
+		if _, err := parseGen(bad); err == nil {
+			t.Errorf("parseGen(%q): expected error", bad)
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "v1.xml")
+	v2 := filepath.Join(dir, "v2.xml")
+	os.WriteFile(v1, []byte(`<g><r>one</r></g>`), 0o644)
+	os.WriteFile(v2, []byte(`<g><r>two</r></g>`), 0o644)
+
+	db := txmldb.Open(txmldb.Config{})
+	if err := loadFile(db, "http://x/doc.xml="+v1+"@01/01/2001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadFile(db, "http://x/doc.xml="+v2+"@15/01/2001"); err != nil {
+		t.Fatal(err)
+	}
+	id, ok := db.LookupDoc("http://x/doc.xml")
+	if !ok {
+		t.Fatal("document not loaded")
+	}
+	info, err := db.Info(id)
+	if err != nil || info.Versions != 2 {
+		t.Fatalf("versions = %+v, %v", info, err)
+	}
+
+	for _, bad := range []string{
+		"no-equals@01/01/2001",
+		"u=" + v1,               // missing date
+		"u=" + v1 + "@31/31/31", // bad date
+		"u=/nonexistent@01/01/2001",
+	} {
+		if err := loadFile(db, bad); err == nil {
+			t.Errorf("loadFile(%q): expected error", bad)
+		}
+	}
+}
+
+func TestRunQuery(t *testing.T) {
+	db := txmldb.Open(txmldb.Config{})
+	if err := loadDemo(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery(db, `SELECT COUNT(R) FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R`); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery(db, `garbage`); err == nil {
+		t.Fatal("bad query must error")
+	}
+}
+
+// loadDemo mirrors the -demo flag for tests.
+func loadDemo(db *txmldb.DB) error {
+	_, err := db.PutXML("http://guide.com/restaurants.xml",
+		strings.NewReader(`<guide><restaurant><name>Napoli</name><price>15</price></restaurant>`+
+			`<restaurant><name>Akropolis</name><price>13</price></restaurant></guide>`),
+		txmldb.Date(2001, 1, 1))
+	return err
+}

@@ -1,0 +1,77 @@
+package txmldb_test
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"txmldb"
+)
+
+// figure1 loads the paper's running example: the guide.com restaurant list
+// as retrieved on January 1st, 15th and 31st, 2001.
+func figure1() *txmldb.DB {
+	db := txmldb.Open(txmldb.Config{
+		Clock: func() txmldb.Time { return txmldb.Date(2001, time.February, 10) },
+	})
+	id, _ := db.PutXML("http://guide.com/restaurants.xml", strings.NewReader(
+		`<guide><restaurant><name>Napoli</name><price>15</price></restaurant></guide>`),
+		txmldb.Date(2001, time.January, 1))
+	db.UpdateXML(id, strings.NewReader(
+		`<guide><restaurant><name>Napoli</name><price>15</price></restaurant>`+
+			`<restaurant><name>Akropolis</name><price>13</price></restaurant></guide>`),
+		txmldb.Date(2001, time.January, 15))
+	db.UpdateXML(id, strings.NewReader(
+		`<guide><restaurant><name>Napoli</name><price>18</price></restaurant></guide>`),
+		txmldb.Date(2001, time.January, 31))
+	return db
+}
+
+// A snapshot query returns the document state valid at an instant.
+func ExampleDB_Query_snapshot() {
+	db := figure1()
+	res, _ := db.Query(`SELECT R/name FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R ORDER BY R/name`)
+	for _, row := range res.Rows {
+		fmt.Println(row[0].([]txmldb.Elem)[0].Node.Text())
+	}
+	// Output:
+	// Akropolis
+	// Napoli
+}
+
+// EVERY retrieves all versions; TIME(R) is each element version's timestamp.
+func ExampleDB_Query_history() {
+	db := figure1()
+	res, _ := db.Query(`SELECT TIME(R), R/price
+		FROM doc("http://guide.com/restaurants.xml")[EVERY]/restaurant R
+		WHERE R/name = "Napoli" ORDER BY TIME(R)`)
+	for _, row := range res.Rows {
+		fmt.Printf("%s: %s\n", row[0].(txmldb.Time), row[1].([]txmldb.Elem)[0].Node.Text())
+	}
+	// Output:
+	// 2001-01-01 00:00:00: 15
+	// 2001-01-31 00:00:00: 18
+}
+
+// Aggregates run without reconstructing any document version.
+func ExampleDB_Query_count() {
+	db := figure1()
+	res, _ := db.Query(`SELECT SUM(R) FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R`)
+	fmt.Printf("%v restaurants, %d reconstructions\n", res.Rows[0][0], res.Metrics.Reconstructions)
+	// Output:
+	// 2 restaurants, 0 reconstructions
+}
+
+// The operator-level API underneath the language: TPatternScan returns
+// temporal element identifiers, Reconstruct materializes them.
+func ExampleDB_TPatternScan() {
+	db := figure1()
+	pat := &txmldb.Pattern{Name: "restaurant", Rel: txmldb.Child, Project: true}
+	teids, _ := db.TPatternScan(pat, txmldb.Date(2001, time.January, 5))
+	for _, teid := range teids {
+		node, _ := db.Reconstruct(teid)
+		fmt.Println(node.SelectPath("name")[0].Text())
+	}
+	// Output:
+	// Napoli
+}

@@ -1,0 +1,54 @@
+// Command quickstart shows the smallest useful txmldb program: store a few
+// versions of a document, run a snapshot query and a history query, and
+// print the result documents.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"txmldb"
+)
+
+func main() {
+	db := txmldb.Open(txmldb.Config{})
+
+	// Store three versions of a document (the paper's Figure 1).
+	id, err := db.PutXML("http://guide.com/restaurants.xml", strings.NewReader(
+		`<guide><restaurant><name>Napoli</name><price>15</price></restaurant></guide>`),
+		txmldb.Date(2001, time.January, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := db.UpdateXML(id, strings.NewReader(
+		`<guide><restaurant><name>Napoli</name><price>15</price></restaurant>`+
+			`<restaurant><name>Akropolis</name><price>13</price></restaurant></guide>`),
+		txmldb.Date(2001, time.January, 15)); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := db.UpdateXML(id, strings.NewReader(
+		`<guide><restaurant><name>Napoli</name><price>18</price></restaurant></guide>`),
+		txmldb.Date(2001, time.January, 31)); err != nil {
+		log.Fatal(err)
+	}
+
+	// A snapshot query: the restaurant list as of January 26.
+	res, err := db.Query(`SELECT R FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Snapshot on 26/01/2001:")
+	fmt.Println(res.Doc().Pretty())
+
+	// A history query: every price Napoli ever had, with timestamps.
+	res, err = db.Query(`SELECT TIME(R), R/price
+		FROM doc("http://guide.com/restaurants.xml")[EVERY]/restaurant R
+		WHERE R/name = "Napoli"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Napoli price history:")
+	fmt.Println(res.Doc().Pretty())
+}

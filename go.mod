@@ -1,0 +1,3 @@
+module txmldb
+
+go 1.22

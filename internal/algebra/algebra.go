@@ -1,0 +1,518 @@
+// Package algebra provides the traditional query operators the paper
+// assumes alongside its temporal ones (Section 6: "we also assume the
+// availability of traditional operators, for example projection and join"):
+// Volcano-style iterators for selection, projection, joins — including the
+// interval-overlap temporal join that TPatternScanAll reduces to —
+// aggregation, duplicate elimination, sorting and limiting.
+package algebra
+
+import (
+	"fmt"
+	"sort"
+
+	"txmldb/internal/model"
+)
+
+// Row is one tuple. Column values are dynamically typed: model.TEID,
+// model.Time, model.Interval, string, float64, int64, bool, *xmltree.Node
+// or nil.
+type Row []any
+
+// Schema names the columns of an iterator's rows.
+type Schema []string
+
+// Col returns the index of the named column, or -1.
+func (s Schema) Col(name string) int {
+	for i, n := range s {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Iterator is the Volcano interface: call Next until ok is false.
+type Iterator interface {
+	Schema() Schema
+	Next() (row Row, ok bool, err error)
+	Close() error
+}
+
+// --- source ---
+
+type sliceScan struct {
+	schema Schema
+	rows   []Row
+	pos    int
+}
+
+// NewSliceScan returns an iterator over in-memory rows, the bridge between
+// operator results (pattern scans, history lists) and the algebra.
+func NewSliceScan(schema Schema, rows []Row) Iterator {
+	return &sliceScan{schema: schema, rows: rows}
+}
+
+func (s *sliceScan) Schema() Schema { return s.schema }
+func (s *sliceScan) Close() error   { return nil }
+func (s *sliceScan) Next() (Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// Drain consumes an iterator into a slice, closing it.
+func Drain(it Iterator) ([]Row, error) {
+	defer it.Close()
+	var out []Row
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// --- select ---
+
+type selectOp struct {
+	in   Iterator
+	pred func(Row) (bool, error)
+}
+
+// NewSelect filters rows by the predicate.
+func NewSelect(in Iterator, pred func(Row) (bool, error)) Iterator {
+	return &selectOp{in: in, pred: pred}
+}
+
+func (s *selectOp) Schema() Schema { return s.in.Schema() }
+func (s *selectOp) Close() error   { return s.in.Close() }
+func (s *selectOp) Next() (Row, bool, error) {
+	for {
+		row, ok, err := s.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		keep, err := s.pred(row)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return row, true, nil
+		}
+	}
+}
+
+// --- project ---
+
+// Expr computes one output column from an input row.
+type Expr func(Row) (any, error)
+
+type projectOp struct {
+	in     Iterator
+	schema Schema
+	exprs  []Expr
+}
+
+// NewProject maps each row through the expressions.
+func NewProject(in Iterator, schema Schema, exprs []Expr) (Iterator, error) {
+	if len(schema) != len(exprs) {
+		return nil, fmt.Errorf("algebra: project: %d columns but %d expressions", len(schema), len(exprs))
+	}
+	return &projectOp{in: in, schema: schema, exprs: exprs}, nil
+}
+
+func (p *projectOp) Schema() Schema { return p.schema }
+func (p *projectOp) Close() error   { return p.in.Close() }
+func (p *projectOp) Next() (Row, bool, error) {
+	row, ok, err := p.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(Row, len(p.exprs))
+	for i, e := range p.exprs {
+		if out[i], err = e(row); err != nil {
+			return nil, false, err
+		}
+	}
+	return out, true, nil
+}
+
+// --- joins ---
+
+type nestedLoopJoin struct {
+	left, right Iterator
+	pred        func(l, r Row) (bool, error)
+	schema      Schema
+	rightRows   []Row
+	cur         Row
+	ri          int
+	primed      bool
+}
+
+// NewNestedLoopJoin joins every left row with every right row satisfying
+// the predicate; the output row is the concatenation. The right input is
+// materialized.
+func NewNestedLoopJoin(left, right Iterator, pred func(l, r Row) (bool, error)) Iterator {
+	schema := append(append(Schema{}, left.Schema()...), right.Schema()...)
+	return &nestedLoopJoin{left: left, right: right, pred: pred, schema: schema}
+}
+
+func (j *nestedLoopJoin) Schema() Schema { return j.schema }
+func (j *nestedLoopJoin) Close() error {
+	j.left.Close()
+	return j.right.Close()
+}
+
+func (j *nestedLoopJoin) Next() (Row, bool, error) {
+	if !j.primed {
+		rows, err := Drain(j.right)
+		if err != nil {
+			return nil, false, err
+		}
+		j.rightRows = rows
+		j.primed = true
+	}
+	for {
+		if j.cur == nil {
+			row, ok, err := j.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.cur = row
+			j.ri = 0
+		}
+		for j.ri < len(j.rightRows) {
+			r := j.rightRows[j.ri]
+			j.ri++
+			ok, err := j.pred(j.cur, r)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return append(append(Row{}, j.cur...), r...), true, nil
+			}
+		}
+		j.cur = nil
+	}
+}
+
+// NewTemporalJoin joins rows whose intervals (in columns li and ri, of type
+// model.Interval) overlap and whose optional extra predicate holds. The
+// output row is left ++ right ++ [intersection], making the temporal join
+// of Section 7.3.2 composable: the combined row is valid exactly during the
+// intersection.
+func NewTemporalJoin(left, right Iterator, li, ri int, extra func(l, r Row) (bool, error)) Iterator {
+	inner := NewNestedLoopJoin(left, right, func(l, r Row) (bool, error) {
+		lv, lok := l[li].(model.Interval)
+		rv, rok := r[ri].(model.Interval)
+		if !lok || !rok {
+			return false, fmt.Errorf("algebra: temporal join: column is not an interval")
+		}
+		if !lv.Overlaps(rv) {
+			return false, nil
+		}
+		if extra != nil {
+			return extra(l, r)
+		}
+		return true, nil
+	})
+	nLeft := len(left.Schema())
+	schema := append(append(Schema{}, inner.Schema()...), "overlap")
+	it, _ := NewProject(inner, schema, buildOverlapExprs(len(inner.Schema()), nLeft, li, ri))
+	return it
+}
+
+func buildOverlapExprs(width, nLeft, li, ri int) []Expr {
+	exprs := make([]Expr, width+1)
+	for i := 0; i < width; i++ {
+		i := i
+		exprs[i] = func(r Row) (any, error) { return r[i], nil }
+	}
+	exprs[width] = func(r Row) (any, error) {
+		lv := r[li].(model.Interval)
+		rv := r[nLeft+ri].(model.Interval)
+		iv, _ := lv.Intersect(rv)
+		return iv, nil
+	}
+	return exprs
+}
+
+// --- aggregate ---
+
+// AggKind selects an aggregate function.
+type AggKind uint8
+
+const (
+	// Count counts rows (the paper's Q2 uses it via SUM over elements).
+	Count AggKind = iota
+	// Sum adds numeric column values.
+	Sum
+	// Avg averages numeric column values.
+	Avg
+	// Min takes the minimum (numeric or string or Time).
+	Min
+	// Max takes the maximum.
+	Max
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("AggKind(%d)", uint8(k))
+	}
+}
+
+// AggSpec is one aggregate over an input column (ignored for Count).
+type AggSpec struct {
+	Kind AggKind
+	Col  int
+	Name string
+}
+
+type aggregateOp struct {
+	in    Iterator
+	specs []AggSpec
+	done  bool
+}
+
+// NewAggregate computes global aggregates over the whole input, emitting a
+// single row.
+func NewAggregate(in Iterator, specs []AggSpec) Iterator {
+	return &aggregateOp{in: in, specs: specs}
+}
+
+func (a *aggregateOp) Schema() Schema {
+	s := make(Schema, len(a.specs))
+	for i, sp := range a.specs {
+		s[i] = sp.Name
+	}
+	return s
+}
+
+func (a *aggregateOp) Close() error { return a.in.Close() }
+
+func (a *aggregateOp) Next() (Row, bool, error) {
+	if a.done {
+		return nil, false, nil
+	}
+	a.done = true
+	counts := make([]int64, len(a.specs))
+	sums := make([]float64, len(a.specs))
+	mins := make([]any, len(a.specs))
+	maxs := make([]any, len(a.specs))
+	for {
+		row, ok, err := a.in.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		for i, sp := range a.specs {
+			switch sp.Kind {
+			case Count:
+				counts[i]++
+			case Sum, Avg:
+				v, err := ToFloat(row[sp.Col])
+				if err != nil {
+					return nil, false, fmt.Errorf("algebra: %s: %w", sp.Kind, err)
+				}
+				sums[i] += v
+				counts[i]++
+			case Min, Max:
+				counts[i]++
+				cur := row[sp.Col]
+				if mins[i] == nil {
+					mins[i], maxs[i] = cur, cur
+					continue
+				}
+				less, err := lessValues(cur, mins[i])
+				if err != nil {
+					return nil, false, err
+				}
+				if less {
+					mins[i] = cur
+				}
+				greater, err := lessValues(maxs[i], cur)
+				if err != nil {
+					return nil, false, err
+				}
+				if greater {
+					maxs[i] = cur
+				}
+			}
+		}
+	}
+	out := make(Row, len(a.specs))
+	for i, sp := range a.specs {
+		switch sp.Kind {
+		case Count:
+			out[i] = counts[i]
+		case Sum:
+			out[i] = sums[i]
+		case Avg:
+			if counts[i] == 0 {
+				out[i] = nil
+			} else {
+				out[i] = sums[i] / float64(counts[i])
+			}
+		case Min:
+			out[i] = mins[i]
+		case Max:
+			out[i] = maxs[i]
+		}
+	}
+	return out, true, nil
+}
+
+// --- distinct, sort, limit ---
+
+type distinctOp struct {
+	in   Iterator
+	seen map[string]bool
+}
+
+// NewDistinct removes duplicate rows (by formatted value).
+func NewDistinct(in Iterator) Iterator {
+	return &distinctOp{in: in, seen: make(map[string]bool)}
+}
+
+func (d *distinctOp) Schema() Schema { return d.in.Schema() }
+func (d *distinctOp) Close() error   { return d.in.Close() }
+func (d *distinctOp) Next() (Row, bool, error) {
+	for {
+		row, ok, err := d.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key := fmt.Sprint(row...)
+		if d.seen[key] {
+			continue
+		}
+		d.seen[key] = true
+		return row, true, nil
+	}
+}
+
+type sortOp struct {
+	in     Iterator
+	less   func(a, b Row) bool
+	rows   []Row
+	pos    int
+	primed bool
+}
+
+// NewSort materializes and orders the input.
+func NewSort(in Iterator, less func(a, b Row) bool) Iterator {
+	return &sortOp{in: in, less: less}
+}
+
+func (s *sortOp) Schema() Schema { return s.in.Schema() }
+func (s *sortOp) Close() error   { return s.in.Close() }
+func (s *sortOp) Next() (Row, bool, error) {
+	if !s.primed {
+		rows, err := Drain(s.in)
+		if err != nil {
+			return nil, false, err
+		}
+		sort.SliceStable(rows, func(i, j int) bool { return s.less(rows[i], rows[j]) })
+		s.rows = rows
+		s.primed = true
+	}
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+type limitOp struct {
+	in   Iterator
+	n    int
+	seen int
+}
+
+// NewLimit passes at most n rows.
+func NewLimit(in Iterator, n int) Iterator { return &limitOp{in: in, n: n} }
+
+func (l *limitOp) Schema() Schema { return l.in.Schema() }
+func (l *limitOp) Close() error   { return l.in.Close() }
+func (l *limitOp) Next() (Row, bool, error) {
+	if l.seen >= l.n {
+		return nil, false, nil
+	}
+	row, ok, err := l.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return row, true, nil
+}
+
+// --- value helpers ---
+
+// ToFloat coerces a column value to float64.
+func ToFloat(v any) (float64, error) {
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case int64:
+		return float64(x), nil
+	case int:
+		return float64(x), nil
+	case model.Time:
+		return float64(x), nil
+	case string:
+		var f float64
+		if _, err := fmt.Sscanf(x, "%g", &f); err != nil {
+			return 0, fmt.Errorf("not numeric: %q", x)
+		}
+		return f, nil
+	default:
+		return 0, fmt.Errorf("not numeric: %T", v)
+	}
+}
+
+// lessValues orders two column values of the same family.
+func lessValues(a, b any) (bool, error) {
+	switch x := a.(type) {
+	case string:
+		y, ok := b.(string)
+		if !ok {
+			// Fall through to numeric comparison when mixed.
+			break
+		}
+		return x < y, nil
+	case model.Time:
+		if y, ok := b.(model.Time); ok {
+			return x < y, nil
+		}
+	}
+	fa, err := ToFloat(a)
+	if err != nil {
+		return false, err
+	}
+	fb, err := ToFloat(b)
+	if err != nil {
+		return false, err
+	}
+	return fa < fb, nil
+}

@@ -1,0 +1,306 @@
+package algebra
+
+import (
+	"fmt"
+	"testing"
+
+	"txmldb/internal/model"
+)
+
+func numbers(n int) Iterator {
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{int64(i), fmt.Sprintf("s%d", i%3)}
+	}
+	return NewSliceScan(Schema{"n", "s"}, rows)
+}
+
+func TestSliceScanAndDrain(t *testing.T) {
+	rows, err := Drain(numbers(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || rows[2][0].(int64) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestSchemaCol(t *testing.T) {
+	s := Schema{"a", "b"}
+	if s.Col("b") != 1 || s.Col("x") != -1 {
+		t.Error("Schema.Col broken")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	it := NewSelect(numbers(10), func(r Row) (bool, error) { return r[0].(int64)%2 == 0, nil })
+	rows, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("filtered = %d", len(rows))
+	}
+	errIt := NewSelect(numbers(3), func(Row) (bool, error) { return false, fmt.Errorf("boom") })
+	if _, err := Drain(errIt); err == nil {
+		t.Fatal("predicate error must propagate")
+	}
+}
+
+func TestProject(t *testing.T) {
+	it, err := NewProject(numbers(3), Schema{"double"}, []Expr{
+		func(r Row) (any, error) { return r[0].(int64) * 2, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := Drain(it)
+	if len(rows) != 3 || rows[2][0].(int64) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if _, err := NewProject(numbers(1), Schema{"a", "b"}, []Expr{nil}); err == nil {
+		t.Fatal("schema/expr mismatch must fail")
+	}
+}
+
+func TestNestedLoopJoin(t *testing.T) {
+	left := NewSliceScan(Schema{"l"}, []Row{{int64(1)}, {int64(2)}, {int64(3)}})
+	right := NewSliceScan(Schema{"r"}, []Row{{int64(2)}, {int64(3)}, {int64(4)}})
+	it := NewNestedLoopJoin(left, right, func(l, r Row) (bool, error) {
+		return l[0].(int64) == r[0].(int64), nil
+	})
+	if got := it.Schema(); len(got) != 2 || got[0] != "l" || got[1] != "r" {
+		t.Fatalf("join schema = %v", got)
+	}
+	rows, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("join rows = %v", rows)
+	}
+}
+
+func TestTemporalJoin(t *testing.T) {
+	iv := func(a, b model.Time) model.Interval { return model.Interval{Start: a, End: b} }
+	left := NewSliceScan(Schema{"name", "liv"}, []Row{
+		{"A", iv(0, 10)},
+		{"B", iv(20, 30)},
+	})
+	right := NewSliceScan(Schema{"val", "riv"}, []Row{
+		{"x", iv(5, 25)},
+		{"y", iv(40, 50)},
+	})
+	it := NewTemporalJoin(left, right, 1, 1, nil)
+	rows, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A×x overlap [5,10); B×x overlap [20,25); y overlaps nothing.
+	if len(rows) != 2 {
+		t.Fatalf("temporal join rows = %v", rows)
+	}
+	overlaps := map[string]model.Interval{}
+	for _, r := range rows {
+		overlaps[r[0].(string)] = r[4].(model.Interval)
+	}
+	if overlaps["A"] != iv(5, 10) || overlaps["B"] != iv(20, 25) {
+		t.Fatalf("overlaps = %v", overlaps)
+	}
+}
+
+func TestTemporalJoinExtraPredAndTypeError(t *testing.T) {
+	iv := func(a, b model.Time) model.Interval { return model.Interval{Start: a, End: b} }
+	mk := func() (Iterator, Iterator) {
+		return NewSliceScan(Schema{"liv", "k"}, []Row{{iv(0, 10), "same"}, {iv(0, 10), "other"}}),
+			NewSliceScan(Schema{"riv", "k"}, []Row{{iv(5, 15), "same"}})
+	}
+	l, r := mk()
+	it := NewTemporalJoin(l, r, 0, 0, func(l, r Row) (bool, error) { return l[1] == r[1], nil })
+	rows, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][1] != "same" {
+		t.Fatalf("extra pred rows = %v", rows)
+	}
+	bad := NewTemporalJoin(
+		NewSliceScan(Schema{"x"}, []Row{{"not an interval"}}),
+		NewSliceScan(Schema{"y"}, []Row{{iv(0, 1)}}), 0, 0, nil)
+	if _, err := Drain(bad); err == nil {
+		t.Fatal("non-interval column must error")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	in := NewSliceScan(Schema{"v"}, []Row{{int64(4)}, {int64(1)}, {int64(7)}})
+	it := NewAggregate(in, []AggSpec{
+		{Kind: Count, Name: "count"},
+		{Kind: Sum, Col: 0, Name: "sum"},
+		{Kind: Avg, Col: 0, Name: "avg"},
+		{Kind: Min, Col: 0, Name: "min"},
+		{Kind: Max, Col: 0, Name: "max"},
+	})
+	rows, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("aggregate rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r[0].(int64) != 3 || r[1].(float64) != 12 || r[2].(float64) != 4 {
+		t.Fatalf("count/sum/avg = %v", r)
+	}
+	if r[3].(int64) != 1 || r[4].(int64) != 7 {
+		t.Fatalf("min/max = %v", r)
+	}
+	if got := it.Schema(); got[4] != "max" {
+		t.Fatalf("agg schema = %v", got)
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	it := NewAggregate(NewSliceScan(Schema{"v"}, nil), []AggSpec{
+		{Kind: Count, Name: "count"},
+		{Kind: Avg, Col: 0, Name: "avg"},
+		{Kind: Min, Col: 0, Name: "min"},
+	})
+	rows, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r[0].(int64) != 0 || r[1] != nil || r[2] != nil {
+		t.Fatalf("empty aggregates = %v", r)
+	}
+}
+
+func TestAggregateStringsAndTimes(t *testing.T) {
+	in := NewSliceScan(Schema{"s", "t"}, []Row{
+		{"banana", model.Time(5)},
+		{"apple", model.Time(9)},
+		{"cherry", model.Time(1)},
+	})
+	it := NewAggregate(in, []AggSpec{
+		{Kind: Min, Col: 0, Name: "minS"},
+		{Kind: Max, Col: 0, Name: "maxS"},
+		{Kind: Min, Col: 1, Name: "minT"},
+		{Kind: Max, Col: 1, Name: "maxT"},
+	})
+	rows, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r[0] != "apple" || r[1] != "cherry" || r[2].(model.Time) != 1 || r[3].(model.Time) != 9 {
+		t.Fatalf("string/time minmax = %v", r)
+	}
+}
+
+func TestSumOfNumericStrings(t *testing.T) {
+	in := NewSliceScan(Schema{"v"}, []Row{{"15"}, {"18"}})
+	rows, err := Drain(NewAggregate(in, []AggSpec{{Kind: Sum, Col: 0, Name: "sum"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].(float64) != 33 {
+		t.Fatalf("sum = %v", rows[0])
+	}
+	bad := NewSliceScan(Schema{"v"}, []Row{{"Napoli"}})
+	if _, err := Drain(NewAggregate(bad, []AggSpec{{Kind: Sum, Col: 0, Name: "s"}})); err == nil {
+		t.Fatal("non-numeric sum must error")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	in := NewSliceScan(Schema{"v"}, []Row{{"a"}, {"b"}, {"a"}, {"a"}, {"c"}})
+	rows, err := Drain(NewDistinct(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("distinct rows = %v", rows)
+	}
+}
+
+func TestSortAndLimit(t *testing.T) {
+	in := NewSliceScan(Schema{"v"}, []Row{{int64(3)}, {int64(1)}, {int64(2)}})
+	it := NewSort(in, func(a, b Row) bool { return a[0].(int64) < b[0].(int64) })
+	it = NewLimit(it, 2)
+	rows, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0].(int64) != 1 || rows[1][0].(int64) != 2 {
+		t.Fatalf("sorted+limited = %v", rows)
+	}
+}
+
+func TestLimitZero(t *testing.T) {
+	rows, err := Drain(NewLimit(numbers(5), 0))
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("limit 0: %v, %v", rows, err)
+	}
+}
+
+func TestToFloat(t *testing.T) {
+	cases := []struct {
+		in   any
+		want float64
+		ok   bool
+	}{
+		{float64(1.5), 1.5, true},
+		{int64(3), 3, true},
+		{int(4), 4, true},
+		{model.Time(9), 9, true},
+		{"2.5", 2.5, true},
+		{"abc", 0, false},
+		{nil, 0, false},
+	}
+	for _, c := range cases {
+		got, err := ToFloat(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("ToFloat(%v) = %v, %v", c.in, got, err)
+		}
+	}
+}
+
+func TestAggKindString(t *testing.T) {
+	want := map[AggKind]string{Count: "count", Sum: "sum", Avg: "avg", Min: "min", Max: "max"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%v.String() = %q", k, k.String())
+		}
+	}
+	if AggKind(9).String() != "AggKind(9)" {
+		t.Error("unknown AggKind formatting")
+	}
+}
+
+func TestPipelineComposition(t *testing.T) {
+	// A full pipeline: scan → select → project → sort → distinct.
+	it := Iterator(numbers(20))
+	it = NewSelect(it, func(r Row) (bool, error) { return r[0].(int64) >= 10, nil })
+	var err error
+	it, err = NewProject(it, Schema{"mod"}, []Expr{
+		func(r Row) (any, error) { return r[0].(int64) % 4, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it = NewSort(it, func(a, b Row) bool { return a[0].(int64) < b[0].(int64) })
+	it = NewDistinct(it)
+	rows, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("pipeline rows = %v", rows)
+	}
+	for i, r := range rows {
+		if r[0].(int64) != int64(i) {
+			t.Fatalf("pipeline order = %v", rows)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"txmldb/internal/model"
+)
+
+// NewCoalesce implements the coalescing operator the paper names as the
+// extra operator a valid-time context needs (Section 3.1): rows that agree
+// on every column except the interval column, and whose intervals overlap
+// or are adjacent, are merged into one row covering the union interval.
+//
+// The input is materialized; output rows are grouped by their non-interval
+// columns and ordered by interval start within each group.
+func NewCoalesce(in Iterator, intervalCol int) Iterator {
+	return &coalesceOp{in: in, col: intervalCol}
+}
+
+type coalesceOp struct {
+	in     Iterator
+	col    int
+	rows   []Row
+	pos    int
+	primed bool
+}
+
+func (c *coalesceOp) Schema() Schema { return c.in.Schema() }
+func (c *coalesceOp) Close() error   { return c.in.Close() }
+
+func (c *coalesceOp) Next() (Row, bool, error) {
+	if !c.primed {
+		if err := c.prime(); err != nil {
+			return nil, false, err
+		}
+		c.primed = true
+	}
+	if c.pos >= len(c.rows) {
+		return nil, false, nil
+	}
+	r := c.rows[c.pos]
+	c.pos++
+	return r, true, nil
+}
+
+func (c *coalesceOp) prime() error {
+	input, err := Drain(c.in)
+	if err != nil {
+		return err
+	}
+	// Group rows by their non-interval columns.
+	type group struct {
+		proto     Row
+		intervals []model.Interval
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range input {
+		if c.col < 0 || c.col >= len(row) {
+			return fmt.Errorf("algebra: coalesce: interval column %d out of range", c.col)
+		}
+		iv, ok := row[c.col].(model.Interval)
+		if !ok {
+			return fmt.Errorf("algebra: coalesce: column %d is %T, want model.Interval", c.col, row[c.col])
+		}
+		key := groupKey(row, c.col)
+		g := groups[key]
+		if g == nil {
+			g = &group{proto: row}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.intervals = append(g.intervals, iv)
+	}
+	// Merge each group's intervals.
+	for _, key := range order {
+		g := groups[key]
+		sort.Slice(g.intervals, func(i, j int) bool {
+			return g.intervals[i].Start < g.intervals[j].Start
+		})
+		var merged []model.Interval
+		for _, iv := range g.intervals {
+			if iv.Empty() {
+				continue
+			}
+			if n := len(merged); n > 0 && iv.Start <= merged[n-1].End {
+				if iv.End > merged[n-1].End {
+					merged[n-1].End = iv.End
+				}
+				continue
+			}
+			merged = append(merged, iv)
+		}
+		for _, iv := range merged {
+			out := append(Row{}, g.proto...)
+			out[c.col] = iv
+			c.rows = append(c.rows, out)
+		}
+	}
+	return nil
+}
+
+// groupKey formats every column except the interval one.
+func groupKey(row Row, skip int) string {
+	var b strings.Builder
+	for i, v := range row {
+		if i == skip {
+			continue
+		}
+		fmt.Fprint(&b, v)
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}

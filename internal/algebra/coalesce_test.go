@@ -1,0 +1,123 @@
+package algebra
+
+import (
+	"testing"
+	"testing/quick"
+
+	"txmldb/internal/model"
+)
+
+func iv(a, b model.Time) model.Interval { return model.Interval{Start: a, End: b} }
+
+func TestCoalesceMergesAdjacentAndOverlapping(t *testing.T) {
+	in := NewSliceScan(Schema{"name", "valid"}, []Row{
+		{"Napoli", iv(0, 10)},
+		{"Napoli", iv(10, 20)}, // adjacent: merges
+		{"Napoli", iv(15, 30)}, // overlapping: merges
+		{"Napoli", iv(40, 50)}, // gap: stays separate
+		{"Akropolis", iv(5, 25)},
+	})
+	rows, err := Drain(NewCoalesce(in, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("coalesced rows = %v", rows)
+	}
+	got := map[string][]model.Interval{}
+	for _, r := range rows {
+		got[r[0].(string)] = append(got[r[0].(string)], r[1].(model.Interval))
+	}
+	if len(got["Napoli"]) != 2 || got["Napoli"][0] != iv(0, 30) || got["Napoli"][1] != iv(40, 50) {
+		t.Fatalf("Napoli intervals = %v", got["Napoli"])
+	}
+	if len(got["Akropolis"]) != 1 || got["Akropolis"][0] != iv(5, 25) {
+		t.Fatalf("Akropolis intervals = %v", got["Akropolis"])
+	}
+}
+
+func TestCoalesceDropsEmptyIntervals(t *testing.T) {
+	in := NewSliceScan(Schema{"v", "valid"}, []Row{
+		{"x", iv(5, 5)},
+		{"x", iv(7, 9)},
+	})
+	rows, err := Drain(NewCoalesce(in, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][1].(model.Interval) != iv(7, 9) {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestCoalesceErrors(t *testing.T) {
+	bad := NewSliceScan(Schema{"v"}, []Row{{"not an interval"}})
+	if _, err := Drain(NewCoalesce(bad, 0)); err == nil {
+		t.Fatal("non-interval column must error")
+	}
+	oob := NewSliceScan(Schema{"v"}, []Row{{iv(0, 1)}})
+	if _, err := Drain(NewCoalesce(oob, 5)); err == nil {
+		t.Fatal("out-of-range column must error")
+	}
+}
+
+func TestCoalesceEmptyInput(t *testing.T) {
+	rows, err := Drain(NewCoalesce(NewSliceScan(Schema{"v", "valid"}, nil), 1))
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("rows = %v, err = %v", rows, err)
+	}
+}
+
+// TestPropertyCoalesceInvariants: output intervals per group are disjoint,
+// non-adjacent, sorted, and cover exactly the union of the inputs.
+func TestPropertyCoalesceInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var rows []Row
+		for i := 0; i+1 < len(raw); i += 2 {
+			a, b := model.Time(raw[i]%50), model.Time(raw[i]%50)+model.Time(raw[i+1]%20)
+			rows = append(rows, Row{"k", iv(a, b)})
+		}
+		out, err := Drain(NewCoalesce(NewSliceScan(Schema{"k", "valid"}, rows), 1))
+		if err != nil {
+			return false
+		}
+		// Invariants on the merged intervals.
+		var prev *model.Interval
+		for _, r := range out {
+			cur := r[1].(model.Interval)
+			if cur.Empty() {
+				return false
+			}
+			if prev != nil && cur.Start <= prev.End {
+				return false // must be disjoint with a real gap
+			}
+			prev = &cur
+		}
+		// Coverage: every input instant is covered iff it was in an input
+		// interval.
+		covered := func(at model.Time, ivs []model.Interval) bool {
+			for _, v := range ivs {
+				if v.Contains(at) {
+					return true
+				}
+			}
+			return false
+		}
+		var inIvs, outIvs []model.Interval
+		for _, r := range rows {
+			inIvs = append(inIvs, r[1].(model.Interval))
+		}
+		for _, r := range out {
+			outIvs = append(outIvs, r[1].(model.Interval))
+		}
+		for at := model.Time(0); at < 75; at++ {
+			if covered(at, inIvs) != covered(at, outIvs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package btree implements an in-memory B+ tree with generic keys and
+// values. It is the ordered-index substrate of the database: the
+// CreTime/DelTime index (Section 7.3.6 of the paper) and other
+// auxiliary indexes are built on it.
+//
+// The tree stores all values in its leaves and chains the leaves for cheap
+// range scans, the access pattern temporal indexes rely on.
+package btree
+
+// degree is the maximum number of keys per node. Chosen small enough to
+// exercise splits in tests while keeping nodes cache-friendly.
+const degree = 32
+
+// Tree is a B+ tree mapping K to V under the strict weak order less.
+// The zero Tree is not usable; call New.
+type Tree[K any, V any] struct {
+	less  func(a, b K) bool
+	root  node[K, V]
+	size  int
+	first *leaf[K, V] // leftmost leaf, head of the leaf chain
+}
+
+type node[K any, V any] interface {
+	// insert adds or replaces key k. It returns a new right sibling and its
+	// separator key when the node split, and whether the key was new.
+	insert(t *Tree[K, V], k K, v V) (sep K, right node[K, V], grew bool)
+	// get returns the value stored under k.
+	get(t *Tree[K, V], k K) (V, bool)
+	// del removes k and reports whether it was present. Underflow is
+	// tolerated (nodes may become small); the tree stays correct because
+	// search never relies on minimum occupancy.
+	del(t *Tree[K, V], k K) bool
+	// firstLeaf returns the leftmost leaf under the node.
+	firstLeaf() *leaf[K, V]
+	// seek returns the leaf that may contain k and the position of the
+	// first key >= k inside it.
+	seek(t *Tree[K, V], k K) (*leaf[K, V], int)
+}
+
+type inner[K any, V any] struct {
+	keys []K // len(kids) == len(keys)+1
+	kids []node[K, V]
+}
+
+type leaf[K any, V any] struct {
+	keys []K
+	vals []V
+	next *leaf[K, V]
+}
+
+// New returns an empty tree ordered by less.
+func New[K any, V any](less func(a, b K) bool) *Tree[K, V] {
+	lf := &leaf[K, V]{}
+	return &Tree[K, V]{less: less, root: lf, first: lf}
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Set inserts or replaces the value under k.
+func (t *Tree[K, V]) Set(k K, v V) {
+	sep, right, grew := t.root.insert(t, k, v)
+	if grew {
+		t.size++
+	}
+	if right != nil {
+		t.root = &inner[K, V]{keys: []K{sep}, kids: []node[K, V]{t.root, right}}
+	}
+}
+
+// Get returns the value under k and whether it is present.
+func (t *Tree[K, V]) Get(k K) (V, bool) { return t.root.get(t, k) }
+
+// Delete removes k and reports whether it was present.
+func (t *Tree[K, V]) Delete(k K) bool {
+	ok := t.root.del(t, k)
+	if ok {
+		t.size--
+	}
+	// Collapse a root with a single child.
+	for {
+		in, isInner := t.root.(*inner[K, V])
+		if !isInner || len(in.kids) > 1 {
+			break
+		}
+		t.root = in.kids[0]
+	}
+	return ok
+}
+
+// Ascend visits all pairs in key order; the visitor returns false to stop.
+func (t *Tree[K, V]) Ascend(visit func(k K, v V) bool) {
+	for lf := t.first; lf != nil; lf = lf.next {
+		for i := range lf.keys {
+			if !visit(lf.keys[i], lf.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// AscendRange visits pairs with from <= key < to, in key order.
+func (t *Tree[K, V]) AscendRange(from, to K, visit func(k K, v V) bool) {
+	lf, i := t.root.seek(t, from)
+	for ; lf != nil; lf, i = lf.next, 0 {
+		for ; i < len(lf.keys); i++ {
+			if !t.less(lf.keys[i], to) {
+				return
+			}
+			if !visit(lf.keys[i], lf.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// AscendFrom visits pairs with key >= from until the visitor returns false.
+func (t *Tree[K, V]) AscendFrom(from K, visit func(k K, v V) bool) {
+	lf, i := t.root.seek(t, from)
+	for ; lf != nil; lf, i = lf.next, 0 {
+		for ; i < len(lf.keys); i++ {
+			if !visit(lf.keys[i], lf.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Min returns the smallest key and its value; ok is false for an empty tree.
+func (t *Tree[K, V]) Min() (k K, v V, ok bool) {
+	lf := t.first
+	for lf != nil && len(lf.keys) == 0 {
+		lf = lf.next
+	}
+	if lf == nil {
+		return k, v, false
+	}
+	return lf.keys[0], lf.vals[0], true
+}
+
+// --- leaf ---
+
+// search returns the position of the first key >= k.
+func (lf *leaf[K, V]) search(t *Tree[K, V], k K) int {
+	lo, hi := 0, len(lf.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.less(lf.keys[mid], k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (lf *leaf[K, V]) insert(t *Tree[K, V], k K, v V) (sep K, right node[K, V], grew bool) {
+	i := lf.search(t, k)
+	if i < len(lf.keys) && !t.less(k, lf.keys[i]) { // equal: replace
+		lf.vals[i] = v
+		return sep, nil, false
+	}
+	lf.keys = append(lf.keys, k)
+	copy(lf.keys[i+1:], lf.keys[i:])
+	lf.keys[i] = k
+	lf.vals = append(lf.vals, v)
+	copy(lf.vals[i+1:], lf.vals[i:])
+	lf.vals[i] = v
+	if len(lf.keys) <= degree {
+		return sep, nil, true
+	}
+	mid := len(lf.keys) / 2
+	r := &leaf[K, V]{
+		keys: append([]K(nil), lf.keys[mid:]...),
+		vals: append([]V(nil), lf.vals[mid:]...),
+		next: lf.next,
+	}
+	lf.keys = lf.keys[:mid:mid]
+	lf.vals = lf.vals[:mid:mid]
+	lf.next = r
+	return r.keys[0], r, true
+}
+
+func (lf *leaf[K, V]) get(t *Tree[K, V], k K) (V, bool) {
+	i := lf.search(t, k)
+	if i < len(lf.keys) && !t.less(k, lf.keys[i]) {
+		return lf.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+func (lf *leaf[K, V]) del(t *Tree[K, V], k K) bool {
+	i := lf.search(t, k)
+	if i >= len(lf.keys) || t.less(k, lf.keys[i]) {
+		return false
+	}
+	lf.keys = append(lf.keys[:i], lf.keys[i+1:]...)
+	lf.vals = append(lf.vals[:i], lf.vals[i+1:]...)
+	return true
+}
+
+func (lf *leaf[K, V]) firstLeaf() *leaf[K, V] { return lf }
+
+func (lf *leaf[K, V]) seek(t *Tree[K, V], k K) (*leaf[K, V], int) {
+	return lf, lf.search(t, k)
+}
+
+// --- inner ---
+
+// childFor returns the index of the child subtree that may contain k.
+func (in *inner[K, V]) childFor(t *Tree[K, V], k K) int {
+	lo, hi := 0, len(in.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.less(k, in.keys[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func (in *inner[K, V]) insert(t *Tree[K, V], k K, v V) (sep K, right node[K, V], grew bool) {
+	ci := in.childFor(t, k)
+	s, r, grew := in.kids[ci].insert(t, k, v)
+	if r != nil {
+		in.keys = append(in.keys, s)
+		copy(in.keys[ci+1:], in.keys[ci:])
+		in.keys[ci] = s
+		in.kids = append(in.kids, nil)
+		copy(in.kids[ci+2:], in.kids[ci+1:])
+		in.kids[ci+1] = r
+		if len(in.keys) > degree {
+			mid := len(in.keys) / 2
+			rn := &inner[K, V]{
+				keys: append([]K(nil), in.keys[mid+1:]...),
+				kids: append([]node[K, V](nil), in.kids[mid+1:]...),
+			}
+			sep = in.keys[mid]
+			in.keys = in.keys[:mid:mid]
+			in.kids = in.kids[: mid+1 : mid+1]
+			return sep, rn, grew
+		}
+	}
+	return sep, nil, grew
+}
+
+func (in *inner[K, V]) get(t *Tree[K, V], k K) (V, bool) {
+	return in.kids[in.childFor(t, k)].get(t, k)
+}
+
+func (in *inner[K, V]) del(t *Tree[K, V], k K) bool {
+	return in.kids[in.childFor(t, k)].del(t, k)
+}
+
+func (in *inner[K, V]) firstLeaf() *leaf[K, V] { return in.kids[0].firstLeaf() }
+
+func (in *inner[K, V]) seek(t *Tree[K, V], k K) (*leaf[K, V], int) {
+	return in.kids[in.childFor(t, k)].seek(t, k)
+}

@@ -1,0 +1,292 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int, string] {
+	return New[int, string](func(a, b int) bool { return a < b })
+}
+
+func TestSetGet(t *testing.T) {
+	tr := intTree()
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("empty tree should not contain 1")
+	}
+	tr.Set(1, "one")
+	tr.Set(2, "two")
+	tr.Set(1, "uno") // replace
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if v, ok := tr.Get(1); !ok || v != "uno" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	if v, ok := tr.Get(2); !ok || v != "two" {
+		t.Fatalf("Get(2) = %q, %v", v, ok)
+	}
+}
+
+func TestSplitsAndOrder(t *testing.T) {
+	tr := intTree()
+	const n = 10000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		tr.Set(k, "")
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	prev := -1
+	count := 0
+	tr.Ascend(func(k int, _ string) bool {
+		if k <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("Ascend visited %d, want %d", count, n)
+	}
+	for i := 0; i < n; i += 97 {
+		if _, ok := tr.Get(i); !ok {
+			t.Fatalf("Get(%d) missing after bulk insert", i)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 1000; i++ {
+		tr.Set(i, "v")
+	}
+	for i := 0; i < 1000; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if tr.Delete(0) {
+		t.Fatal("double delete should return false")
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 500; i++ {
+		tr.Set(i, "v")
+	}
+	for i := 499; i >= 0; i-- {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree should report !ok")
+	}
+	tr.Set(42, "back")
+	if v, ok := tr.Get(42); !ok || v != "back" {
+		t.Fatal("tree unusable after full deletion")
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 100; i++ {
+		tr.Set(i*2, "v") // even keys 0..198
+	}
+	var got []int
+	tr.AscendRange(10, 21, func(k int, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int{10, 12, 14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAscendRangeEmptyAndStop(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 50; i++ {
+		tr.Set(i, "v")
+	}
+	var got []int
+	tr.AscendRange(200, 300, func(k int, _ string) bool { got = append(got, k); return true })
+	if len(got) != 0 {
+		t.Fatalf("out-of-range scan returned %v", got)
+	}
+	n := 0
+	tr.AscendRange(0, 50, func(int, string) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	n = 0
+	tr.Ascend(func(int, string) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("Ascend early stop visited %d", n)
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 100; i++ {
+		tr.Set(i, "v")
+	}
+	var first int = -1
+	n := 0
+	tr.AscendFrom(90, func(k int, _ string) bool {
+		if first == -1 {
+			first = k
+		}
+		n++
+		return true
+	})
+	if first != 90 || n != 10 {
+		t.Fatalf("AscendFrom(90): first=%d n=%d", first, n)
+	}
+}
+
+func TestMin(t *testing.T) {
+	tr := intTree()
+	tr.Set(42, "a")
+	tr.Set(7, "b")
+	tr.Set(99, "c")
+	k, v, ok := tr.Min()
+	if !ok || k != 7 || v != "b" {
+		t.Fatalf("Min = %d,%q,%v", k, v, ok)
+	}
+	tr.Delete(7)
+	if k, _, _ := tr.Min(); k != 42 {
+		t.Fatalf("Min after delete = %d", k)
+	}
+}
+
+// TestPropertyAgainstMap runs randomized operations against a reference map.
+func TestPropertyAgainstMap(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := intTree()
+		ref := map[int]string{}
+		for i := 0; i < 2000; i++ {
+			k := r.Intn(300)
+			switch r.Intn(3) {
+			case 0, 1:
+				v := string(rune('a' + r.Intn(26)))
+				tr.Set(k, v)
+				ref[k] = v
+			case 2:
+				delOK := tr.Delete(k)
+				_, inRef := ref[k]
+				if delOK != inRef {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		// Every reference pair must be in the tree, in order.
+		keys := make([]int, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		i := 0
+		okScan := true
+		tr.Ascend(func(k int, v string) bool {
+			if i >= len(keys) || keys[i] != k || ref[k] != v {
+				okScan = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okScan && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRangeMatchesSort(t *testing.T) {
+	f := func(seed int64, fromRaw, toRaw uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := intTree()
+		var keys []int
+		seen := map[int]bool{}
+		for i := 0; i < 500; i++ {
+			k := r.Intn(1000)
+			tr.Set(k, "")
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		sort.Ints(keys)
+		from, to := int(fromRaw)%1000, int(toRaw)%1100
+		var want []int
+		for _, k := range keys {
+			if k >= from && k < to {
+				want = append(want, k)
+			}
+		}
+		var got []int
+		tr.AscendRange(from, to, func(k int, _ string) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStructKeys(t *testing.T) {
+	type key struct{ a, b uint32 }
+	tr := New[key, int](func(x, y key) bool {
+		if x.a != y.a {
+			return x.a < y.a
+		}
+		return x.b < y.b
+	})
+	tr.Set(key{2, 1}, 21)
+	tr.Set(key{1, 2}, 12)
+	tr.Set(key{1, 1}, 11)
+	var got []int
+	tr.Ascend(func(_ key, v int) bool { got = append(got, v); return true })
+	if len(got) != 3 || got[0] != 11 || got[1] != 12 || got[2] != 21 {
+		t.Fatalf("struct key order = %v", got)
+	}
+}

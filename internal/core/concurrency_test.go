@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"txmldb/internal/model"
+	"txmldb/internal/xmltree"
+)
+
+// TestConcurrentQueriesWithWriter runs historical queries — whose answers
+// are immutable once their snapshot time has passed — in parallel with a
+// writer appending versions.
+func TestConcurrentQueriesWithWriter(t *testing.T) {
+	db := Open(Config{Clock: func() model.Time { return 1_000_000 }})
+	mk := func(price int) *xmltree.Node {
+		return xmltree.Elem("guide", xmltree.Elem("restaurant",
+			xmltree.ElemText("name", "Napoli"),
+			xmltree.ElemText("price", fmt.Sprint(price))))
+	}
+	id, err := db.Put("u", mk(1), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Update(id, mk(2), 1001); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// The restaurant element exists in every version: the
+				// count is stable no matter which versions the writer has
+				// appended so far.
+				res, err := db.Query(`SELECT COUNT(R) FROM doc("u")/restaurant R`)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := res.Rows[0][0].(int64); got != 1 {
+					errs <- fmt.Errorf("current count = %d", got)
+					return
+				}
+				// Operator-level historical access.
+				vt, err := db.ReconstructVersion(id, 1)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := vt.Root.SelectPath("restaurant/price")[0].Text(); got != "1" {
+					errs <- fmt.Errorf("version 1 price = %q", got)
+					return
+				}
+				if _, err := db.ElementHistory(model.EID{Doc: id, X: vt.Root.XID}, model.Interval{Start: 1000, End: 1002}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for i := 3; i <= 40; i++ {
+		if _, _, err := db.Update(id, mk(i), model.Time(1000+int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent query: %v", err)
+	}
+}

@@ -1,0 +1,457 @@
+// Package core composes the temporal XML database: the version store
+// (complete current version + completed delta chain, Section 7.1), the
+// temporal full-text index (Section 7.2), the auxiliary create/delete-time
+// index (Section 7.3.6) and the pattern matcher — and exposes the eleven
+// temporal query operators of Section 6.1 plus the query language executor.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"txmldb/internal/diff"
+	"txmldb/internal/doctime"
+	"txmldb/internal/fti"
+	"txmldb/internal/model"
+	"txmldb/internal/pattern"
+	"txmldb/internal/plan"
+	"txmldb/internal/store"
+	"txmldb/internal/tidx"
+	"txmldb/internal/xmltree"
+)
+
+// IndexKind selects the FTI maintenance alternative of Section 7.2.
+type IndexKind uint8
+
+const (
+	// IndexVersions indexes version contents — the paper's choice.
+	IndexVersions IndexKind = iota
+	// IndexDeltas indexes the delta documents.
+	IndexDeltas
+	// IndexBoth maintains both indexes.
+	IndexBoth
+)
+
+func (k IndexKind) String() string {
+	switch k {
+	case IndexVersions:
+		return "versions"
+	case IndexDeltas:
+		return "deltas"
+	case IndexBoth:
+		return "both"
+	default:
+		return fmt.Sprintf("IndexKind(%d)", uint8(k))
+	}
+}
+
+// Config parameterizes a DB.
+type Config struct {
+	// Store configures the version store and its simulated disk.
+	Store store.Config
+	// Index selects the FTI alternative (default: IndexVersions).
+	Index IndexKind
+	// DisableTimeIndex turns the CreTime/DelTime index off, so those
+	// operators fall back to delta-chain traversal (the paper's first
+	// strategy); used by the C4 experiment.
+	DisableTimeIndex bool
+	// Clock supplies the current transaction time for NOW and PatternScan
+	// on the current state; defaults to wall-clock time.
+	Clock func() model.Time
+	// DocTimePaths enables the document-time index (Section 3.1 of the
+	// paper): slash-separated element paths whose text holds a timestamp
+	// inside the document, e.g. "item/published".
+	DocTimePaths []string
+}
+
+// DB is a temporal XML database.
+type DB struct {
+	store    *store.Store
+	fti      fti.Index
+	times    *tidx.Index    // nil when disabled
+	docTimes *doctime.Index // nil unless DocTimePaths configured
+	clock    func() model.Time
+}
+
+// Open creates an empty database.
+func Open(cfg Config) *DB {
+	db := &DB{
+		store: store.New(cfg.Store),
+		clock: cfg.Clock,
+	}
+	switch cfg.Index {
+	case IndexDeltas:
+		db.fti = fti.NewDeltaIndex()
+	case IndexBoth:
+		db.fti = fti.NewBothIndex()
+	default:
+		db.fti = fti.NewVersionIndex()
+	}
+	if !cfg.DisableTimeIndex {
+		db.times = tidx.New()
+	}
+	if len(cfg.DocTimePaths) > 0 {
+		db.docTimes = doctime.New(doctime.Config{Paths: cfg.DocTimePaths})
+	}
+	if db.clock == nil {
+		db.clock = func() model.Time { return model.TimeOf(time.Now()) }
+	}
+	return db
+}
+
+// Store exposes the version store (benchmarks and tools use it).
+func (db *DB) Store() *store.Store { return db.store }
+
+// FTI exposes the full-text index.
+func (db *DB) FTI() fti.Index { return db.fti }
+
+// TimeIndex exposes the CreTime/DelTime index, nil when disabled.
+func (db *DB) TimeIndex() *tidx.Index { return db.times }
+
+// DocTimeRange returns the elements whose *document* time — a timestamp
+// carried in the document content at one of the configured DocTimePaths —
+// lies in [from, to). It fails when the index was not configured.
+func (db *DB) DocTimeRange(iv model.Interval) ([]doctime.Entry, error) {
+	if db.docTimes == nil {
+		return nil, fmt.Errorf("core: document-time index not configured (set Config.DocTimePaths)")
+	}
+	return db.docTimes.Range(iv), nil
+}
+
+// Now implements plan.Engine.
+func (db *DB) Now() model.Time { return db.clock() }
+
+// --- document lifecycle ---
+
+// Put stores the first version of a document at time t.
+func (db *DB) Put(url string, root *xmltree.Node, t model.Time) (model.DocID, error) {
+	id, err := db.store.Put(url, root, t)
+	if err != nil {
+		return 0, err
+	}
+	cur, _, err := db.store.Current(id)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.fti.AddVersion(id, cur, nil, t); err != nil {
+		return 0, fmt.Errorf("core: index maintenance: %w", err)
+	}
+	if db.times != nil {
+		db.times.AddVersion(id, cur, nil, t)
+	}
+	if db.docTimes != nil {
+		db.docTimes.AddVersion(id, cur)
+	}
+	return id, nil
+}
+
+// PutXML parses and stores a document.
+func (db *DB) PutXML(url string, r io.Reader, t model.Time) (model.DocID, error) {
+	root, err := xmltree.Parse(r)
+	if err != nil {
+		return 0, err
+	}
+	return db.Put(url, root, t)
+}
+
+// Update stores a new version of the document at time t and maintains all
+// indexes from the completed delta. It returns the new version number and
+// the delta script.
+func (db *DB) Update(id model.DocID, root *xmltree.Node, t model.Time) (model.VersionNo, *diff.Script, error) {
+	ver, script, err := db.store.Update(id, root, t)
+	if err != nil {
+		return 0, nil, err
+	}
+	cur, _, err := db.store.Current(id)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := db.fti.AddVersion(id, cur, script, t); err != nil {
+		return 0, nil, fmt.Errorf("core: index maintenance: %w", err)
+	}
+	if db.times != nil {
+		db.times.AddVersion(id, cur, script, t)
+	}
+	if db.docTimes != nil {
+		db.docTimes.AddVersion(id, cur)
+	}
+	return ver, script, nil
+}
+
+// UpdateXML parses and stores a new version.
+func (db *DB) UpdateXML(id model.DocID, r io.Reader, t model.Time) (model.VersionNo, *diff.Script, error) {
+	root, err := xmltree.Parse(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	return db.Update(id, root, t)
+}
+
+// Delete removes the document at time t; its history stays queryable.
+func (db *DB) Delete(id model.DocID, t model.Time) error {
+	cur, _, err := db.store.Current(id)
+	if err != nil {
+		return err
+	}
+	if err := db.store.Delete(id, t); err != nil {
+		return err
+	}
+	if err := db.fti.DeleteDoc(id, cur, t); err != nil {
+		return fmt.Errorf("core: index maintenance: %w", err)
+	}
+	if db.times != nil {
+		db.times.DeleteDoc(id, t)
+	}
+	return nil
+}
+
+// LookupDoc implements plan.Engine.
+func (db *DB) LookupDoc(url string) (model.DocID, bool) { return db.store.Lookup(url) }
+
+// Info returns document metadata.
+func (db *DB) Info(id model.DocID) (store.DocInfo, error) { return db.store.Info(id) }
+
+// Docs lists all documents ever stored.
+func (db *DB) Docs() []model.DocID { return db.store.Docs() }
+
+// Current returns the live current version of a document.
+func (db *DB) Current(id model.DocID) (*xmltree.Node, store.VersionInfo, error) {
+	return db.store.Current(id)
+}
+
+// --- the temporal operators of Section 6.1 ---
+
+// TPatternScan matches the pattern against the snapshot valid at time t
+// and returns the TEIDs of the projected elements.
+func (db *DB) TPatternScan(p *pattern.PNode, t model.Time) ([]model.TEID, error) {
+	ms, err := pattern.ScanT(db.fti, p, t)
+	if err != nil {
+		return nil, err
+	}
+	return teidsOf(ms, p, func(pattern.Match) model.Time { return t }), nil
+}
+
+// TPatternScanAll matches the pattern against all versions of all
+// documents; each returned TEID is stamped with the start of the temporal
+// overlap of its match.
+func (db *DB) TPatternScanAll(p *pattern.PNode) ([]model.TEID, error) {
+	ms, err := pattern.ScanAll(db.fti, p)
+	if err != nil {
+		return nil, err
+	}
+	return teidsOf(ms, p, func(m pattern.Match) model.Time { return m.Span.Start }), nil
+}
+
+// PatternScan matches against the current database state.
+func (db *DB) PatternScan(p *pattern.PNode) ([]model.TEID, error) {
+	ms, err := pattern.ScanCurrent(db.fti, p)
+	if err != nil {
+		return nil, err
+	}
+	now := db.clock()
+	return teidsOf(ms, p, func(pattern.Match) model.Time { return now }), nil
+}
+
+func teidsOf(ms []pattern.Match, p *pattern.PNode, stamp func(pattern.Match) model.Time) []model.TEID {
+	proj := p.Projected()
+	seen := make(map[model.TEID]bool)
+	var out []model.TEID
+	for _, m := range ms {
+		for _, pn := range proj {
+			teid := m.TEID(pn, stamp(m))
+			if !seen[teid] {
+				seen[teid] = true
+				out = append(out, teid)
+			}
+		}
+	}
+	return out
+}
+
+// ScanT implements plan.Engine.
+func (db *DB) ScanT(p *pattern.PNode, t model.Time) ([]pattern.Match, error) {
+	return pattern.ScanT(db.fti, p, t)
+}
+
+// ScanAll implements plan.Engine.
+func (db *DB) ScanAll(p *pattern.PNode) ([]pattern.Match, error) {
+	return pattern.ScanAll(db.fti, p)
+}
+
+// ScanCurrent implements plan.Engine.
+func (db *DB) ScanCurrent(p *pattern.PNode) ([]pattern.Match, error) {
+	return pattern.ScanCurrent(db.fti, p)
+}
+
+// DocHistory returns all versions of the document valid in [from, to),
+// most recent first.
+func (db *DB) DocHistory(id model.DocID, iv model.Interval) ([]store.VersionTree, error) {
+	return db.store.DocHistory(id, iv)
+}
+
+// ElementHistory returns all versions of the element valid in [from, to),
+// most recent first.
+func (db *DB) ElementHistory(eid model.EID, iv model.Interval) ([]store.VersionTree, error) {
+	return db.store.ElementHistory(eid, iv)
+}
+
+// Reconstruct rebuilds the element version identified by the TEID: the
+// Reconstruct operator of Section 7.3.3 followed by subtree extraction.
+func (db *DB) Reconstruct(teid model.TEID) (*xmltree.Node, error) {
+	vt, err := db.store.ReconstructAt(teid.E.Doc, teid.T)
+	if err != nil {
+		return nil, err
+	}
+	n := vt.Root.FindXID(teid.E.X)
+	if n == nil {
+		return nil, fmt.Errorf("core: element %s not valid at %s", teid.E, teid.T)
+	}
+	return n.Detach(), nil
+}
+
+// ReconstructVersion implements plan.Engine.
+func (db *DB) ReconstructVersion(id model.DocID, ver model.VersionNo) (store.VersionTree, error) {
+	return db.store.ReconstructVersion(id, ver)
+}
+
+// Versions implements plan.Engine.
+func (db *DB) Versions(id model.DocID) ([]store.VersionInfo, error) {
+	return db.store.Versions(id)
+}
+
+// CreTime returns the element's creation time, via the auxiliary index
+// when enabled, otherwise by backward delta traversal from the current
+// version (the paper's two strategies, Section 7.3.6).
+func (db *DB) CreTime(eid model.EID) (model.Time, error) {
+	if db.times != nil {
+		if t, ok := db.times.CreTime(eid); ok {
+			return t, nil
+		}
+		return 0, fmt.Errorf("core: unknown element %s", eid)
+	}
+	return db.store.CreTimeTraverseFromCurrent(eid)
+}
+
+// CreTimeAt is CreTime(TEID): the timestamp makes traversal start at the
+// right version instead of the current one.
+func (db *DB) CreTimeAt(teid model.TEID) (model.Time, error) {
+	if db.times != nil {
+		if t, ok := db.times.CreTime(teid.E); ok {
+			return t, nil
+		}
+		return 0, fmt.Errorf("core: unknown element %s", teid.E)
+	}
+	return db.store.CreTimeTraverse(teid)
+}
+
+// DelTime returns the element's deletion time (Forever while it exists).
+func (db *DB) DelTime(eid model.EID) (model.Time, error) {
+	if db.times != nil {
+		if t, ok := db.times.DelTime(eid); ok {
+			return t, nil
+		}
+		return 0, fmt.Errorf("core: unknown element %s", eid)
+	}
+	info, err := db.store.Info(eid.Doc)
+	if err != nil {
+		return 0, err
+	}
+	// Traversal needs a starting version; begin at the first one.
+	versions, err := db.store.Versions(eid.Doc)
+	if err != nil {
+		return 0, err
+	}
+	return db.store.DelTimeTraverse(model.TEID{E: eid, T: creationStart(versions, info)})
+}
+
+func creationStart(versions []store.VersionInfo, info store.DocInfo) model.Time {
+	if len(versions) > 0 {
+		return versions[0].Stamp
+	}
+	return info.Created
+}
+
+// DelTimeAt is DelTime(TEID).
+func (db *DB) DelTimeAt(teid model.TEID) (model.Time, error) {
+	if db.times != nil {
+		if t, ok := db.times.DelTime(teid.E); ok {
+			return t, nil
+		}
+		return 0, fmt.Errorf("core: unknown element %s", teid.E)
+	}
+	return db.store.DelTimeTraverse(teid)
+}
+
+// PreviousTS returns the document version preceding the one valid at the
+// TEID's timestamp.
+func (db *DB) PreviousTS(teid model.TEID) (store.VersionInfo, error) {
+	return db.store.PreviousTS(teid.E.Doc, teid.T)
+}
+
+// NextTS returns the document version following the one valid at the
+// TEID's timestamp.
+func (db *DB) NextTS(teid model.TEID) (store.VersionInfo, error) {
+	return db.store.NextTS(teid.E.Doc, teid.T)
+}
+
+// CurrentTS returns the current version of the element's document.
+func (db *DB) CurrentTS(eid model.EID) (store.VersionInfo, error) {
+	return db.store.CurrentTS(eid.Doc)
+}
+
+// Diff computes the edit script between two element versions, returned as
+// an XML tree (<txdelta>): edit scripts are XML, keeping queries closed
+// under the data model (Section 6.1).
+func (db *DB) Diff(a, b model.TEID) (*xmltree.Node, error) {
+	an, err := db.Reconstruct(a)
+	if err != nil {
+		return nil, err
+	}
+	bn, err := db.Reconstruct(b)
+	if err != nil {
+		return nil, err
+	}
+	return db.DiffNodes(an, bn)
+}
+
+// DiffNodes implements plan.Engine: the edit script between two trees.
+func (db *DB) DiffNodes(a, b *xmltree.Node) (*xmltree.Node, error) {
+	old := a.Clone()
+	var maxX model.XID
+	old.Walk(func(n *xmltree.Node) bool {
+		if n.XID > maxX {
+			maxX = n.XID
+		}
+		return true
+	})
+	next := maxX
+	alloc := func() model.XID { next++; return next }
+	old.Walk(func(n *xmltree.Node) bool {
+		if n.XID == 0 {
+			n.XID = alloc()
+		}
+		return true
+	})
+	new := b.Clone()
+	new.Walk(func(n *xmltree.Node) bool { n.XID = 0; return true })
+	script, _, err := diff.Diff(old, new, diff.Options{
+		Alloc:     alloc,
+		FromStamp: a.Stamp,
+		Stamp:     b.Stamp,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return script.ToXML(), nil
+}
+
+// Query parses and executes a temporal query.
+func (db *DB) Query(src string) (*plan.Result, error) {
+	return plan.RunString(db, src)
+}
+
+// Explain returns the operator plan of a query without executing it.
+func (db *DB) Explain(src string) (string, error) {
+	return plan.ExplainString(src)
+}

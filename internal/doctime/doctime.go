@@ -1,0 +1,141 @@
+// Package doctime implements the paper's third notion of time
+// (Section 3.1): document time — "many documents include a timestamp in
+// the document itself. … The documents can also be indexed and queried
+// based on this document time", with XMLNews-Meta-style publication
+// metadata as the motivating example.
+//
+// The index extracts document-time values from configured element paths
+// (e.g. item/published) of every stored version, parses them with a list
+// of accepted layouts, and supports range queries "elements whose document
+// time lies in [from, to)" — independent of the transaction time at which
+// the versions entered the database.
+package doctime
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"txmldb/internal/btree"
+	"txmldb/internal/model"
+	"txmldb/internal/xmltree"
+)
+
+// DefaultLayouts are the timestamp formats accepted in document content,
+// tried in order. The model.Time String form comes first so that documents
+// produced by this system round-trip.
+var DefaultLayouts = []string{
+	"2006-01-02 15:04:05",
+	time.RFC3339,
+	"2006-01-02",
+	"02/01/2006",
+}
+
+// Config parameterizes an Index.
+type Config struct {
+	// Paths are slash-separated element paths, relative to the document
+	// root, whose text holds a document time — e.g. "item/published".
+	// The *parent* element of the matched element is the indexed entity
+	// (the news item, not its timestamp field).
+	Paths []string
+	// Layouts are the accepted time formats; DefaultLayouts when empty.
+	Layouts []string
+}
+
+// Entry is one indexed document-time occurrence.
+type Entry struct {
+	At  model.Time // the parsed document time
+	EID model.EID  // the carrying element's parent (the entity)
+}
+
+// Index maps document times to elements. It is safe for concurrent use.
+type Index struct {
+	mu      sync.RWMutex
+	cfg     Config
+	tree    *btree.Tree[key, struct{}]
+	skipped int
+}
+
+type key struct {
+	at  model.Time
+	eid model.EID
+}
+
+func keyLess(a, b key) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.eid.Less(b.eid)
+}
+
+// New returns an empty document-time index.
+func New(cfg Config) *Index {
+	if len(cfg.Layouts) == 0 {
+		cfg.Layouts = DefaultLayouts
+	}
+	return &Index{cfg: cfg, tree: btree.New[key, struct{}](keyLess)}
+}
+
+// AddVersion indexes the document times found in a stored version. Adding
+// the same (time, element) pair twice is idempotent, so re-indexing
+// subsequent versions of an unchanged item costs nothing but the lookup.
+func (ix *Index) AddVersion(doc model.DocID, root *xmltree.Node) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, path := range ix.cfg.Paths {
+		for _, n := range root.SelectPath(path) {
+			at, ok := ix.parse(n.Text())
+			if !ok {
+				ix.skipped++
+				continue
+			}
+			owner := n
+			if n.Parent != nil {
+				owner = n.Parent
+			}
+			ix.tree.Set(key{at: at, eid: model.EID{Doc: doc, X: owner.XID}}, struct{}{})
+		}
+	}
+}
+
+func (ix *Index) parse(s string) (model.Time, bool) {
+	s = strings.TrimSpace(s)
+	for _, layout := range ix.cfg.Layouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return model.TimeOf(t), true
+		}
+	}
+	return 0, false
+}
+
+// Range returns the entries whose document time lies in [from, to), in
+// ascending document-time order.
+func (ix *Index) Range(iv model.Interval) []Entry {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []Entry
+	ix.tree.AscendRange(
+		key{at: iv.Start},
+		key{at: iv.End},
+		func(k key, _ struct{}) bool {
+			out = append(out, Entry{At: k.at, EID: k.eid})
+			return true
+		})
+	return out
+}
+
+// Len returns the number of indexed (time, element) pairs.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree.Len()
+}
+
+// Skipped reports how many candidate values failed to parse — the paper's
+// caveat that "it could be difficult to extract this time from a document
+// automatically".
+func (ix *Index) Skipped() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.skipped
+}

@@ -1,0 +1,96 @@
+package doctime
+
+import (
+	"fmt"
+	"testing"
+
+	"txmldb/internal/model"
+	"txmldb/internal/xmltree"
+)
+
+func feed(times ...string) *xmltree.Node {
+	f := xmltree.NewElement("feed")
+	for i, ts := range times {
+		f.AppendChild(xmltree.Elem("item",
+			xmltree.ElemText("published", ts),
+			xmltree.ElemText("headline", fmt.Sprintf("h%d", i))))
+	}
+	var x model.XID
+	f.Walk(func(n *xmltree.Node) bool { x++; n.XID = x; return true })
+	return f
+}
+
+func TestRangeQueries(t *testing.T) {
+	ix := New(Config{Paths: []string{"item/published"}})
+	root := feed("2001-01-01", "2001-01-05", "2001-01-09")
+	ix.AddVersion(1, root)
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	got := ix.Range(model.Interval{Start: model.Date(2001, 1, 2), End: model.Date(2001, 1, 9)})
+	if len(got) != 1 || got[0].At != model.Date(2001, 1, 5) {
+		t.Fatalf("range = %+v", got)
+	}
+	// The indexed entity is the item, not the published element.
+	item := root.ChildElements("item")[1]
+	if got[0].EID.X != item.XID {
+		t.Fatalf("entity = %v, want item %d", got[0].EID, item.XID)
+	}
+	all := ix.Range(model.Always)
+	if len(all) != 3 || all[0].At > all[1].At || all[1].At > all[2].At {
+		t.Fatalf("full range unordered: %+v", all)
+	}
+}
+
+func TestIdempotentReindexing(t *testing.T) {
+	ix := New(Config{Paths: []string{"item/published"}})
+	root := feed("2001-01-01")
+	ix.AddVersion(1, root)
+	ix.AddVersion(1, root) // same version content re-indexed
+	if ix.Len() != 1 {
+		t.Fatalf("Len after re-index = %d", ix.Len())
+	}
+}
+
+func TestLayoutsAndSkipped(t *testing.T) {
+	ix := New(Config{Paths: []string{"item/published"}})
+	ix.AddVersion(1, feed(
+		"2001-01-26 13:30:00",  // model.Time form
+		"2001-02-03T10:00:00Z", // RFC 3339
+		"04/03/2001",           // dd/mm/yyyy
+		"not a timestamp",      // skipped
+	))
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 parsed", ix.Len())
+	}
+	if ix.Skipped() != 1 {
+		t.Fatalf("Skipped = %d, want 1", ix.Skipped())
+	}
+}
+
+func TestMultiplePathsAndDocs(t *testing.T) {
+	ix := New(Config{Paths: []string{"item/published", "item/expires"}})
+	f := xmltree.NewElement("feed")
+	f.AppendChild(xmltree.Elem("item",
+		xmltree.ElemText("published", "2001-01-01"),
+		xmltree.ElemText("expires", "2001-03-01")))
+	var x model.XID
+	f.Walk(func(n *xmltree.Node) bool { x++; n.XID = x; return true })
+	ix.AddVersion(1, f)
+	ix.AddVersion(2, feed("2001-02-01"))
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	march := ix.Range(model.Interval{Start: model.Date(2001, 2, 15), End: model.Date(2001, 4, 1)})
+	if len(march) != 1 || march[0].EID.Doc != 1 {
+		t.Fatalf("expires range = %+v", march)
+	}
+}
+
+func TestCustomLayouts(t *testing.T) {
+	ix := New(Config{Paths: []string{"item/published"}, Layouts: []string{"Jan 2 2006"}})
+	ix.AddVersion(1, feed("Feb 3 2001", "2001-01-01"))
+	if ix.Len() != 1 || ix.Skipped() != 1 {
+		t.Fatalf("custom layouts: len=%d skipped=%d", ix.Len(), ix.Skipped())
+	}
+}

@@ -1,0 +1,228 @@
+package fti
+
+import (
+	"sync"
+
+	"txmldb/internal/diff"
+	"txmldb/internal/model"
+	"txmldb/internal/xmltree"
+)
+
+// VersionIndex indexes the contents of document versions — the alternative
+// the paper selects (Section 7.2). Every posting carries a validity
+// interval: a word occurrence opens a posting at the version that
+// introduced it and closes it at the version that removed it.
+//
+// A posting exists per (document, element, word, source); multiple
+// occurrences of the same word under one element share a posting with a
+// reference count, so removing one of two occurrences does not end the
+// posting's validity.
+type VersionIndex struct {
+	mu    sync.RWMutex
+	words map[string][]Posting
+	// open tracks the currently valid posting per document and occurrence
+	// key, with its occurrence count and path signature.
+	open map[model.DocID]map[occKey]*openEntry
+	// liveByWord holds, per word, the indexes of postings that were open
+	// when last appended; closed entries are compacted away lazily on
+	// lookup. It makes current-state lookups cost O(live) instead of
+	// O(history) — one of the "new types of indexes" the paper's
+	// Section 8 calls for.
+	liveByWord map[string][]int
+}
+
+type occKey struct {
+	x    model.XID
+	src  Source
+	word string
+}
+
+type openEntry struct {
+	idx     int // position in words[key.word]
+	count   int
+	pathSig uint64
+}
+
+// NewVersionIndex returns an empty version-content index.
+func NewVersionIndex() *VersionIndex {
+	return &VersionIndex{
+		words:      make(map[string][]Posting),
+		open:       make(map[model.DocID]map[occKey]*openEntry),
+		liveByWord: make(map[string][]int),
+	}
+}
+
+// Name implements Index.
+func (ix *VersionIndex) Name() string { return "version-content" }
+
+// occState is the occurrence multiset of one document version.
+type occState struct {
+	counts map[occKey]int
+	paths  map[model.XID][]model.XID
+}
+
+func occurrencesOf(root *xmltree.Node) occState {
+	st := occState{
+		counts: make(map[occKey]int),
+		paths:  make(map[model.XID][]model.XID),
+	}
+	root.Walk(func(n *xmltree.Node) bool {
+		if n.IsElement() {
+			st.paths[n.XID] = pathOf(n)
+		}
+		for _, o := range nodeOccurrences(n) {
+			st.counts[occKey{x: o.x, src: o.src, word: o.word}]++
+		}
+		return true
+	})
+	return st
+}
+
+func pathSig(path []model.XID) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, x := range path {
+		h ^= uint64(x)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// AddVersion implements Index by diffing the new version's occurrence
+// multiset against the open postings of the document: vanished occurrences
+// close their postings, new ones open postings, and elements whose ancestor
+// chain changed (moves) close and reopen so the stored path stays valid for
+// the posting's span. The completed delta script is not needed here; the
+// DeltaIndex alternative consumes it.
+func (ix *VersionIndex) AddVersion(doc model.DocID, newRoot *xmltree.Node, _ *diff.Script, t model.Time) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	st := occurrencesOf(newRoot)
+	docOpen := ix.open[doc]
+	if docOpen == nil {
+		docOpen = make(map[occKey]*openEntry)
+		ix.open[doc] = docOpen
+	}
+	// Close postings whose occurrence vanished or whose element moved.
+	for key, ent := range docOpen {
+		newCount := st.counts[key]
+		newSig := pathSig(st.paths[key.x])
+		if newCount > 0 && ent.pathSig == newSig {
+			ent.count = newCount
+			continue
+		}
+		ix.closeLocked(key.word, ent.idx, t)
+		delete(docOpen, key)
+	}
+	// Open postings for new occurrences (including reopened moves).
+	for key, count := range st.counts {
+		if _, exists := docOpen[key]; exists {
+			continue
+		}
+		path := st.paths[key.x]
+		ix.words[key.word] = append(ix.words[key.word], Posting{
+			Doc:  doc,
+			X:    key.x,
+			Path: path,
+			Src:  key.src,
+			Span: model.Interval{Start: t, End: model.Forever},
+		})
+		idx := len(ix.words[key.word]) - 1
+		docOpen[key] = &openEntry{
+			idx:     idx,
+			count:   count,
+			pathSig: pathSig(path),
+		}
+		ix.liveByWord[key.word] = append(ix.liveByWord[key.word], idx)
+	}
+	return nil
+}
+
+// closeLocked ends the posting's validity at t. A posting can end in the
+// same instant it started (element reindexed within one version
+// transition); such empty-span postings are filtered out by the lookups.
+func (ix *VersionIndex) closeLocked(word string, idx int, t model.Time) {
+	p := &ix.words[word][idx]
+	p.Span.End = t
+	// The liveByWord entry is compacted away by the next Lookup.
+}
+
+// DeleteDoc implements Index.
+func (ix *VersionIndex) DeleteDoc(doc model.DocID, _ *xmltree.Node, t model.Time) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for key, ent := range ix.open[doc] {
+		ix.closeLocked(key.word, ent.idx, t)
+	}
+	delete(ix.open, doc)
+	return nil
+}
+
+// Lookup implements Index: postings valid in the current database state,
+// served from the live list without scanning the word's history. Entries
+// closed since the last lookup are compacted away as a side effect, so the
+// amortized cost is O(live).
+func (ix *VersionIndex) Lookup(word string) []Posting {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	live := ix.liveByWord[word]
+	out := make([]Posting, 0, len(live))
+	compacted := live[:0]
+	for _, idx := range live {
+		p := ix.words[word][idx]
+		if p.Span.End != model.Forever {
+			continue
+		}
+		compacted = append(compacted, idx)
+		out = append(out, p)
+	}
+	if len(compacted) != len(live) {
+		ix.liveByWord[word] = compacted
+	}
+	return out
+}
+
+// LookupT implements Index: postings valid at time t.
+func (ix *VersionIndex) LookupT(word string, t model.Time) []Posting {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []Posting
+	for _, p := range ix.words[word] {
+		if p.Span.Contains(t) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LookupH implements Index: all postings over the whole history. Postings
+// with an empty span (opened and closed by the same version transition)
+// are skipped.
+func (ix *VersionIndex) LookupH(word string) []Posting {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []Posting
+	for _, p := range ix.words[word] {
+		if !p.Span.Empty() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Stats implements Index.
+func (ix *VersionIndex) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var st Stats
+	st.Words = len(ix.words)
+	for w, ps := range ix.words {
+		st.Postings += len(ps)
+		for _, p := range ps {
+			if p.Span.End == model.Forever {
+				st.Open++
+			}
+			st.Bytes += postingBytes(w, len(p.Path))
+		}
+	}
+	return st
+}

@@ -1,0 +1,132 @@
+// Package model defines the temporal identity types of the database:
+// timestamps, document identifiers, persistent element identifiers (XIDs),
+// element identifiers (EIDs) and temporal element identifiers (TEIDs).
+//
+// The types follow Section 3 of Nørvåg, "Algorithms for Temporal Query
+// Operators in XML Databases" (EDBT 2002 Workshops):
+//
+//   - An XID identifies an element inside one document in a time-independent
+//     manner and is never reused after the element is deleted.
+//   - An EID is the concatenation of document identifier and XID and uniquely
+//     identifies a particular element in a particular document.
+//   - A TEID is the concatenation of an EID and a timestamp and uniquely
+//     identifies a particular version of an element.
+//
+// All intervals in the system are half-open [Start, End): a version created
+// at time t and superseded at time t' is valid at every instant in [t, t').
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a transaction-time instant, in milliseconds since the Unix epoch.
+// The zero value is the epoch itself; negative values are valid instants
+// before it.
+type Time int64
+
+// Forever is the open upper bound of the validity interval of current
+// versions ("until changed"). It compares greater than every real instant.
+const Forever Time = 1<<63 - 1
+
+// TimeOf converts a time.Time to a model.Time, truncating to milliseconds.
+func TimeOf(t time.Time) Time { return Time(t.UnixMilli()) }
+
+// Std converts t to a time.Time in UTC. Calling Std on Forever is invalid;
+// callers should test for Forever first.
+func (t Time) Std() time.Time { return time.UnixMilli(int64(t)).UTC() }
+
+// String formats the instant like "2001-01-26 00:00:00" (UTC), or "forever"
+// for the open upper bound.
+func (t Time) String() string {
+	if t == Forever {
+		return "forever"
+	}
+	return t.Std().Format("2006-01-02 15:04:05")
+}
+
+// Date builds the instant at midnight UTC of the given calendar day.
+// It is a convenience for tests and examples that mirror the paper's
+// "26/01/2001"-style literals.
+func Date(year int, month time.Month, day int) Time {
+	return TimeOf(time.Date(year, month, day, 0, 0, 0, 0, time.UTC))
+}
+
+// Interval is a half-open transaction-time interval [Start, End).
+type Interval struct {
+	Start Time
+	End   Time
+}
+
+// Always is the interval covering all of transaction time.
+var Always = Interval{Start: -(1<<63 - 1), End: Forever}
+
+// Contains reports whether instant t lies inside the interval.
+func (iv Interval) Contains(t Time) bool { return iv.Start <= t && t < iv.End }
+
+// Overlaps reports whether the two half-open intervals share any instant.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start < other.End && other.Start < iv.End
+}
+
+// Intersect returns the common sub-interval and whether it is non-empty.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	out := Interval{Start: max(iv.Start, other.Start), End: min(iv.End, other.End)}
+	return out, out.Start < out.End
+}
+
+// Empty reports whether the interval contains no instant.
+func (iv Interval) Empty() bool { return iv.Start >= iv.End }
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%s, %s)", iv.Start, iv.End)
+}
+
+// DocID identifies a document stored in the database. DocIDs are assigned by
+// the version store and never reused.
+type DocID uint32
+
+// XID is a persistent element identifier within one document (Xyleme-style).
+// Different versions of the same element share the XID; a deleted element's
+// XID is never reused. XID 0 means "not yet assigned".
+type XID uint64
+
+// EID uniquely identifies a particular element in a particular document,
+// independent of time.
+type EID struct {
+	Doc DocID
+	X   XID
+}
+
+func (e EID) String() string { return fmt.Sprintf("%d:%d", e.Doc, e.X) }
+
+// Less orders EIDs by (Doc, X); it is the key order of the CreTime/DelTime
+// index.
+func (e EID) Less(other EID) bool {
+	if e.Doc != other.Doc {
+		return e.Doc < other.Doc
+	}
+	return e.X < other.X
+}
+
+// TEID identifies one version of one element: the element's EID plus the
+// timestamp of the document version the element version belongs to.
+type TEID struct {
+	E EID
+	T Time
+}
+
+func (t TEID) String() string { return fmt.Sprintf("%s@%s", t.E, t.T) }
+
+// Less orders TEIDs by (EID, T).
+func (t TEID) Less(other TEID) bool {
+	if t.E != other.E {
+		return t.E.Less(other.E)
+	}
+	return t.T < other.T
+}
+
+// VersionNo numbers the versions of one document, starting at 1 for the
+// version created when the document is first stored.
+type VersionNo int

@@ -1,0 +1,162 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeRoundTrip(t *testing.T) {
+	ref := time.Date(2001, time.January, 26, 13, 37, 1, 0, time.UTC)
+	got := TimeOf(ref).Std()
+	if !got.Equal(ref) {
+		t.Errorf("round trip: got %v, want %v", got, ref)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if s := Date(2001, time.January, 26).String(); s != "2001-01-26 00:00:00" {
+		t.Errorf("Date string = %q", s)
+	}
+	if s := Forever.String(); s != "forever" {
+		t.Errorf("Forever string = %q", s)
+	}
+}
+
+func TestDateOrdering(t *testing.T) {
+	jan1 := Date(2001, time.January, 1)
+	jan15 := Date(2001, time.January, 15)
+	jan31 := Date(2001, time.January, 31)
+	if !(jan1 < jan15 && jan15 < jan31 && jan31 < Forever) {
+		t.Fatalf("date ordering broken: %d %d %d", jan1, jan15, jan31)
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Start: 10, End: 20}
+	cases := []struct {
+		t    Time
+		want bool
+	}{
+		{9, false}, {10, true}, {15, true}, {19, true}, {20, false}, {25, false},
+	}
+	for _, c := range cases {
+		if got := iv.Contains(c.t); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestIntervalOverlapsAndIntersect(t *testing.T) {
+	a := Interval{0, 10}
+	cases := []struct {
+		b       Interval
+		overlap bool
+		want    Interval
+	}{
+		{Interval{5, 15}, true, Interval{5, 10}},
+		{Interval{10, 15}, false, Interval{}},
+		{Interval{-5, 0}, false, Interval{}},
+		{Interval{-5, 1}, true, Interval{0, 1}},
+		{Interval{0, 10}, true, Interval{0, 10}},
+		{Interval{3, 4}, true, Interval{3, 4}},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.overlap {
+			t.Errorf("Overlaps(%v) = %v, want %v", c.b, got, c.overlap)
+		}
+		got, ok := a.Intersect(c.b)
+		if ok != c.overlap {
+			t.Errorf("Intersect(%v) ok = %v, want %v", c.b, ok, c.overlap)
+		}
+		if ok && got != c.want {
+			t.Errorf("Intersect(%v) = %v, want %v", c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntervalEmpty(t *testing.T) {
+	if (Interval{5, 5}).Empty() != true {
+		t.Error("point interval should be empty")
+	}
+	if (Interval{5, 6}).Empty() {
+		t.Error("[5,6) should not be empty")
+	}
+	if Always.Empty() {
+		t.Error("Always should not be empty")
+	}
+}
+
+func TestIntersectCommutes(t *testing.T) {
+	f := func(a0, a1, b0, b1 int32) bool {
+		a := Interval{Time(min(a0, a1)), Time(max(a0, a1))}
+		b := Interval{Time(min(b0, b1)), Time(max(b0, b1))}
+		x, okx := a.Intersect(b)
+		y, oky := b.Intersect(a)
+		if okx != oky {
+			return false
+		}
+		return !okx || x == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapsIffIntersectNonEmpty(t *testing.T) {
+	f := func(a0, a1, b0, b1 int16) bool {
+		a := Interval{Time(min(a0, a1)), Time(max(a0, a1))}
+		b := Interval{Time(min(b0, b1)), Time(max(b0, b1))}
+		_, ok := a.Intersect(b)
+		return ok == a.Overlaps(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEIDLess(t *testing.T) {
+	cases := []struct {
+		a, b EID
+		want bool
+	}{
+		{EID{1, 5}, EID{2, 1}, true},
+		{EID{2, 1}, EID{1, 5}, false},
+		{EID{1, 1}, EID{1, 2}, true},
+		{EID{1, 2}, EID{1, 2}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTEIDLessTotalOrder(t *testing.T) {
+	f := func(d1, d2 uint32, x1, x2 uint64, t1, t2 int32) bool {
+		a := TEID{EID{DocID(d1), XID(x1)}, Time(t1)}
+		b := TEID{EID{DocID(d2), XID(x2)}, Time(t2)}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a) // exactly one direction holds
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	e := EID{Doc: 3, X: 42}
+	if e.String() != "3:42" {
+		t.Errorf("EID string = %q", e.String())
+	}
+	te := TEID{E: e, T: Date(2001, time.January, 26)}
+	if te.String() != "3:42@2001-01-26 00:00:00" {
+		t.Errorf("TEID string = %q", te.String())
+	}
+	iv := Interval{Date(2001, time.January, 1), Forever}
+	if iv.String() != "[2001-01-01 00:00:00, forever)" {
+		t.Errorf("Interval string = %q", iv.String())
+	}
+}

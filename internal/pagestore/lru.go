@@ -1,0 +1,76 @@
+package pagestore
+
+import "container/list"
+
+// lruCache is a page-budgeted LRU cache of extents, keyed by start page.
+// It is not safe for concurrent use; the Store serializes access.
+type lruCache struct {
+	capacity int // budget in pages
+	used     int
+	order    *list.List // front = most recently used
+	items    map[int64]*list.Element
+}
+
+type lruEntry struct {
+	key   int64
+	data  []byte
+	pages int
+}
+
+func newLRU(capacityPages int) *lruCache {
+	return &lruCache{
+		capacity: capacityPages,
+		order:    list.New(),
+		items:    make(map[int64]*list.Element),
+	}
+}
+
+func (c *lruCache) get(key int64) ([]byte, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).data, true
+}
+
+func (c *lruCache) put(key int64, data []byte, pages int) {
+	if pages > c.capacity {
+		return // extent larger than the whole pool: do not cache
+	}
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		ent := el.Value.(*lruEntry)
+		c.used += pages - ent.pages
+		ent.data, ent.pages = data, pages
+	} else {
+		el := c.order.PushFront(&lruEntry{key: key, data: data, pages: pages})
+		c.items[key] = el
+		c.used += pages
+	}
+	for c.used > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*lruEntry)
+		c.order.Remove(back)
+		delete(c.items, ent.key)
+		c.used -= ent.pages
+	}
+}
+
+func (c *lruCache) drop(key int64) {
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*lruEntry)
+		c.order.Remove(el)
+		delete(c.items, key)
+		c.used -= ent.pages
+	}
+}
+
+func (c *lruCache) clear() {
+	c.order.Init()
+	c.items = make(map[int64]*list.Element)
+	c.used = 0
+}

@@ -1,0 +1,287 @@
+// Package pagestore simulates a page-oriented disk with I/O accounting.
+//
+// The paper's cost arguments (Section 7.2, "Additional notes on indexes")
+// are about disk behaviour: "deltas will in many cases be stored unclustered
+// (...) As a result each delta read will involve a disk seek in the worst
+// case." To make those arguments measurable on a pure-Go substrate, this
+// package models a disk as an append-only array of fixed-size pages and
+// counts page reads, page writes, seeks (a read that does not continue where
+// the previous one ended) and buffer-pool hits. The version store places
+// documents, deltas and snapshots here, and the benchmark harness reports
+// the counters.
+//
+// Two placement policies are provided:
+//
+//   - Unclustered: every write allocates at the current end of the heap, so
+//     writes belonging to different documents interleave and a document's
+//     delta chain ends up scattered — the paper's worst case.
+//   - Clustered: each placement group (one group per document) grows its own
+//     arena of contiguous pages, so a document's delta chain is mostly
+//     sequential on disk.
+package pagestore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Placement selects how extents are laid out on the simulated disk.
+type Placement int
+
+const (
+	// Unclustered allocates every extent at the end of the heap.
+	Unclustered Placement = iota
+	// Clustered allocates extents of one group inside per-group arenas.
+	Clustered
+)
+
+func (p Placement) String() string {
+	switch p {
+	case Unclustered:
+		return "unclustered"
+	case Clustered:
+		return "clustered"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// PageSize is the page size in bytes. Defaults to 4096.
+	PageSize int
+	// BufferPages is the capacity of the LRU buffer pool, in pages.
+	// Zero disables caching.
+	BufferPages int
+	// Placement is the extent layout policy. Defaults to Unclustered.
+	Placement Placement
+	// ArenaChunk is the number of pages a clustered group's arena grows by
+	// when full. Defaults to 64.
+	ArenaChunk int
+	// NearDistance is the number of pages the head can move without the
+	// move counting as a seek (a short stroke within a track or arena).
+	// Zero means only an exact forward continuation is seekless.
+	NearDistance int64
+}
+
+// IOStats are the accumulated counters of a Store.
+type IOStats struct {
+	PageReads  int64 // pages transferred from "disk"
+	PageWrites int64 // pages transferred to "disk"
+	Seeks      int64 // reads that did not continue at the previous position
+	CacheHits  int64 // extent reads served by the buffer pool
+	ExtentRead int64 // number of Read calls that touched the disk
+}
+
+// Add returns the sum of two counter snapshots.
+func (s IOStats) Add(o IOStats) IOStats {
+	return IOStats{
+		PageReads:  s.PageReads + o.PageReads,
+		PageWrites: s.PageWrites + o.PageWrites,
+		Seeks:      s.Seeks + o.Seeks,
+		CacheHits:  s.CacheHits + o.CacheHits,
+		ExtentRead: s.ExtentRead + o.ExtentRead,
+	}
+}
+
+// Sub returns the difference s - o, for measuring a window of activity.
+func (s IOStats) Sub(o IOStats) IOStats {
+	return IOStats{
+		PageReads:  s.PageReads - o.PageReads,
+		PageWrites: s.PageWrites - o.PageWrites,
+		Seeks:      s.Seeks - o.Seeks,
+		CacheHits:  s.CacheHits - o.CacheHits,
+		ExtentRead: s.ExtentRead - o.ExtentRead,
+	}
+}
+
+// CostMs converts the counters into simulated milliseconds using a simple
+// disk model: 8 ms per seek, 0.05 ms per sequentially transferred page.
+func (s IOStats) CostMs() float64 {
+	return float64(s.Seeks)*8.0 + float64(s.PageReads+s.PageWrites)*0.05
+}
+
+func (s IOStats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d seeks=%d hits=%d (≈%.1f ms)",
+		s.PageReads, s.PageWrites, s.Seeks, s.CacheHits, s.CostMs())
+}
+
+// Ref locates an extent on the simulated disk.
+type Ref struct {
+	Start int64 // first page
+	Pages int32 // extent length in pages
+	Len   int32 // payload length in bytes
+}
+
+// Zero reports whether the ref is the zero value (no extent).
+func (r Ref) Zero() bool { return r == Ref{} }
+
+// parkedHead is the head position before any read; it is far from every
+// page so that the first read always counts as a seek.
+const parkedHead int64 = -(1 << 40)
+
+// Store is a simulated paged disk. It is safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	cfg     Config
+	extents map[int64][]byte // start page -> payload
+	next    int64            // next free page in the global heap
+	arenas  map[int]*arena   // placement group -> arena (clustered only)
+	lastPos int64            // page position after the most recent read
+	stats   IOStats
+	cache   *lruCache
+}
+
+type arena struct {
+	next, limit int64
+}
+
+// New returns an empty store with the given configuration.
+func New(cfg Config) *Store {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 4096
+	}
+	if cfg.ArenaChunk <= 0 {
+		cfg.ArenaChunk = 64
+	}
+	s := &Store{
+		cfg:     cfg,
+		extents: make(map[int64][]byte),
+		arenas:  make(map[int]*arena),
+		lastPos: parkedHead,
+	}
+	if cfg.BufferPages > 0 {
+		s.cache = newLRU(cfg.BufferPages)
+	}
+	return s
+}
+
+// PageSize returns the configured page size in bytes.
+func (s *Store) PageSize() int { return s.cfg.PageSize }
+
+// pagesFor returns how many pages a payload of n bytes occupies (min 1).
+func (s *Store) pagesFor(n int) int32 {
+	p := (n + s.cfg.PageSize - 1) / s.cfg.PageSize
+	if p == 0 {
+		p = 1
+	}
+	return int32(p)
+}
+
+// Write stores a copy of data as a new extent belonging to the placement
+// group and returns its reference. Group is typically a document identifier.
+func (s *Store) Write(group int, data []byte) Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pages := s.pagesFor(len(data))
+	var start int64
+	if s.cfg.Placement == Clustered {
+		a := s.arenas[group]
+		if a == nil {
+			a = &arena{}
+			s.arenas[group] = a
+		}
+		if a.next+int64(pages) > a.limit {
+			chunk := int64(s.cfg.ArenaChunk)
+			if int64(pages) > chunk {
+				chunk = int64(pages)
+			}
+			a.next = s.next
+			a.limit = s.next + chunk
+			s.next += chunk
+		}
+		start = a.next
+		a.next += int64(pages)
+	} else {
+		start = s.next
+		s.next += int64(pages)
+	}
+	s.extents[start] = append([]byte(nil), data...)
+	s.stats.PageWrites += int64(pages)
+	return Ref{Start: start, Pages: pages, Len: int32(len(data))}
+}
+
+// Read returns the payload of the extent, charging page reads and a seek if
+// the extent does not start where the previous read ended. Reads served by
+// the buffer pool charge nothing but a cache hit.
+func (s *Store) Read(ref Ref) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache != nil {
+		if data, ok := s.cache.get(ref.Start); ok {
+			s.stats.CacheHits++
+			return data, nil
+		}
+	}
+	data, ok := s.extents[ref.Start]
+	if !ok {
+		return nil, fmt.Errorf("pagestore: read of unknown extent at page %d", ref.Start)
+	}
+	if dist := ref.Start - s.lastPos; dist < -s.cfg.NearDistance || dist > s.cfg.NearDistance {
+		s.stats.Seeks++
+	}
+	s.stats.PageReads += int64(ref.Pages)
+	s.stats.ExtentRead++
+	s.lastPos = ref.Start + int64(ref.Pages)
+	if s.cache != nil {
+		s.cache.put(ref.Start, data, int(ref.Pages))
+	}
+	return data, nil
+}
+
+// Free releases an extent. The pages are not reused (the disk is
+// append-only, like the paper's log-structured repositories), but the
+// payload is dropped and further reads fail.
+func (s *Store) Free(ref Ref) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.extents, ref.Start)
+	if s.cache != nil {
+		s.cache.drop(ref.Start)
+	}
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (s *Store) Stats() IOStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the I/O counters (the disk contents are kept).
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = IOStats{}
+	s.lastPos = parkedHead
+}
+
+// DropCache empties the buffer pool, so that the next reads hit the disk.
+// Benchmarks use it to measure cold-cache behaviour.
+func (s *Store) DropCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache != nil {
+		s.cache.clear()
+	}
+}
+
+// PagesUsed returns the total number of allocated pages, including arena
+// slack for clustered placement. This is the storage-size measure used by
+// the experiments.
+func (s *Store) PagesUsed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// BytesStored returns the sum of payload sizes of live extents.
+func (s *Store) BytesStored() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, d := range s.extents {
+		total += int64(len(d))
+	}
+	return total
+}

@@ -1,0 +1,121 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"txmldb/internal/query"
+)
+
+// Explain renders the operator plan a query would execute, without running
+// it: which PatternScan variant each FROM item maps to, the pattern tree
+// after predicate pushdown (the paper's containment-then-equality-test
+// strategy, Section 6.1), the join structure, the residual WHERE filter and
+// the output stage. It is the visible face of the planner and the hook for
+// the algebraic-rewriting future work the paper sketches in Section 8.
+func Explain(q *query.Query) (string, error) {
+	var b strings.Builder
+	for i, f := range q.From {
+		pat, _, err := buildPattern(f, q.Where)
+		if err != nil {
+			return "", err
+		}
+		var op string
+		switch f.Kind {
+		case query.AtCurrent:
+			op = "PatternScan (current state)"
+		case query.AtTime:
+			op = fmt.Sprintf("TPatternScan at %s", f.At)
+		case query.AtEvery:
+			op = "TPatternScanAll (temporal multiway join over all versions)"
+		case query.AtRange:
+			op = fmt.Sprintf("TPatternScanAll clipped to [%s TO %s] (DocHistory-style range)", f.At, f.Until)
+		}
+		fmt.Fprintf(&b, "scan %d: %s of doc(%q)\n", i+1, op, f.URL)
+		fmt.Fprintf(&b, "  pattern: %s\n", pat)
+		fmt.Fprintf(&b, "  binds:   %s\n", f.Var)
+		if f.Kind == query.AtEvery || f.Kind == query.AtRange {
+			fmt.Fprintf(&b, "  expand:  one binding per element version in each match span\n")
+		}
+	}
+	if len(q.From) > 1 {
+		fmt.Fprintf(&b, "join: nested-loop product of %d binding sets\n", len(q.From))
+	}
+	if q.Where != nil {
+		fmt.Fprintf(&b, "filter: %s\n", q.Where)
+		if pushed := pushedPredicates(q); len(pushed) > 0 {
+			fmt.Fprintf(&b, "  (pushed into patterns as containment words, re-checked after the scan: %s)\n",
+				strings.Join(pushed, "; "))
+		}
+	}
+	if q.IsAggregate() {
+		fmt.Fprintf(&b, "aggregate: ")
+	} else {
+		fmt.Fprintf(&b, "project: ")
+	}
+	var cols []string
+	for i, s := range q.Select {
+		cols = append(cols, columnName(s, i))
+	}
+	fmt.Fprintf(&b, "%s\n", strings.Join(cols, ", "))
+	if q.Distinct {
+		fmt.Fprintf(&b, "distinct\n")
+	}
+	if len(q.OrderBy) > 0 {
+		var keys []string
+		for _, o := range q.OrderBy {
+			k := o.Expr.String()
+			if o.Desc {
+				k += " DESC"
+			}
+			keys = append(keys, k)
+		}
+		fmt.Fprintf(&b, "order by: %s\n", strings.Join(keys, ", "))
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, "limit: %d\n", q.Limit)
+	}
+	fmt.Fprintf(&b, "output: <results> document\n")
+	return b.String(), nil
+}
+
+// pushedPredicates lists the conjuncts eligible for containment pushdown.
+func pushedPredicates(q *query.Query) []string {
+	var out []string
+	vars := map[string]bool{}
+	for _, f := range q.From {
+		vars[f.Var] = true
+	}
+	for _, conj := range conjuncts(q.Where) {
+		switch e := conj.(type) {
+		case query.Binary:
+			if e.Op != "=" {
+				continue
+			}
+			pathE, _, ok := pathAndLiteral(e)
+			if !ok {
+				continue
+			}
+			if base, ok := pathE.Base.(query.VarRef); ok && vars[base.Name] {
+				out = append(out, conj.String())
+			}
+		case query.Call:
+			for v := range vars {
+				if _, _, ok := containsArgs(e, v); ok {
+					out = append(out, conj.String())
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ExplainString parses and explains a query text.
+func ExplainString(src string) (string, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return Explain(q)
+}

@@ -1,0 +1,140 @@
+// Package plan plans and executes parsed temporal queries against the
+// database engine: FROM items become pattern scans (TPatternScan /
+// TPatternScanAll / PatternScan, per their timespec), equality predicates
+// are pushed into the patterns as containment words ("the general
+// containment operators/access methods are used, followed by equality
+// testing", Section 6.1), bindings are expanded into element versions,
+// joined, filtered and projected.
+//
+// Reconstruction is lazy: a row only touches the version store when an
+// expression actually needs element content. This is what makes the
+// paper's Q2 observation measurable — aggregate/count queries run without
+// reconstructing any document (Section 6.2).
+package plan
+
+import (
+	"fmt"
+	"strconv"
+
+	"txmldb/internal/model"
+	"txmldb/internal/pattern"
+	"txmldb/internal/query"
+	"txmldb/internal/store"
+	"txmldb/internal/xmltree"
+)
+
+// Engine is what the executor needs from the database; internal/core
+// implements it.
+type Engine interface {
+	// Now returns the current transaction time.
+	Now() model.Time
+	// LookupDoc resolves a document URL.
+	LookupDoc(url string) (model.DocID, bool)
+	// ScanT is the TPatternScan operator (snapshot at t).
+	ScanT(p *pattern.PNode, t model.Time) ([]pattern.Match, error)
+	// ScanAll is the TPatternScanAll operator (all versions).
+	ScanAll(p *pattern.PNode) ([]pattern.Match, error)
+	// ScanCurrent is the non-temporal PatternScan.
+	ScanCurrent(p *pattern.PNode) ([]pattern.Match, error)
+	// Versions returns a document's delta index.
+	Versions(doc model.DocID) ([]store.VersionInfo, error)
+	// ReconstructVersion is the Reconstruct operator.
+	ReconstructVersion(doc model.DocID, ver model.VersionNo) (store.VersionTree, error)
+	// CreTime returns an element's creation time.
+	CreTime(eid model.EID) (model.Time, error)
+	// DelTime returns an element's deletion time (Forever while alive).
+	DelTime(eid model.EID) (model.Time, error)
+	// DiffNodes computes the edit script between two elements, as XML.
+	DiffNodes(a, b *xmltree.Node) (*xmltree.Node, error)
+}
+
+// Metrics counts the work a query performed.
+type Metrics struct {
+	// PatternMatches is the number of raw pattern-scan matches.
+	PatternMatches int
+	// Reconstructions counts version-store reconstructions (cache misses).
+	Reconstructions int
+	// RowsExamined counts candidate rows before WHERE filtering.
+	RowsExamined int
+}
+
+// Result is an executed query.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+	Metrics Metrics
+}
+
+// Run executes a parsed query.
+func Run(e Engine, q *query.Query) (*Result, error) {
+	ex := &executor{
+		engine:    e,
+		treeCache: make(map[treeKey]*store.VersionTree),
+	}
+	return ex.run(q)
+}
+
+// RunString parses and executes a query text.
+func RunString(e Engine, src string) (*Result, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Run(e, q)
+}
+
+// Doc renders the result as the paper's default output document:
+// <results> with one <result> element per row. Element-valued columns are
+// embedded as copies of the elements; scalar columns become <value>
+// elements carrying the column label.
+func (r *Result) Doc() *xmltree.Node {
+	root := xmltree.NewElement("results")
+	for _, row := range r.Rows {
+		res := xmltree.NewElement("result")
+		for i, v := range row {
+			renderValue(res, r.Columns[i], v)
+		}
+		root.AppendChild(res)
+	}
+	return root
+}
+
+func renderValue(parent *xmltree.Node, col string, v any) {
+	switch x := v.(type) {
+	case nil:
+		e := xmltree.NewElement("value")
+		e.SetAttr("col", col)
+		parent.AppendChild(e)
+	case []Elem:
+		for _, nv := range x {
+			c := nv.Node.Clone()
+			c.Walk(func(d *xmltree.Node) bool { d.Stamp = 0; d.XID = 0; return true })
+			parent.AppendChild(c)
+		}
+	case model.Time:
+		e := xmltree.ElemText("value", x.String())
+		e.SetAttr("col", col)
+		parent.AppendChild(e)
+	default:
+		e := xmltree.ElemText("value", formatScalar(v))
+		e.SetAttr("col", col)
+		parent.AppendChild(e)
+	}
+}
+
+func formatScalar(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// columnName derives a result column label.
+func columnName(item query.SelectItem, i int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	return item.Expr.String()
+}

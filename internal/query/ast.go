@@ -1,0 +1,271 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"txmldb/internal/model"
+)
+
+// Query is a parsed temporal XML query.
+type Query struct {
+	Distinct bool
+	Select   []SelectItem
+	From     []FromItem
+	Where    Expr // nil when absent
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// SelectItem is one projected expression, optionally aliased (AS name).
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// TimeKind selects the temporal mode of a FROM item.
+type TimeKind uint8
+
+const (
+	// AtCurrent queries the current database state (no timespec).
+	AtCurrent TimeKind = iota
+	// AtTime is a snapshot query at the given instant (TPatternScan).
+	AtTime
+	// AtEvery matches all versions (TPatternScanAll).
+	AtEvery
+	// AtRange matches the versions valid in [At, Until) — the query-language
+	// face of the DocHistory/ElementHistory operators.
+	AtRange
+)
+
+func (k TimeKind) String() string {
+	switch k {
+	case AtCurrent:
+		return "current"
+	case AtTime:
+		return "snapshot"
+	case AtEvery:
+		return "every"
+	case AtRange:
+		return "range"
+	default:
+		return fmt.Sprintf("TimeKind(%d)", uint8(k))
+	}
+}
+
+// PathStep is one step of a location path; Desc marks the // axis.
+type PathStep struct {
+	Name string
+	Desc bool
+}
+
+// FromItem binds a variable to the elements selected by a path inside a
+// document: doc("url")[timespec]/path Var.
+type FromItem struct {
+	URL   string
+	Kind  TimeKind
+	At    Expr // time expression for AtTime; interval start for AtRange
+	Until Expr // interval end for AtRange
+	Steps []PathStep
+	Var   string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is a query expression.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// Literal is a constant: string, float64, or model.Time (date literal).
+type Literal struct {
+	Val any
+}
+
+// Duration is a time-arithmetic operand such as "14 DAYS", in milliseconds.
+type Duration struct {
+	Ms   int64
+	Text string // original form for String()
+}
+
+// Now is the NOW keyword.
+type Now struct{}
+
+// VarRef references a FROM variable.
+type VarRef struct {
+	Name string
+}
+
+// Path navigates from a base expression: R/price, CURRENT(R)/name.
+type Path struct {
+	Base  Expr
+	Steps []PathStep
+}
+
+// Binary is a binary operation: comparison (= != < <= > >= == ~), boolean
+// (AND OR) or time arithmetic (+ -).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary is NOT.
+type Unary struct {
+	Op string
+	E  Expr
+}
+
+// Call is a function application: TIME, CREATE TIME (name "CREATE TIME"),
+// DELETE TIME, PREVIOUS, NEXT, CURRENT, DIFF, SIMILAR, SUM, COUNT, AVG,
+// MIN, MAX.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (Literal) exprNode()  {}
+func (Duration) exprNode() {}
+func (Now) exprNode()      {}
+func (VarRef) exprNode()   {}
+func (Path) exprNode()     {}
+func (Binary) exprNode()   {}
+func (Unary) exprNode()    {}
+func (Call) exprNode()     {}
+
+func (l Literal) String() string {
+	switch v := l.Val.(type) {
+	case string:
+		return fmt.Sprintf("%q", v)
+	case model.Time:
+		// Midnight dates render in the language's own dd/mm/yyyy form, so
+		// that String() output is re-parseable.
+		std := v.Std()
+		if std.Hour() == 0 && std.Minute() == 0 && std.Second() == 0 && std.Nanosecond() == 0 {
+			return std.Format("02/01/2006")
+		}
+		return v.String()
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func (d Duration) String() string { return d.Text }
+func (Now) String() string        { return "NOW" }
+func (v VarRef) String() string   { return v.Name }
+
+func (p Path) String() string {
+	var b strings.Builder
+	b.WriteString(p.Base.String())
+	for _, s := range p.Steps {
+		if s.Desc {
+			b.WriteString("//")
+		} else {
+			b.WriteString("/")
+		}
+		b.WriteString(s.Name)
+	}
+	return b.String()
+}
+
+func (b Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+func (u Unary) String() string { return fmt.Sprintf("%s %s", u.Op, u.E) }
+
+func (c Call) String() string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(args, ", "))
+}
+
+// String renders the query approximately in source form.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, s := range q.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.Expr.String())
+		if s.Alias != "" {
+			b.WriteString(" AS " + s.Alias)
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, f := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "doc(%q)", f.URL)
+		switch f.Kind {
+		case AtTime:
+			fmt.Fprintf(&b, "[%s]", f.At)
+		case AtEvery:
+			b.WriteString("[EVERY]")
+		case AtRange:
+			fmt.Fprintf(&b, "[%s TO %s]", f.At, f.Until)
+		}
+		for _, s := range f.Steps {
+			if s.Desc {
+				b.WriteString("//")
+			} else {
+				b.WriteString("/")
+			}
+			b.WriteString(s.Name)
+		}
+		b.WriteString(" " + f.Var)
+	}
+	if q.Where != nil {
+		b.WriteString(" WHERE " + q.Where.String())
+	}
+	for i, o := range q.OrderBy {
+		if i == 0 {
+			b.WriteString(" ORDER BY ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(o.Expr.String())
+		if o.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}
+
+// Vars returns the FROM variables in declaration order.
+func (q *Query) Vars() []string {
+	out := make([]string, len(q.From))
+	for i, f := range q.From {
+		out[i] = f.Var
+	}
+	return out
+}
+
+// aggNames are the aggregate function names.
+var aggNames = map[string]bool{
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// IsAggregate reports whether the query's SELECT list contains aggregates.
+func (q *Query) IsAggregate() bool {
+	for _, s := range q.Select {
+		if c, ok := s.Expr.(Call); ok && aggNames[strings.ToUpper(c.Name)] {
+			return true
+		}
+	}
+	return false
+}

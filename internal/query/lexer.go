@@ -1,0 +1,217 @@
+// Package query implements the temporal XML query language sketched in
+// Section 5 of the paper — a SELECT/FROM/WHERE language over doc() paths
+// with snapshot timestamps, the EVERY keyword, TIME / CREATE TIME / DELETE
+// TIME / PREVIOUS / NEXT / CURRENT / DIFF functions and NOW-relative time
+// arithmetic ("NOW - 14 DAYS", "26/01/2001 + 2 WEEKS").
+//
+// The package provides the lexer, the AST and a recursive-descent parser;
+// planning and execution live in internal/plan.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"time"
+	"unicode"
+
+	"txmldb/internal/model"
+)
+
+// TokKind classifies tokens.
+type TokKind uint8
+
+const (
+	// TokEOF ends the token stream.
+	TokEOF TokKind = iota
+	// TokIdent is an identifier or keyword (keywords are matched
+	// case-insensitively by the parser, so element names never collide
+	// with reserved words).
+	TokIdent
+	// TokString is a double-quoted string literal.
+	TokString
+	// TokNumber is an integer or decimal literal.
+	TokNumber
+	// TokDate is a dd/mm/yyyy literal like 26/01/2001.
+	TokDate
+	// TokSym is punctuation: ( ) [ ] , / // = != < <= > >= == ~ + - *
+	TokSym
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of query"
+	case TokIdent:
+		return "identifier"
+	case TokString:
+		return "string"
+	case TokNumber:
+		return "number"
+	case TokDate:
+		return "date"
+	case TokSym:
+		return "symbol"
+	default:
+		return fmt.Sprintf("TokKind(%d)", uint8(k))
+	}
+}
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokKind
+	Text string
+	Num  float64    // value for TokNumber
+	Date model.Time // value for TokDate
+	Pos  int        // byte offset in the input
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// Lex tokenizes the query text.
+func Lex(src string) ([]Token, error) {
+	var out []Token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("query: unterminated string at offset %d", i)
+			}
+			out = append(out, Token{Kind: TokString, Text: src[i+1 : j], Pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			tok, next, err := lexNumberOrDate(src, i)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tok)
+			i = next
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			out = append(out, Token{Kind: TokIdent, Text: src[i:j], Pos: i})
+			i = j
+		default:
+			tok, next, err := lexSymbol(src, i)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tok)
+			i = next
+		}
+	}
+	out = append(out, Token{Kind: TokEOF, Pos: len(src)})
+	return out, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.'
+}
+
+// lexNumberOrDate scans a number, upgrading dd/mm/yyyy shapes to a date
+// token so that date literals survive inside expressions that also use
+// "/" as a path separator.
+func lexNumberOrDate(src string, i int) (Token, int, error) {
+	j := i
+	for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+		j++
+	}
+	// Try dd/mm/yyyy.
+	if d, next, ok := tryDate(src, i, j); ok {
+		return Token{Kind: TokDate, Text: src[i:next], Date: d, Pos: i}, next, nil
+	}
+	// Decimal part.
+	if j < len(src) && src[j] == '.' && j+1 < len(src) && src[j+1] >= '0' && src[j+1] <= '9' {
+		j++
+		for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+			j++
+		}
+	}
+	var f float64
+	if _, err := fmt.Sscanf(src[i:j], "%g", &f); err != nil {
+		return Token{}, 0, fmt.Errorf("query: bad number %q at offset %d", src[i:j], i)
+	}
+	return Token{Kind: TokNumber, Text: src[i:j], Num: f, Pos: i}, j, nil
+}
+
+func tryDate(src string, start, firstEnd int) (model.Time, int, bool) {
+	day := src[start:firstEnd]
+	if len(day) > 2 {
+		return 0, 0, false
+	}
+	i := firstEnd
+	readPart := func(minLen, maxLen int) (string, bool) {
+		if i >= len(src) || src[i] != '/' {
+			return "", false
+		}
+		i++
+		j := i
+		for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+			j++
+		}
+		part := src[i:j]
+		if len(part) < minLen || len(part) > maxLen {
+			return "", false
+		}
+		i = j
+		return part, true
+	}
+	month, ok := readPart(1, 2)
+	if !ok {
+		return 0, 0, false
+	}
+	year, ok := readPart(4, 4)
+	if !ok {
+		return 0, 0, false
+	}
+	var d, m, y int
+	fmt.Sscanf(day, "%d", &d)
+	fmt.Sscanf(month, "%d", &m)
+	fmt.Sscanf(year, "%d", &y)
+	if m < 1 || m > 12 || d < 1 || d > 31 {
+		return 0, 0, false
+	}
+	return model.Date(y, time.Month(m), d), i, true
+}
+
+var twoCharSyms = []string{"//", "!=", "<=", ">=", "=="}
+
+func lexSymbol(src string, i int) (Token, int, error) {
+	if i+1 < len(src) {
+		two := src[i : i+2]
+		for _, s := range twoCharSyms {
+			if two == s {
+				return Token{Kind: TokSym, Text: s, Pos: i}, i + 2, nil
+			}
+		}
+	}
+	switch src[i] {
+	case '(', ')', '[', ']', ',', '/', '=', '<', '>', '~', '+', '-', '*':
+		return Token{Kind: TokSym, Text: string(src[i]), Pos: i}, i + 1, nil
+	}
+	return Token{}, 0, fmt.Errorf("query: unexpected character %q at offset %d", src[i], i)
+}
+
+// isKeyword reports whether the token is the given keyword,
+// case-insensitively.
+func (t Token) isKeyword(kw string) bool {
+	return t.Kind == TokIdent && strings.EqualFold(t.Text, kw)
+}
+
+// isSym reports whether the token is the given punctuation.
+func (t Token) isSym(s string) bool { return t.Kind == TokSym && t.Text == s }

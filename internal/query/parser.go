@@ -1,0 +1,430 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses one query.
+func Parse(src string) (*Query, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokEOF {
+		return nil, p.errorf("unexpected %s after end of query", p.cur())
+	}
+	return q, nil
+}
+
+// MustParse parses or panics; for tests and examples.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("query: offset %d: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.cur().isKeyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.cur())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectSym(s string) error {
+	if !p.cur().isSym(s) {
+		return p.errorf("expected %q, found %s", s, p.cur())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Limit: -1}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if p.cur().isKeyword("DISTINCT") {
+		q.Distinct = true
+		p.next()
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if !p.cur().isSym(",") {
+			break
+		}
+		p.next()
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, item)
+		if !p.cur().isSym(",") {
+			break
+		}
+		p.next()
+	}
+	if p.cur().isKeyword("WHERE") {
+		p.next()
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	if p.cur().isKeyword("ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.cur().isKeyword("DESC") {
+				item.Desc = true
+				p.next()
+			} else if p.cur().isKeyword("ASC") {
+				p.next()
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if !p.cur().isSym(",") {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.cur().isKeyword("LIMIT") {
+		p.next()
+		if p.cur().Kind != TokNumber {
+			return nil, p.errorf("expected number after LIMIT, found %s", p.cur())
+		}
+		q.Limit = int(p.cur().Num)
+		p.next()
+	}
+	// Validate variable references at parse time.
+	vars := map[string]bool{}
+	for _, f := range q.From {
+		if vars[f.Var] {
+			return nil, fmt.Errorf("query: duplicate variable %q", f.Var)
+		}
+		vars[f.Var] = true
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.cur().isKeyword("AS") {
+		p.next()
+		if p.cur().Kind != TokIdent {
+			return SelectItem{}, p.errorf("expected alias after AS, found %s", p.cur())
+		}
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseFromItem() (FromItem, error) {
+	var item FromItem
+	if !p.cur().isKeyword("doc") {
+		return item, p.errorf("expected doc(...), found %s", p.cur())
+	}
+	p.next()
+	if err := p.expectSym("("); err != nil {
+		return item, err
+	}
+	if p.cur().Kind != TokString {
+		return item, p.errorf("expected document URL string, found %s", p.cur())
+	}
+	item.URL = p.next().Text
+	if err := p.expectSym(")"); err != nil {
+		return item, err
+	}
+	if p.cur().isSym("[") {
+		p.next()
+		if p.cur().isKeyword("EVERY") {
+			item.Kind = AtEvery
+			p.next()
+		} else {
+			item.Kind = AtTime
+			at, err := p.parseExpr()
+			if err != nil {
+				return item, err
+			}
+			item.At = at
+			if p.cur().isKeyword("TO") {
+				p.next()
+				until, err := p.parseExpr()
+				if err != nil {
+					return item, err
+				}
+				item.Kind = AtRange
+				item.Until = until
+			}
+		}
+		if err := p.expectSym("]"); err != nil {
+			return item, err
+		}
+	}
+	steps, err := p.parsePathSteps()
+	if err != nil {
+		return item, err
+	}
+	if len(steps) == 0 {
+		return item, p.errorf("FROM path needs at least one step")
+	}
+	item.Steps = steps
+	if p.cur().Kind != TokIdent {
+		return item, p.errorf("expected variable name after path, found %s", p.cur())
+	}
+	item.Var = p.next().Text
+	return item, nil
+}
+
+func (p *parser) parsePathSteps() ([]PathStep, error) {
+	var steps []PathStep
+	for {
+		var desc bool
+		if p.cur().isSym("//") {
+			desc = true
+		} else if !p.cur().isSym("/") {
+			return steps, nil
+		}
+		p.next()
+		if p.cur().Kind != TokIdent {
+			return nil, p.errorf("expected element name in path, found %s", p.cur())
+		}
+		steps = append(steps, PathStep{Name: p.next().Text, Desc: desc})
+	}
+}
+
+// --- expressions ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().isKeyword("OR") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().isKeyword("AND") {
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.cur().isKeyword("NOT") {
+		p.next()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "NOT", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[string]bool{
+	"=": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true,
+	"==": true, "~": true,
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokSym && cmpOps[p.cur().Text] {
+		op := p.next().Text
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().isSym("+") || p.cur().isSym("-") {
+		op := p.next().Text
+		r, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+// parsePostfix parses a primary followed by an optional path suffix.
+func (p *parser) parsePostfix() (Expr, error) {
+	base, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().isSym("/") || p.cur().isSym("//") {
+		steps, err := p.parsePathSteps()
+		if err != nil {
+			return nil, err
+		}
+		return Path{Base: base, Steps: steps}, nil
+	}
+	return base, nil
+}
+
+// durationUnits maps time units to milliseconds.
+var durationUnits = map[string]int64{
+	"MINUTE": 60_000, "MINUTES": 60_000,
+	"HOUR": 3_600_000, "HOURS": 3_600_000,
+	"DAY": 86_400_000, "DAYS": 86_400_000,
+	"WEEK": 7 * 86_400_000, "WEEKS": 7 * 86_400_000,
+	"MONTH": 30 * 86_400_000, "MONTHS": 30 * 86_400_000,
+	"YEAR": 365 * 86_400_000, "YEARS": 365 * 86_400_000,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokString:
+		p.next()
+		return Literal{Val: t.Text}, nil
+	case t.Kind == TokDate:
+		p.next()
+		return Literal{Val: t.Date}, nil
+	case t.Kind == TokNumber:
+		p.next()
+		// "14 DAYS" — a duration for time arithmetic.
+		if p.cur().Kind == TokIdent {
+			unit := strings.ToUpper(p.cur().Text)
+			if ms, ok := durationUnits[unit]; ok {
+				p.next()
+				return Duration{Ms: int64(t.Num) * ms, Text: fmt.Sprintf("%g %s", t.Num, unit)}, nil
+			}
+		}
+		return Literal{Val: t.Num}, nil
+	case t.isKeyword("NOW"):
+		p.next()
+		return Now{}, nil
+	case t.isSym("("):
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokIdent:
+		// CREATE TIME(x) and DELETE TIME(x) are two-word functions.
+		if (t.isKeyword("CREATE") || t.isKeyword("DELETE")) &&
+			p.peek().isKeyword("TIME") {
+			prefix := strings.ToUpper(t.Text)
+			p.next()
+			p.next()
+			return p.parseCallArgs(prefix + " TIME")
+		}
+		if p.peek().isSym("(") {
+			name := p.next().Text
+			return p.parseCallArgs(strings.ToUpper(name))
+		}
+		p.next()
+		return VarRef{Name: t.Text}, nil
+	default:
+		return nil, p.errorf("expected expression, found %s", t)
+	}
+}
+
+func (p *parser) parseCallArgs(name string) (Expr, error) {
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	call := Call{Name: name}
+	if !p.cur().isSym(")") {
+		for {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+			if !p.cur().isSym(",") {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}

@@ -1,0 +1,169 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randExpr builds a random expression of bounded depth whose String() form
+// is valid query syntax.
+func randExpr(r *rand.Rand, depth int, vars []string) Expr {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return Literal{Val: fmt.Sprintf("s%d", r.Intn(10))}
+		case 1:
+			return Literal{Val: float64(r.Intn(100))}
+		case 2:
+			return Now{}
+		case 3:
+			return VarRef{Name: vars[r.Intn(len(vars))]}
+		default:
+			return Path{
+				Base:  VarRef{Name: vars[r.Intn(len(vars))]},
+				Steps: []PathStep{{Name: fmt.Sprintf("p%d", r.Intn(5)), Desc: r.Intn(2) == 0}},
+			}
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		ops := []string{"=", "!=", "<", "<=", ">", ">=", "==", "~"}
+		return Binary{Op: ops[r.Intn(len(ops))],
+			L: randExpr(r, 0, vars), R: randExpr(r, 0, vars)}
+	case 1:
+		op := []string{"AND", "OR"}[r.Intn(2)]
+		return Binary{Op: op,
+			L: randExpr(r, depth-1, vars), R: randExpr(r, depth-1, vars)}
+	case 2:
+		return Unary{Op: "NOT", E: randExpr(r, depth-1, vars)}
+	case 3:
+		name := []string{"TIME", "CREATE TIME", "DELETE TIME", "PREVIOUS", "CURRENT"}[r.Intn(5)]
+		return Call{Name: name, Args: []Expr{VarRef{Name: vars[r.Intn(len(vars))]}}}
+	case 4:
+		return Call{Name: "DIFF", Args: []Expr{
+			VarRef{Name: vars[r.Intn(len(vars))]},
+			VarRef{Name: vars[r.Intn(len(vars))]},
+		}}
+	default:
+		return Binary{Op: []string{"+", "-"}[r.Intn(2)],
+			L: Now{}, R: Duration{Ms: int64(1+r.Intn(30)) * 86_400_000, Text: fmt.Sprintf("%d DAYS", 1+r.Intn(30))}}
+	}
+}
+
+// randQuery builds a random query AST.
+func randQuery(r *rand.Rand) *Query {
+	nVars := 1 + r.Intn(2)
+	vars := make([]string, nVars)
+	q := &Query{Limit: -1, Distinct: r.Intn(3) == 0}
+	for i := range vars {
+		vars[i] = fmt.Sprintf("R%d", i+1)
+		item := FromItem{
+			URL:  fmt.Sprintf("http://doc%d.example/x.xml", i),
+			Var:  vars[i],
+			Kind: TimeKind(r.Intn(4)),
+		}
+		if item.Kind == AtTime {
+			item.At = Literal{Val: date(2001, 1, 1+r.Intn(27))}
+		}
+		if item.Kind == AtRange {
+			item.At = Literal{Val: date(2001, 1, 1+r.Intn(13))}
+			item.Until = Literal{Val: date(2001, 2, 1+r.Intn(13))}
+		}
+		for s := 0; s < 1+r.Intn(3); s++ {
+			item.Steps = append(item.Steps, PathStep{
+				Name: fmt.Sprintf("e%d", r.Intn(4)),
+				Desc: r.Intn(3) == 0,
+			})
+		}
+		q.From = append(q.From, item)
+	}
+	for i := 0; i < 1+r.Intn(3); i++ {
+		item := SelectItem{Expr: randExpr(r, 1, vars)}
+		if r.Intn(4) == 0 {
+			item.Alias = fmt.Sprintf("a%d", i)
+		}
+		q.Select = append(q.Select, item)
+	}
+	if r.Intn(2) == 0 {
+		q.Where = randExpr(r, 2, vars)
+	}
+	if r.Intn(3) == 0 {
+		q.OrderBy = []OrderItem{{Expr: randExpr(r, 0, vars), Desc: r.Intn(2) == 0}}
+	}
+	if r.Intn(3) == 0 {
+		q.Limit = r.Intn(100)
+	}
+	return q
+}
+
+// TestPropertyStringParseRoundTrip: a rendered query reparses to the same
+// rendering — the language's printer and parser are mutually consistent.
+func TestPropertyStringParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q1 := randQuery(r)
+		src := q1.String()
+		q2, err := Parse(src)
+		if err != nil {
+			t.Logf("seed %d: %q failed to parse: %v", seed, src, err)
+			return false
+		}
+		if q2.String() != src {
+			t.Logf("seed %d:\n  first:  %s\n  second: %s", seed, src, q2.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLexNeverPanics feeds byte noise to the lexer.
+func TestPropertyLexNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		src := strings.ToValidUTF8(string(raw), "?")
+		toks, err := Lex(src)
+		if err != nil {
+			return true // rejecting is fine; panicking is not
+		}
+		return len(toks) >= 1 && toks[len(toks)-1].Kind == TokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyParseNeverPanics feeds token noise to the parser.
+func TestPropertyParseNeverPanics(t *testing.T) {
+	words := []string{"SELECT", "FROM", "WHERE", "doc", "(", ")", "[", "]",
+		`"u"`, "/", "//", "R", "EVERY", ",", "=", "TIME", "NOW", "-", "14", "DAYS", "26/01/2001"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = words[r.Intn(len(words))]
+		}
+		src := strings.Join(parts, " ")
+		_, err := Parse(src) // must terminate without panicking
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// date builds a model date literal via the lexer's own parsing, keeping the
+// test hermetic.
+func date(y, m, d int) any {
+	toks, err := Lex(fmt.Sprintf("%02d/%02d/%04d", d, m, y))
+	if err != nil || toks[0].Kind != TokDate {
+		panic("bad test date")
+	}
+	return toks[0].Date
+}

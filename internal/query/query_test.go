@@ -1,0 +1,367 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"txmldb/internal/model"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`SELECT R, "Napoli" 15 26/01/2001 <= == // ~`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokIdent, TokIdent, TokSym, TokString, TokNumber, TokDate,
+		TokSym, TokSym, TokSym, TokSym, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v (%s), want kind %v", i, toks[i].Kind, toks[i], k)
+		}
+	}
+	if toks[4].Num != 15 {
+		t.Errorf("number value = %v", toks[4].Num)
+	}
+	if toks[5].Date != model.Date(2001, 1, 26) {
+		t.Errorf("date value = %v", toks[5].Date)
+	}
+}
+
+func TestLexDateVsPathAmbiguity(t *testing.T) {
+	// 26/01/2001 is a date; R/price is ident sym ident.
+	toks, err := Lex(`R/price`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokIdent || !toks[1].isSym("/") || toks[2].Kind != TokIdent {
+		t.Fatalf("path tokens = %v", toks)
+	}
+	// A number followed by a slash that is not a date stays a number.
+	toks, err = Lex(`10/x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokNumber || !toks[1].isSym("/") {
+		t.Fatalf("non-date tokens = %v", toks)
+	}
+	// 33/13/2001 has an invalid month → not a date.
+	toks, _ = Lex(`33/13/2001`)
+	if toks[0].Kind != TokNumber {
+		t.Fatalf("invalid date lexed as date: %v", toks)
+	}
+}
+
+func TestLexDecimals(t *testing.T) {
+	toks, err := Lex(`15.5`)
+	if err != nil || toks[0].Kind != TokNumber || toks[0].Num != 15.5 {
+		t.Fatalf("decimal = %v, %v", toks, err)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `price ; 10`} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseQ1Snapshot(t *testing.T) {
+	q, err := Parse(`SELECT R FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 1 || len(q.From) != 1 {
+		t.Fatalf("shape = %+v", q)
+	}
+	f := q.From[0]
+	if f.URL != "http://guide.com/restaurants.xml" || f.Var != "R" {
+		t.Fatalf("from = %+v", f)
+	}
+	if f.Kind != AtTime {
+		t.Fatalf("kind = %v", f.Kind)
+	}
+	if lit, ok := f.At.(Literal); !ok || lit.Val != model.Date(2001, 1, 26) {
+		t.Fatalf("at = %#v", f.At)
+	}
+	if len(f.Steps) != 1 || f.Steps[0].Name != "restaurant" || f.Steps[0].Desc {
+		t.Fatalf("steps = %+v", f.Steps)
+	}
+	if v, ok := q.Select[0].Expr.(VarRef); !ok || v.Name != "R" {
+		t.Fatalf("select = %#v", q.Select[0].Expr)
+	}
+}
+
+func TestParseQ2Aggregate(t *testing.T) {
+	q, err := Parse(`SELECT SUM(R) FROM doc("u")[26/01/2001]/restaurant R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsAggregate() {
+		t.Fatal("SUM must be detected as aggregate")
+	}
+	c := q.Select[0].Expr.(Call)
+	if c.Name != "SUM" || len(c.Args) != 1 {
+		t.Fatalf("call = %+v", c)
+	}
+}
+
+func TestParseQ3Every(t *testing.T) {
+	q, err := Parse(`SELECT TIME(R), R/price FROM doc("u")[EVERY]/restaurant R WHERE R/name="Napoli"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From[0].Kind != AtEvery {
+		t.Fatalf("kind = %v", q.From[0].Kind)
+	}
+	if len(q.Select) != 2 {
+		t.Fatalf("select = %+v", q.Select)
+	}
+	if c, ok := q.Select[0].Expr.(Call); !ok || c.Name != "TIME" {
+		t.Fatalf("TIME call = %#v", q.Select[0].Expr)
+	}
+	pe, ok := q.Select[1].Expr.(Path)
+	if !ok || pe.Steps[0].Name != "price" {
+		t.Fatalf("path = %#v", q.Select[1].Expr)
+	}
+	w, ok := q.Where.(Binary)
+	if !ok || w.Op != "=" {
+		t.Fatalf("where = %#v", q.Where)
+	}
+}
+
+func TestParseCreateTime(t *testing.T) {
+	q, err := Parse(`SELECT R FROM doc("u")/r R WHERE CREATE TIME(R) >= 11/01/2001`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := q.Where.(Binary)
+	c, ok := w.L.(Call)
+	if !ok || c.Name != "CREATE TIME" {
+		t.Fatalf("call = %#v", w.L)
+	}
+	q2 := MustParse(`SELECT R FROM doc("u")/r R WHERE DELETE TIME(R) < NOW`)
+	if q2.Where.(Binary).L.(Call).Name != "DELETE TIME" {
+		t.Fatal("DELETE TIME not parsed")
+	}
+}
+
+func TestParseTimeArithmetic(t *testing.T) {
+	q := MustParse(`SELECT R FROM doc("u")[NOW - 14 DAYS]/r R`)
+	b, ok := q.From[0].At.(Binary)
+	if !ok || b.Op != "-" {
+		t.Fatalf("at = %#v", q.From[0].At)
+	}
+	if _, ok := b.L.(Now); !ok {
+		t.Fatalf("left = %#v", b.L)
+	}
+	d, ok := b.R.(Duration)
+	if !ok || d.Ms != 14*86_400_000 {
+		t.Fatalf("duration = %#v", b.R)
+	}
+	q2 := MustParse(`SELECT R FROM doc("u")[26/01/2001 + 2 WEEKS]/r R`)
+	b2 := q2.From[0].At.(Binary)
+	if b2.Op != "+" || b2.R.(Duration).Ms != 14*86_400_000 {
+		t.Fatalf("at = %#v", q2.From[0].At)
+	}
+}
+
+func TestParseDistinctCurrent(t *testing.T) {
+	q := MustParse(`SELECT DISTINCT CURRENT(R)/name FROM doc("u")[EVERY]/r R`)
+	if !q.Distinct {
+		t.Fatal("DISTINCT lost")
+	}
+	pe := q.Select[0].Expr.(Path)
+	if c, ok := pe.Base.(Call); !ok || c.Name != "CURRENT" {
+		t.Fatalf("base = %#v", pe.Base)
+	}
+	if pe.Steps[0].Name != "name" {
+		t.Fatalf("steps = %+v", pe.Steps)
+	}
+}
+
+func TestParseMultipleFromAndJoin(t *testing.T) {
+	q := MustParse(`SELECT R1/name FROM doc("u")[10/01/2001]/restaurant R1, doc("u")/restaurant R2
+		WHERE R1/name=R2/name AND R1/price < R2/price`)
+	if len(q.From) != 2 || q.From[0].Var != "R1" || q.From[1].Var != "R2" {
+		t.Fatalf("from = %+v", q.From)
+	}
+	if q.From[1].Kind != AtCurrent {
+		t.Fatalf("R2 kind = %v", q.From[1].Kind)
+	}
+	and := q.Where.(Binary)
+	if and.Op != "AND" {
+		t.Fatalf("where = %v", q.Where)
+	}
+}
+
+func TestParseDiffPreviousNext(t *testing.T) {
+	q := MustParse(`SELECT DIFF(R1, R2), PREVIOUS(R1), NEXT(R2) FROM doc("u")/r R1, doc("v")/r R2`)
+	names := []string{"DIFF", "PREVIOUS", "NEXT"}
+	for i, want := range names {
+		c := q.Select[i].Expr.(Call)
+		if c.Name != want {
+			t.Errorf("select %d = %s, want %s", i, c.Name, want)
+		}
+	}
+	if len(q.Select[0].Expr.(Call).Args) != 2 {
+		t.Fatal("DIFF arity")
+	}
+}
+
+func TestParseDescendantAxis(t *testing.T) {
+	q := MustParse(`SELECT R FROM doc("u")//restaurant R WHERE R//name = "x"`)
+	if !q.From[0].Steps[0].Desc {
+		t.Fatal("FROM // axis lost")
+	}
+	pe := q.Where.(Binary).L.(Path)
+	if !pe.Steps[0].Desc {
+		t.Fatal("WHERE // axis lost")
+	}
+}
+
+func TestParseSimilarityAndIdentity(t *testing.T) {
+	q := MustParse(`SELECT R1 FROM doc("u")/r R1, doc("u")/r R2 WHERE R1 ~ R2 OR R1 == R2`)
+	or := q.Where.(Binary)
+	if or.Op != "OR" || or.L.(Binary).Op != "~" || or.R.(Binary).Op != "==" {
+		t.Fatalf("where = %v", q.Where)
+	}
+}
+
+func TestParseAliasOrderLimit(t *testing.T) {
+	q := MustParse(`SELECT TIME(R) AS when FROM doc("u")[EVERY]/r R ORDER BY TIME(R) DESC, R/price LIMIT 5`)
+	if q.Select[0].Alias != "when" {
+		t.Fatal("alias lost")
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Fatalf("order = %+v", q.OrderBy)
+	}
+	if q.Limit != 5 {
+		t.Fatalf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseNotAndParens(t *testing.T) {
+	q := MustParse(`SELECT R FROM doc("u")/r R WHERE NOT (R/price < 10 OR R/price > 20)`)
+	n := q.Where.(Unary)
+	if n.Op != "NOT" {
+		t.Fatalf("where = %v", q.Where)
+	}
+	if n.E.(Binary).Op != "OR" {
+		t.Fatalf("inner = %v", n.E)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`SELECT`,
+		`SELECT R`,
+		`SELECT R FROM table R`,
+		`SELECT R FROM doc("u") R`,                 // missing path
+		`SELECT R FROM doc("u")/r`,                 // missing variable
+		`SELECT R FROM doc(u)/r R`,                 // unquoted URL
+		`SELECT R FROM doc("u")[/r R`,              // broken timespec
+		`SELECT R FROM doc("u")/r R WHERE`,         // empty where
+		`SELECT R FROM doc("u")/r R trailing x`,    // garbage
+		`SELECT R FROM doc("u")/r R, doc("v")/x R`, // duplicate var
+		`SELECT R FROM doc("u")/r R ORDER R`,       // ORDER without BY
+		`SELECT R FROM doc("u")/r R LIMIT x`,
+		`SELECT SUM( FROM doc("u")/r R`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`SELECT R FROM doc("u")[26/01/2001]/restaurant R`,
+		`SELECT TIME(R), R/price FROM doc("u")[EVERY]/restaurant R WHERE R/name = "Napoli"`,
+		`SELECT DISTINCT CURRENT(R)/name FROM doc("u")[EVERY]/r R ORDER BY TIME(R) DESC LIMIT 3`,
+		`SELECT R FROM doc("u")[NOW - 14 DAYS]//r R WHERE NOT R/price < 10 AND R == R`,
+	}
+	for _, src := range srcs {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip: %q vs %q", q1.String(), q2.String())
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	q := MustParse(`SELECT R1 FROM doc("u")/r R1, doc("v")/s R2`)
+	vars := q.Vars()
+	if len(vars) != 2 || vars[0] != "R1" || vars[1] != "R2" {
+		t.Fatalf("vars = %v", vars)
+	}
+}
+
+func TestTimeKindString(t *testing.T) {
+	if AtCurrent.String() != "current" || AtTime.String() != "snapshot" || AtEvery.String() != "every" {
+		t.Error("TimeKind strings broken")
+	}
+	if TimeKind(9).String() != "TimeKind(9)" {
+		t.Error("unknown TimeKind formatting")
+	}
+}
+
+func TestTokKindString(t *testing.T) {
+	for k, want := range map[TokKind]string{
+		TokEOF: "end of query", TokIdent: "identifier", TokString: "string",
+		TokNumber: "number", TokDate: "date", TokSym: "symbol",
+	} {
+		if k.String() != want {
+			t.Errorf("%v = %q", k, k.String())
+		}
+	}
+	if !strings.Contains(TokKind(9).String(), "TokKind") {
+		t.Error("unknown TokKind formatting")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	q := MustParse(`SELECT DIFF(R, R), NOW FROM doc("u")/r R WHERE R/price >= 10 AND NOT R/name = "x"`)
+	s := q.String()
+	for _, frag := range []string{"DIFF(R, R)", "NOW", `doc("u")`, ">=", "NOT"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestParseRangeTimespec(t *testing.T) {
+	q := MustParse(`SELECT R FROM doc("u")[01/01/2001 TO 31/01/2001]/restaurant R`)
+	f := q.From[0]
+	if f.Kind != AtRange {
+		t.Fatalf("kind = %v", f.Kind)
+	}
+	if f.At.(Literal).Val != model.Date(2001, 1, 1) || f.Until.(Literal).Val != model.Date(2001, 1, 31) {
+		t.Fatalf("range = %v TO %v", f.At, f.Until)
+	}
+	// NOW-relative endpoints parse too.
+	q2 := MustParse(`SELECT R FROM doc("u")[NOW - 30 DAYS TO NOW]/r R`)
+	if q2.From[0].Kind != AtRange {
+		t.Fatalf("relative range kind = %v", q2.From[0].Kind)
+	}
+	// String() round trip.
+	if MustParse(q.String()).String() != q.String() {
+		t.Fatalf("range round trip: %s", q.String())
+	}
+	// Broken ranges fail to parse.
+	if _, err := Parse(`SELECT R FROM doc("u")[01/01/2001 TO]/r R`); err == nil {
+		t.Fatal("missing range end must fail")
+	}
+}

@@ -1,0 +1,154 @@
+// Package similarity implements the equality and similarity semantics of
+// Section 7.4 of the paper. Comparing versions of XML elements needs more
+// than one notion of equality:
+//
+//   - "=" with shallow semantics compares an element's name and direct
+//     text content;
+//   - "=" with deep semantics compares entire subtrees;
+//   - "==" compares node identity via persistent element IDs (EIDs);
+//   - "~" is a similarity operator in the style of Theobald and Weikum,
+//     needed because identity comparison fails for entries that were
+//     deleted and re-introduced (fresh EID) and deep equality is "too
+//     strict in practice, considering that this is XML data".
+//
+// The paper concludes that "a combination of shallow equality and a
+// similarity operator" is the most interesting solution; Similar is that
+// combination's workhorse.
+package similarity
+
+import (
+	"strings"
+
+	"txmldb/internal/fti"
+	"txmldb/internal/xmltree"
+)
+
+// ShallowEqual compares element name, attributes and the concatenated
+// direct text children of the two elements; child elements are ignored.
+func ShallowEqual(a, b *xmltree.Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Name != b.Name {
+		return false
+	}
+	if a.IsText() {
+		return a.Value == b.Value
+	}
+	if !attrSetEqual(a.Attrs, b.Attrs) {
+		return false
+	}
+	return directText(a) == directText(b)
+}
+
+// DeepEqual is deep structural equality: the subtrees must match completely
+// in elements and values.
+func DeepEqual(a, b *xmltree.Node) bool { return xmltree.Equal(a, b) }
+
+// IdentityEqual is the "==" comparison: same persistent element ID.
+func IdentityEqual(a, b *xmltree.Node) bool { return xmltree.IdentityEqual(a, b) }
+
+func directText(n *xmltree.Node) string {
+	var b strings.Builder
+	for _, c := range n.Children {
+		if c.IsText() {
+			b.WriteString(c.Value)
+		}
+	}
+	return b.String()
+}
+
+func attrSetEqual(a, b []xmltree.Attr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Score computes a similarity in [0, 1] between two elements as a weighted
+// combination of name match, bag-of-words overlap of the subtree text
+// (Jaccard), attribute overlap and child element name overlap.
+func Score(a, b *xmltree.Node) float64 {
+	if a == nil || b == nil {
+		return 0
+	}
+	const (
+		wName  = 0.30
+		wWords = 0.40
+		wAttrs = 0.15
+		wKids  = 0.15
+	)
+	score := 0.0
+	if a.Name == b.Name {
+		score += wName
+	}
+	score += wWords * jaccard(wordBag(a), wordBag(b))
+	score += wAttrs * jaccard(attrBag(a), attrBag(b))
+	score += wKids * jaccard(childNameBag(a), childNameBag(b))
+	return score
+}
+
+// Similar is the "~" operator: true when the similarity score reaches the
+// threshold. A threshold around 0.8 distinguishes "the same restaurant
+// whose details changed" from "a different restaurant".
+func Similar(a, b *xmltree.Node, threshold float64) bool {
+	return Score(a, b) >= threshold
+}
+
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for w := range a {
+		if b[w] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+func wordBag(n *xmltree.Node) map[string]bool {
+	out := make(map[string]bool)
+	n.Walk(func(d *xmltree.Node) bool {
+		if d.IsText() {
+			for _, w := range fti.Tokenize(d.Value) {
+				out[w] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func attrBag(n *xmltree.Node) map[string]bool {
+	out := make(map[string]bool)
+	for _, a := range n.Attrs {
+		out[a.Name+"="+a.Value] = true
+	}
+	return out
+}
+
+func childNameBag(n *xmltree.Node) map[string]bool {
+	out := make(map[string]bool)
+	for _, c := range n.ChildElements("") {
+		out[c.Name] = true
+	}
+	return out
+}

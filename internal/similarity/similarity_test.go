@@ -1,0 +1,147 @@
+package similarity
+
+import (
+	"testing"
+	"testing/quick"
+
+	"txmldb/internal/xmltree"
+)
+
+func napoli() *xmltree.Node {
+	return xmltree.MustParse(`<restaurant><name>Napoli</name><price>15</price></restaurant>`)
+}
+
+func TestShallowEqual(t *testing.T) {
+	a := xmltree.MustParse(`<name>Napoli</name>`)
+	b := xmltree.MustParse(`<name>Napoli</name>`)
+	if !ShallowEqual(a, b) {
+		t.Error("identical leaf elements must be shallow-equal")
+	}
+	// Shallow equality ignores child elements.
+	c := napoli()
+	d := xmltree.MustParse(`<restaurant><name>Akropolis</name><price>99</price></restaurant>`)
+	if !ShallowEqual(c, d) {
+		t.Error("shallow equality must ignore child subtrees")
+	}
+	if ShallowEqual(a, xmltree.MustParse(`<name>Akropolis</name>`)) {
+		t.Error("different direct text must not be shallow-equal")
+	}
+	if ShallowEqual(a, xmltree.MustParse(`<title>Napoli</title>`)) {
+		t.Error("different names must not be shallow-equal")
+	}
+	e := xmltree.MustParse(`<r stars="3"/>`)
+	f := xmltree.MustParse(`<r stars="4"/>`)
+	if ShallowEqual(e, f) {
+		t.Error("different attrs must not be shallow-equal")
+	}
+	if !ShallowEqual(nil, nil) || ShallowEqual(a, nil) {
+		t.Error("nil handling broken")
+	}
+	t1, t2 := xmltree.NewText("x"), xmltree.NewText("x")
+	if !ShallowEqual(t1, t2) || ShallowEqual(t1, xmltree.NewText("y")) {
+		t.Error("text node shallow equality broken")
+	}
+}
+
+func TestDeepEqual(t *testing.T) {
+	if !DeepEqual(napoli(), napoli()) {
+		t.Error("identical subtrees must be deep-equal")
+	}
+	changed := napoli()
+	changed.SelectPath("price")[0].Children[0].Value = "18"
+	if DeepEqual(napoli(), changed) {
+		t.Error("changed price must break deep equality")
+	}
+}
+
+func TestIdentityEqual(t *testing.T) {
+	a, b := napoli(), napoli()
+	if IdentityEqual(a, b) {
+		t.Error("no XIDs: not identity-equal")
+	}
+	a.XID, b.XID = 5, 5
+	if !IdentityEqual(a, b) {
+		t.Error("same XID must be identity-equal")
+	}
+}
+
+func TestScoreIdentical(t *testing.T) {
+	if got := Score(napoli(), napoli()); got != 1 {
+		t.Errorf("identical score = %v, want 1", got)
+	}
+	if got := Score(napoli(), nil); got != 0 {
+		t.Errorf("nil score = %v", got)
+	}
+}
+
+func TestScoreReintroducedEntry(t *testing.T) {
+	// The paper's scenario: an entry accidentally deleted and reintroduced
+	// gets a new EID; identity comparison fails but similarity should not.
+	original := napoli()
+	original.XID = 10
+	reintroduced := napoli()
+	reintroduced.XID = 99
+	if IdentityEqual(original, reintroduced) {
+		t.Fatal("EIDs differ")
+	}
+	if !Similar(original, reintroduced, 0.95) {
+		t.Errorf("reintroduced entry score = %v", Score(original, reintroduced))
+	}
+}
+
+func TestScoreUpdatedEntryStaysSimilar(t *testing.T) {
+	updated := napoli()
+	updated.SelectPath("price")[0].Children[0].Value = "18"
+	score := Score(napoli(), updated)
+	if score < 0.7 {
+		t.Errorf("price-updated entry score = %v, want >= 0.7", score)
+	}
+	if score >= 1 {
+		t.Errorf("changed entry must score below 1, got %v", score)
+	}
+}
+
+func TestScoreDifferentRestaurants(t *testing.T) {
+	other := xmltree.MustParse(`<restaurant><name>Akropolis</name><price>13</price></restaurant>`)
+	score := Score(napoli(), other)
+	same := Score(napoli(), napoli())
+	if score >= same {
+		t.Errorf("different restaurant (%v) must score below identical (%v)", score, same)
+	}
+	if Similar(napoli(), other, 0.9) {
+		t.Error("different restaurants must not be ~-equal at 0.9")
+	}
+}
+
+func TestScoreAttrsMatter(t *testing.T) {
+	a := xmltree.MustParse(`<r cuisine="it"><name>X</name></r>`)
+	b := xmltree.MustParse(`<r cuisine="it"><name>X</name></r>`)
+	c := xmltree.MustParse(`<r cuisine="gr"><name>X</name></r>`)
+	if Score(a, b) <= Score(a, c) {
+		t.Error("matching attributes must increase the score")
+	}
+}
+
+func TestScoreSymmetric(t *testing.T) {
+	f := func(n1, n2, t1, t2 uint8) bool {
+		names := []string{"a", "b", "c"}
+		a := xmltree.ElemText(names[int(n1)%3], string(rune('a'+t1%5)))
+		b := xmltree.ElemText(names[int(n2)%3], string(rune('a'+t2%5)))
+		return Score(a, b) == Score(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	f := func(n1, t1 uint8) bool {
+		a := xmltree.ElemText("x", string(rune('a'+t1%5)))
+		b := napoli()
+		s := Score(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,260 @@
+package store
+
+import (
+	"fmt"
+
+	"txmldb/internal/diff"
+	"txmldb/internal/model"
+	"txmldb/internal/xmltree"
+)
+
+// VersionTree is a reconstructed document version.
+type VersionTree struct {
+	Info VersionInfo
+	Root *xmltree.Node
+}
+
+// TEID returns the temporal identifier of the version's root element.
+func (v VersionTree) TEID(doc model.DocID) model.TEID {
+	return model.TEID{E: model.EID{Doc: doc, X: v.Root.XID}, T: v.Info.Stamp}
+}
+
+// readScript loads and parses one completed delta document from disk.
+func (s *Store) readScript(d *docEntry, fromVer model.VersionNo) (*diff.Script, error) {
+	info := d.versions[fromVer-1]
+	if info.DeltaToNext.Zero() {
+		return nil, fmt.Errorf("store: no delta from version %d of doc %d", fromVer, d.id)
+	}
+	data, err := s.pages.Read(info.DeltaToNext)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading delta %d→%d of doc %d: %w", fromVer, fromVer+1, d.id, err)
+	}
+	node, err := xmltree.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: parsing delta document: %w", err)
+	}
+	return diff.FromXML(node)
+}
+
+// ReadDelta returns the completed delta script transforming version fromVer
+// into fromVer+1, reading it from disk.
+func (s *Store) ReadDelta(id model.DocID, fromVer model.VersionNo) (*diff.Script, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if fromVer < 1 || int(fromVer) >= len(d.versions) {
+		return nil, fmt.Errorf("store: doc %d has no delta from version %d", id, fromVer)
+	}
+	return s.readScript(d, fromVer)
+}
+
+// ReconstructVersion rebuilds the given version of the document by reading
+// the nearest snapshot at or after it and applying inverted completed
+// deltas backwards (Section 7.3.3). The returned tree is owned by the
+// caller.
+func (s *Store) ReconstructVersion(id model.DocID, ver model.VersionNo) (VersionTree, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return VersionTree{}, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	return s.reconstruct(d, ver)
+}
+
+func (s *Store) reconstruct(d *docEntry, ver model.VersionNo) (VersionTree, error) {
+	if ver < 1 || int(ver) > len(d.versions) {
+		return VersionTree{}, fmt.Errorf("store: doc %d has no version %d", d.id, ver)
+	}
+	// Use the oldest snapshot at or after the target version
+	// (the current version always has a full serialization).
+	snapVer := ver
+	for int(snapVer) <= len(d.versions) && d.versions[snapVer-1].Snapshot.Zero() {
+		snapVer++
+	}
+	if int(snapVer) > len(d.versions) {
+		return VersionTree{}, fmt.Errorf("store: doc %d: no snapshot at or after version %d", d.id, ver)
+	}
+	data, err := s.pages.Read(d.versions[snapVer-1].Snapshot)
+	if err != nil {
+		return VersionTree{}, fmt.Errorf("store: reading snapshot of version %d: %w", snapVer, err)
+	}
+	tree, err := xmltree.Unmarshal(data)
+	if err != nil {
+		return VersionTree{}, fmt.Errorf("store: parsing snapshot: %w", err)
+	}
+	// Apply inverted deltas backwards: snapVer-1 → ... → ver.
+	for v := snapVer - 1; v >= ver; v-- {
+		script, err := s.readScript(d, v)
+		if err != nil {
+			return VersionTree{}, err
+		}
+		if err := diff.Apply(tree, script.Invert()); err != nil {
+			return VersionTree{}, fmt.Errorf("store: applying inverse delta %d→%d: %w", v+1, v, err)
+		}
+	}
+	return VersionTree{Info: d.versions[ver-1], Root: tree}, nil
+}
+
+// ReconstructAt rebuilds the version of the document valid at time t.
+func (s *Store) ReconstructAt(id model.DocID, t model.Time) (VersionTree, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return VersionTree{}, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	v, err := d.versionAt(t)
+	if err != nil {
+		return VersionTree{}, err
+	}
+	return s.reconstruct(d, v.Ver)
+}
+
+// DocHistory returns all versions of the document valid in [from, to),
+// most recent first — the output order of the paper's DocHistory algorithm
+// (Section 7.3.4), which falls out of backward reconstruction.
+func (s *Store) DocHistory(id model.DocID, iv model.Interval) ([]VersionTree, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	// Find the newest and oldest versions whose validity intersects [from, to).
+	var out []VersionTree
+	last := -1
+	for i := len(d.versions) - 1; i >= 0; i-- {
+		if d.versions[i].Interval().Overlaps(iv) {
+			last = i
+			break
+		}
+	}
+	if last < 0 {
+		return nil, nil
+	}
+	// Reconstruct the newest version in range, then walk backwards with
+	// inverted deltas, reusing the intermediate trees.
+	vt, err := s.reconstruct(d, d.versions[last].Ver)
+	if err != nil {
+		return nil, err
+	}
+	tree := vt.Root
+	for i := last; i >= 0 && d.versions[i].Interval().Overlaps(iv); i-- {
+		out = append(out, VersionTree{Info: d.versions[i], Root: tree.Clone()})
+		if i > 0 {
+			script, err := s.readScript(d, d.versions[i-1].Ver)
+			if err != nil {
+				return nil, err
+			}
+			if err := diff.Apply(tree, script.Invert()); err != nil {
+				return nil, fmt.Errorf("store: history walk at version %d: %w", i, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ElementHistory returns all versions of the element valid in [from, to),
+// most recent first. Per Section 7.3.5 it reconstructs the document
+// versions and filters the subtree rooted at the element — "even if it was
+// possible to optimize this so that only the desired subtrees are
+// reconstructed, the whole deltas would have to be read anyway".
+func (s *Store) ElementHistory(eid model.EID, iv model.Interval) ([]VersionTree, error) {
+	docVersions, err := s.DocHistory(eid.Doc, iv)
+	if err != nil {
+		return nil, err
+	}
+	var out []VersionTree
+	for _, dv := range docVersions {
+		if sub := dv.Root.FindXID(eid.X); sub != nil {
+			out = append(out, VersionTree{Info: dv.Info, Root: sub.Detach()})
+		}
+	}
+	return out, nil
+}
+
+// CreTimeTraverse finds the creation time of the element identified by the
+// TEID by traversing completed deltas backwards from the version valid at
+// the TEID's timestamp until the delta that introduced the element
+// (Section 7.3.6, first strategy). No reconstruction is performed.
+func (s *Store) CreTimeTraverse(teid model.TEID) (model.Time, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[teid.E.Doc]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNotFound, teid.E.Doc)
+	}
+	v, err := d.versionAt(teid.T)
+	if err != nil {
+		return 0, err
+	}
+	return s.creTimeScan(d, v.Ver, teid.E.X)
+}
+
+// CreTimeTraverseFromCurrent is the strategy available when only an EID is
+// known: traversal starts at the current version. The paper points out this
+// is more expensive, which experiment C4 quantifies.
+func (s *Store) CreTimeTraverseFromCurrent(eid model.EID) (model.Time, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[eid.Doc]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNotFound, eid.Doc)
+	}
+	return s.creTimeScan(d, model.VersionNo(len(d.versions)), eid.X)
+}
+
+func (s *Store) creTimeScan(d *docEntry, fromVer model.VersionNo, x model.XID) (model.Time, error) {
+	for ver := fromVer; ver >= 2; ver-- {
+		script, err := s.readScript(d, ver-1)
+		if err != nil {
+			return 0, err
+		}
+		for _, op := range script.Ops {
+			if op.Kind == diff.OpInsert && op.Node.FindXID(x) != nil {
+				return script.ToStamp, nil
+			}
+		}
+	}
+	// Never inserted by a delta: the element is part of version 1.
+	return d.versions[0].Stamp, nil
+}
+
+// DelTimeTraverse finds the deletion time of the element: Forever if it is
+// still part of the current version of a live document, the document
+// deletion time if the document was deleted with the element in its last
+// version, and otherwise the timestamp of the delta that removed it,
+// found by forward traversal from the TEID's timestamp (Section 7.3.6).
+func (s *Store) DelTimeTraverse(teid model.TEID) (model.Time, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[teid.E.Doc]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNotFound, teid.E.Doc)
+	}
+	v, err := d.versionAt(teid.T)
+	if err != nil {
+		return 0, err
+	}
+	// If the element is still in the (cached) last version, its delete
+	// time is the document's.
+	if d.cur.FindXID(teid.E.X) != nil {
+		return d.deleted, nil // Forever for live documents
+	}
+	for ver := v.Ver + 1; int(ver) <= len(d.versions); ver++ {
+		script, err := s.readScript(d, ver-1)
+		if err != nil {
+			return 0, err
+		}
+		for _, op := range script.Ops {
+			if op.Kind == diff.OpDelete && op.Node != nil && op.Node.FindXID(teid.E.X) != nil {
+				return script.ToStamp, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("store: element %s not found in any delta after %s", teid.E, teid.T)
+}

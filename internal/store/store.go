@@ -1,0 +1,365 @@
+// Package store implements the physical storage model of Section 7.1 of the
+// paper: every document is stored as one complete current version plus a
+// chain of completed deltas, each delta kept as a separate XML document on
+// the simulated disk. A per-document delta index maps version numbers to
+// timestamps and extent references; with an in-memory delta index,
+// PreviousTS/NextTS/CurrentTS are pure index lookups (Section 7.3.7).
+//
+// Optionally the store intersperses full snapshots every k versions, which
+// bounds the number of deltas a reconstruction has to apply (Section 7.3.3).
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"txmldb/internal/diff"
+	"txmldb/internal/model"
+	"txmldb/internal/pagestore"
+	"txmldb/internal/xmltree"
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	// Pages configures the simulated disk.
+	Pages pagestore.Config
+	// SnapshotEvery stores a full snapshot every k-th version (0 = never).
+	SnapshotEvery int
+}
+
+// VersionInfo is one entry of a document's delta index.
+type VersionInfo struct {
+	Ver   model.VersionNo
+	Stamp model.Time
+	// End is the timestamp at which this version stopped being current:
+	// the next version's stamp, the document deletion time, or Forever.
+	End model.Time
+	// DeltaToNext references the completed delta document transforming this
+	// version into the next one; zero for the current version.
+	DeltaToNext pagestore.Ref
+	// Snapshot references a full serialization of this version, if one was
+	// stored; zero otherwise. The current version always has one.
+	Snapshot pagestore.Ref
+}
+
+// Interval returns the transaction-time validity of the version.
+func (v VersionInfo) Interval() model.Interval {
+	return model.Interval{Start: v.Stamp, End: v.End}
+}
+
+// DocInfo describes a stored document.
+type DocInfo struct {
+	ID       model.DocID
+	Name     string
+	RootXID  model.XID
+	Created  model.Time
+	Deleted  model.Time // Forever while the document is live
+	Versions int
+}
+
+// Live reports whether the document currently exists.
+func (d DocInfo) Live() bool { return d.Deleted == model.Forever }
+
+type docEntry struct {
+	id      model.DocID
+	name    string
+	nextXID model.XID
+	created model.Time
+	deleted model.Time
+	rootXID model.XID
+
+	cur      *xmltree.Node // cached current version
+	versions []VersionInfo // index 0 = version 1
+}
+
+func (d *docEntry) curInfo() *VersionInfo { return &d.versions[len(d.versions)-1] }
+
+// Store is the version store. It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	cfg     Config
+	pages   *pagestore.Store
+	docs    map[model.DocID]*docEntry
+	byName  map[string]model.DocID
+	nextDoc model.DocID
+}
+
+// New returns an empty store.
+func New(cfg Config) *Store {
+	return &Store{
+		cfg:    cfg,
+		pages:  pagestore.New(cfg.Pages),
+		docs:   make(map[model.DocID]*docEntry),
+		byName: make(map[string]model.DocID),
+	}
+}
+
+// Pages exposes the simulated disk, mainly for I/O accounting in benchmarks.
+func (s *Store) Pages() *pagestore.Store { return s.pages }
+
+var (
+	// ErrNotFound reports an unknown document.
+	ErrNotFound = fmt.Errorf("store: document not found")
+	// ErrDeleted reports an operation that needs a live document.
+	ErrDeleted = fmt.Errorf("store: document is deleted")
+	// ErrExists reports a Put under a name that is currently live.
+	ErrExists = fmt.Errorf("store: document already exists")
+	// ErrNoVersion reports that no version was valid at the requested time.
+	ErrNoVersion = fmt.Errorf("store: no version valid at that time")
+	// ErrStale reports an update whose timestamp does not advance the
+	// document's history.
+	ErrStale = fmt.Errorf("store: timestamp not newer than current version")
+)
+
+// Put stores tree as version 1 of a new document under name. The tree is
+// annotated in place with fresh XIDs and stamp t. If a document with the
+// same name existed before, it must be deleted; the new document gets a new
+// DocID (XIDs are never shared across document incarnations).
+func (s *Store) Put(name string, tree *xmltree.Node, t model.Time) (model.DocID, error) {
+	if err := tree.Validate(); err != nil {
+		return 0, fmt.Errorf("store: put %q: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.byName[name]; ok {
+		if s.docs[prev].deleted == model.Forever {
+			return 0, fmt.Errorf("%w: %q", ErrExists, name)
+		}
+	}
+	s.nextDoc++
+	id := s.nextDoc
+	d := &docEntry{
+		id:      id,
+		name:    name,
+		created: t,
+		deleted: model.Forever,
+	}
+	diff.AssignXIDs(tree, d.allocXID, t)
+	d.rootXID = tree.XID
+	d.cur = tree.Clone()
+	ref := s.pages.Write(int(id), xmltree.Marshal(d.cur))
+	d.versions = []VersionInfo{{Ver: 1, Stamp: t, End: model.Forever, Snapshot: ref}}
+	s.docs[id] = d
+	s.byName[name] = id
+	return id, nil
+}
+
+func (d *docEntry) allocXID() model.XID {
+	d.nextXID++
+	return d.nextXID
+}
+
+// Update stores tree as the next version of the document at time t. The
+// tree is annotated in place with XIDs (persistent for matched elements,
+// fresh for new ones). It returns the new version number and the completed
+// delta script that was stored, which index maintenance consumes.
+func (s *Store) Update(id model.DocID, tree *xmltree.Node, t model.Time) (model.VersionNo, *diff.Script, error) {
+	if err := tree.Validate(); err != nil {
+		return 0, nil, fmt.Errorf("store: update %d: %w", id, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if d.deleted != model.Forever {
+		return 0, nil, fmt.Errorf("%w: %d", ErrDeleted, id)
+	}
+	cur := d.curInfo()
+	if t <= cur.Stamp {
+		return 0, nil, fmt.Errorf("%w: %s <= %s", ErrStale, t, cur.Stamp)
+	}
+	newVer := cur.Ver + 1
+	script, annotated, err := diff.Diff(d.cur, tree, diff.Options{
+		Alloc:     d.allocXID,
+		Stamp:     t,
+		FromStamp: cur.Stamp,
+		FromVer:   cur.Ver,
+		ToVer:     newVer,
+	})
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: update %d: %w", id, err)
+	}
+	// Store the completed delta as its own XML document (Section 7.1).
+	deltaRef := s.pages.Write(int(id), xmltree.Marshal(script.ToXML()))
+	cur.DeltaToNext = deltaRef
+	cur.End = t
+	// The previous "current" full version is dropped unless it is a
+	// snapshot version: the chain of completed deltas replaces it.
+	if !s.isSnapshotVersion(cur.Ver) {
+		s.pages.Free(cur.Snapshot)
+		cur.Snapshot = pagestore.Ref{}
+	}
+	d.cur = annotated
+	newInfo := VersionInfo{Ver: newVer, Stamp: t, End: model.Forever}
+	newInfo.Snapshot = s.pages.Write(int(id), xmltree.Marshal(d.cur))
+	d.versions = append(d.versions, newInfo)
+	return newVer, script, nil
+}
+
+// isSnapshotVersion reports whether full serializations of version v are
+// retained after it stops being current.
+func (s *Store) isSnapshotVersion(v model.VersionNo) bool {
+	return s.cfg.SnapshotEvery > 0 && int(v)%s.cfg.SnapshotEvery == 0
+}
+
+// Delete marks the document deleted at time t. Its history stays queryable.
+func (s *Store) Delete(id model.DocID, t model.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if d.deleted != model.Forever {
+		return fmt.Errorf("%w: %d", ErrDeleted, id)
+	}
+	cur := d.curInfo()
+	if t <= cur.Stamp {
+		return fmt.Errorf("%w: delete at %s <= %s", ErrStale, t, cur.Stamp)
+	}
+	d.deleted = t
+	cur.End = t
+	return nil
+}
+
+// Info returns the document's metadata.
+func (s *Store) Info(id model.DocID) (DocInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return DocInfo{}, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	return DocInfo{
+		ID: d.id, Name: d.name, RootXID: d.rootXID,
+		Created: d.created, Deleted: d.deleted, Versions: len(d.versions),
+	}, nil
+}
+
+// Lookup resolves a document name to the DocID of its latest incarnation.
+func (s *Store) Lookup(name string) (model.DocID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.byName[name]
+	return id, ok
+}
+
+// Docs returns all document IDs in insertion order.
+func (s *Store) Docs() []model.DocID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]model.DocID, 0, len(s.docs))
+	for id := range s.docs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Current returns a copy of the live current version of the document and
+// its version info. It fails for deleted documents; use ReconstructAt for
+// historical access.
+func (s *Store) Current(id model.DocID) (*xmltree.Node, VersionInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return nil, VersionInfo{}, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if d.deleted != model.Forever {
+		return nil, VersionInfo{}, fmt.Errorf("%w: %d", ErrDeleted, id)
+	}
+	return d.cur.Clone(), *d.curInfo(), nil
+}
+
+// Versions returns the document's delta index: one entry per version in
+// ascending order. This is the in-memory structure behind the
+// PreviousTS/NextTS/CurrentTS operators.
+func (s *Store) Versions(id model.DocID) ([]VersionInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	return append([]VersionInfo(nil), d.versions...), nil
+}
+
+// VersionAt returns the version valid at time t.
+func (s *Store) VersionAt(id model.DocID, t model.Time) (VersionInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return VersionInfo{}, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	return d.versionAt(t)
+}
+
+func (d *docEntry) versionAt(t model.Time) (VersionInfo, error) {
+	// Binary search for the last version with Stamp <= t.
+	i := sort.Search(len(d.versions), func(i int) bool { return d.versions[i].Stamp > t }) - 1
+	if i < 0 {
+		return VersionInfo{}, fmt.Errorf("%w: %s before first version", ErrNoVersion, t)
+	}
+	v := d.versions[i]
+	if !v.Interval().Contains(t) {
+		return VersionInfo{}, fmt.Errorf("%w: %s (document deleted)", ErrNoVersion, t)
+	}
+	return v, nil
+}
+
+// PreviousTS returns the version preceding the one valid at t
+// (Section 7.3.7: a pure delta-index lookup, no delta reads).
+func (s *Store) PreviousTS(id model.DocID, t model.Time) (VersionInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return VersionInfo{}, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	v, err := d.versionAt(t)
+	if err != nil {
+		return VersionInfo{}, err
+	}
+	if v.Ver == 1 {
+		return VersionInfo{}, fmt.Errorf("%w: version 1 has no predecessor", ErrNoVersion)
+	}
+	return d.versions[v.Ver-2], nil
+}
+
+// NextTS returns the version following the one valid at t.
+func (s *Store) NextTS(id model.DocID, t model.Time) (VersionInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return VersionInfo{}, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	v, err := d.versionAt(t)
+	if err != nil {
+		return VersionInfo{}, err
+	}
+	if int(v.Ver) >= len(d.versions) {
+		return VersionInfo{}, fmt.Errorf("%w: no successor of current version", ErrNoVersion)
+	}
+	return d.versions[v.Ver], nil
+}
+
+// CurrentTS returns the current version's info (no timestamp needed: the
+// current version is implicit, Section 6.1).
+func (s *Store) CurrentTS(id model.DocID) (VersionInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return VersionInfo{}, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if d.deleted != model.Forever {
+		return VersionInfo{}, fmt.Errorf("%w: %d", ErrDeleted, id)
+	}
+	return *d.curInfo(), nil
+}

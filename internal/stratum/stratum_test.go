@@ -1,0 +1,162 @@
+package stratum
+
+import (
+	"testing"
+
+	"txmldb/internal/model"
+	"txmldb/internal/pagestore"
+	"txmldb/internal/pattern"
+	"txmldb/internal/xmltree"
+)
+
+var (
+	jan1  = model.Date(2001, 1, 1)
+	jan15 = model.Date(2001, 1, 15)
+	jan26 = model.Date(2001, 1, 26)
+	jan31 = model.Date(2001, 1, 31)
+	feb10 = model.Date(2001, 2, 10)
+)
+
+func guide(entries ...[2]string) *xmltree.Node {
+	g := xmltree.NewElement("guide")
+	for _, e := range entries {
+		g.AppendChild(xmltree.Elem("restaurant",
+			xmltree.ElemText("name", e[0]),
+			xmltree.ElemText("price", e[1])))
+	}
+	return g
+}
+
+func figure1(t testing.TB) (*DB, model.DocID) {
+	t.Helper()
+	db := New(pagestore.Config{})
+	id, err := db.Put("guide", guide([2]string{"Napoli", "15"}), jan1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update(id, guide([2]string{"Napoli", "15"}, [2]string{"Akropolis", "13"}), jan15); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update(id, guide([2]string{"Napoli", "18"}), jan31); err != nil {
+		t.Fatal(err)
+	}
+	return db, id
+}
+
+func restaurantPattern() *pattern.PNode {
+	r := &pattern.PNode{Name: "restaurant", Rel: pattern.Child, Project: true}
+	return &pattern.PNode{Name: "guide", Rel: pattern.Child, Children: []*pattern.PNode{r}}
+}
+
+func TestSnapshotScanMatchesNative(t *testing.T) {
+	db, _ := figure1(t)
+	counts := map[model.Time]int{jan1: 1, jan26: 2, jan31: 1, feb10: 1}
+	for at, want := range counts {
+		ms, err := db.SnapshotScan(restaurantPattern(), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != want {
+			t.Errorf("at %s: %d matches, want %d", at, len(ms), want)
+		}
+	}
+}
+
+func TestAllScanEnumeratesVersions(t *testing.T) {
+	db, _ := figure1(t)
+	ms, err := db.AllScan(restaurantPattern())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stratum index has no cross-version identity: every version of
+	// every restaurant is a separate match (1 + 2 + 1 = 4), unlike the
+	// native engine's 2 element histories.
+	if len(ms) != 4 {
+		t.Fatalf("AllScan matches = %d, want 4 (per-version identity)", len(ms))
+	}
+}
+
+func TestReadVersionAt(t *testing.T) {
+	db, id := figure1(t)
+	tree, err := db.ReadVersionAt(id, jan26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.ChildElements("restaurant")) != 2 {
+		t.Fatalf("version at jan26 = %s", tree)
+	}
+	if _, err := db.ReadVersionAt(id, jan1-1); err == nil {
+		t.Fatal("pre-creation read must fail")
+	}
+}
+
+func TestHistory(t *testing.T) {
+	db, id := figure1(t)
+	hist, err := db.History(id, model.Always)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 3 {
+		t.Fatalf("history = %d versions", len(hist))
+	}
+	if len(hist[0].ChildElements("restaurant")) != 1 {
+		t.Fatal("history must be most recent first")
+	}
+}
+
+func TestDeleteEndsValidity(t *testing.T) {
+	db, id := figure1(t)
+	if err := db.Delete(id, feb10); err != nil {
+		t.Fatal(err)
+	}
+	if ms, _ := db.SnapshotScan(restaurantPattern(), feb10); len(ms) != 0 {
+		t.Fatal("snapshot at deletion time must be empty")
+	}
+	if ms, _ := db.SnapshotScan(restaurantPattern(), feb10-1); len(ms) != 1 {
+		t.Fatal("snapshot before deletion must answer")
+	}
+	if err := db.Delete(id, feb10); err == nil {
+		t.Fatal("double delete must fail")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := New(pagestore.Config{})
+	if _, err := db.Put("a", guide([2]string{"N", "1"}), jan1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Put("a", guide([2]string{"N", "1"}), jan15); err == nil {
+		t.Fatal("duplicate Put must fail")
+	}
+	if err := db.Update(99, guide(), jan15); err == nil {
+		t.Fatal("unknown doc update must fail")
+	}
+	id, _ := db.Lookup("a")
+	if err := db.Update(id, guide([2]string{"N", "2"}), jan1); err == nil {
+		t.Fatal("stale update must fail")
+	}
+}
+
+func TestStorageGrowsWithFullVersions(t *testing.T) {
+	db, _ := figure1(t)
+	// Three complete versions stored: strictly more bytes than any single
+	// version serialization.
+	one := int64(len(xmltree.Marshal(guide([2]string{"Napoli", "15"}, [2]string{"Akropolis", "13"}))))
+	if got := db.Pages().BytesStored(); got < 2*one {
+		t.Fatalf("stratum storage = %d bytes, expected to exceed 2 full versions (%d)", got, 2*one)
+	}
+}
+
+func TestPostingsScannedGrowsWithHistory(t *testing.T) {
+	db, _ := figure1(t)
+	db.SnapshotScan(restaurantPattern(), jan26)
+	first := db.PostingsScanned()
+	if first == 0 {
+		t.Fatal("middleware should scan postings")
+	}
+	// Index stats reflect one posting per word per version.
+	st := db.IndexStats()
+	if st.Postings == 0 || st.Bytes == 0 {
+		t.Fatalf("index stats = %+v", st)
+	}
+}

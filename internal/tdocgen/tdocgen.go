@@ -1,0 +1,244 @@
+// Package tdocgen generates temporal XML document workloads: evolving
+// restaurant-guide documents in the style of the paper's running example
+// (Figure 1) and timestamped news feeds for document-time scenarios
+// (Section 3.1). Generation is fully deterministic per seed, so benchmarks
+// and experiments are reproducible.
+package tdocgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"txmldb/internal/diff"
+	"txmldb/internal/model"
+	"txmldb/internal/xmltree"
+)
+
+// Config parameterizes a Generator.
+type Config struct {
+	// Seed drives all randomness; equal seeds give equal corpora.
+	Seed int64
+	// Docs is the number of documents.
+	Docs int
+	// InitialElems is the number of restaurants per document's first
+	// version. Default 10.
+	InitialElems int
+	// Versions is the number of versions per document (including the
+	// first). Default 5.
+	Versions int
+	// OpsPerVersion is how many edits each new version applies. Default 2.
+	OpsPerVersion int
+	// Vocabulary is the number of distinct content words. Default 200.
+	Vocabulary int
+	// Start is the timestamp of every document's first version.
+	Start model.Time
+	// Step is the time between consecutive versions of one document.
+	// Default: one day.
+	Step model.Time
+	// UpdateWeight, InsertWeight, DeleteWeight, MoveWeight bias the edit
+	// mix; all default to 1 except MoveWeight which defaults to 0 (moves
+	// are rare in web documents).
+	UpdateWeight, InsertWeight, DeleteWeight, MoveWeight int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Docs == 0 {
+		c.Docs = 1
+	}
+	if c.InitialElems == 0 {
+		c.InitialElems = 10
+	}
+	if c.Versions == 0 {
+		c.Versions = 5
+	}
+	if c.OpsPerVersion == 0 {
+		c.OpsPerVersion = 2
+	}
+	if c.Vocabulary == 0 {
+		c.Vocabulary = 200
+	}
+	if c.Step == 0 {
+		c.Step = 24 * 3600 * 1000
+	}
+	if c.UpdateWeight == 0 && c.InsertWeight == 0 && c.DeleteWeight == 0 && c.MoveWeight == 0 {
+		c.UpdateWeight, c.InsertWeight, c.DeleteWeight = 4, 2, 1
+	}
+	return c
+}
+
+// Version is one generated document state.
+type Version struct {
+	Tree *xmltree.Node
+	At   model.Time
+}
+
+// Generator produces deterministic document histories.
+type Generator struct {
+	cfg   Config
+	words []string
+}
+
+// New returns a generator for the configuration.
+func New(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{cfg: cfg}
+	// Content words are drawn Zipf-distributed at generation time: common
+	// words collide across documents, rare ones discriminate — the
+	// distribution text indexes live with.
+	g.words = make([]string, cfg.Vocabulary)
+	for i := range g.words {
+		g.words[i] = fmt.Sprintf("w%04d", i)
+	}
+	return g
+}
+
+// URL returns the i-th document's name.
+func (g *Generator) URL(i int) string {
+	return fmt.Sprintf("http://guide%03d.example.com/restaurants.xml", i)
+}
+
+// rng returns the per-document random stream; histories of different
+// documents are independent and stable under config changes elsewhere.
+func (g *Generator) rng(doc int) *rand.Rand {
+	return rand.New(rand.NewSource(g.cfg.Seed*1_000_003 + int64(doc)))
+}
+
+func (g *Generator) word(r *rand.Rand, zipf *rand.Zipf) string {
+	return g.words[int(zipf.Uint64())]
+}
+
+// History generates the full version history of document i.
+func (g *Generator) History(i int) []Version {
+	r := g.rng(i)
+	zipf := rand.NewZipf(r, 1.3, 1.0, uint64(g.cfg.Vocabulary-1))
+	serial := 0
+
+	tree := xmltree.NewElement("guide")
+	for k := 0; k < g.cfg.InitialElems; k++ {
+		tree.AppendChild(g.restaurant(r, zipf, i, &serial))
+	}
+	out := []Version{{Tree: tree, At: g.cfg.Start}}
+	cur := tree
+	for v := 1; v < g.cfg.Versions; v++ {
+		next := cur.Clone()
+		next.Walk(func(n *xmltree.Node) bool { n.XID = 0; n.Stamp = 0; return true })
+		for op := 0; op < g.cfg.OpsPerVersion; op++ {
+			g.mutate(r, zipf, next, i, &serial)
+		}
+		out = append(out, Version{Tree: next, At: g.cfg.Start + model.Time(int64(v)*int64(g.cfg.Step))})
+		cur = next
+	}
+	return out
+}
+
+// restaurant builds one entry: a name unique within the corpus, a price,
+// a cuisine attribute and a nested info/chef element using common words.
+func (g *Generator) restaurant(r *rand.Rand, zipf *rand.Zipf, doc int, serial *int) *xmltree.Node {
+	*serial++
+	rest := xmltree.Elem("restaurant",
+		xmltree.ElemText("name", fmt.Sprintf("rest-%03d-%04d", doc, *serial)),
+		xmltree.ElemText("price", fmt.Sprint(5+r.Intn(45))),
+		xmltree.Elem("info",
+			xmltree.ElemText("chef", g.word(r, zipf)),
+			xmltree.ElemText("specialty", g.word(r, zipf)+" "+g.word(r, zipf))))
+	rest.SetAttr("cuisine", g.word(r, zipf))
+	return rest
+}
+
+// mutate applies one weighted random edit to the tree.
+func (g *Generator) mutate(r *rand.Rand, zipf *rand.Zipf, tree *xmltree.Node, doc int, serial *int) {
+	c := g.cfg
+	total := c.UpdateWeight + c.InsertWeight + c.DeleteWeight + c.MoveWeight
+	pick := r.Intn(total)
+	rests := tree.ChildElements("restaurant")
+	switch {
+	case pick < c.UpdateWeight:
+		if len(rests) == 0 {
+			return
+		}
+		target := rests[r.Intn(len(rests))]
+		switch r.Intn(3) {
+		case 0: // price change
+			if p := target.SelectPath("price"); len(p) > 0 && len(p[0].Children) > 0 {
+				p[0].Children[0].Value = fmt.Sprint(5 + r.Intn(45))
+			}
+		case 1: // chef change
+			if ch := target.SelectPath("info/chef"); len(ch) > 0 && len(ch[0].Children) > 0 {
+				ch[0].Children[0].Value = g.word(r, zipf)
+			}
+		case 2: // cuisine attribute change
+			target.SetAttr("cuisine", g.word(r, zipf))
+		}
+	case pick < c.UpdateWeight+c.InsertWeight:
+		tree.InsertChild(r.Intn(len(tree.Children)+1), g.restaurant(r, zipf, doc, serial))
+	case pick < c.UpdateWeight+c.InsertWeight+c.DeleteWeight:
+		if len(rests) > 1 {
+			rests[r.Intn(len(rests))].Detach()
+		}
+	default: // move (reorder)
+		if len(rests) > 1 {
+			sub := rests[r.Intn(len(rests))]
+			sub.Detach()
+			tree.InsertChild(r.Intn(len(tree.Children)+1), sub)
+		}
+	}
+}
+
+// Loader stores generated histories. *core.DB satisfies it directly.
+type Loader interface {
+	Put(url string, tree *xmltree.Node, t model.Time) (model.DocID, error)
+	Update(id model.DocID, tree *xmltree.Node, t model.Time) (model.VersionNo, *diff.Script, error)
+}
+
+// Load feeds the whole corpus into a loader and returns the document ids.
+func (g *Generator) Load(l Loader) ([]model.DocID, error) {
+	ids := make([]model.DocID, g.cfg.Docs)
+	for i := 0; i < g.cfg.Docs; i++ {
+		hist := g.History(i)
+		id, err := l.Put(g.URL(i), hist[0].Tree, hist[0].At)
+		if err != nil {
+			return nil, fmt.Errorf("tdocgen: put doc %d: %w", i, err)
+		}
+		ids[i] = id
+		for _, v := range hist[1:] {
+			if _, _, err := l.Update(id, v.Tree, v.At); err != nil {
+				return nil, fmt.Errorf("tdocgen: update doc %d at %s: %w", i, v.At, err)
+			}
+		}
+	}
+	return ids, nil
+}
+
+// NewsHistory generates a news-archive document: items carry a document
+// timestamp (publication time) in their content, the paper's
+// "document time" scenario (Section 3.1). Each version appends one item
+// and occasionally amends an old headline.
+func (g *Generator) NewsHistory(i int) []Version {
+	r := g.rng(1_000_000 + i)
+	zipf := rand.NewZipf(r, 1.3, 1.0, uint64(g.cfg.Vocabulary-1))
+	feed := xmltree.NewElement("feed")
+	add := func(at model.Time) {
+		item := xmltree.Elem("item",
+			xmltree.ElemText("published", at.String()),
+			xmltree.ElemText("headline", g.word(r, zipf)+" "+g.word(r, zipf)),
+			xmltree.ElemText("body", g.word(r, zipf)+" "+g.word(r, zipf)+" "+g.word(r, zipf)))
+		feed.AppendChild(item)
+	}
+	add(g.cfg.Start)
+	out := []Version{{Tree: feed.Clone(), At: g.cfg.Start}}
+	for v := 1; v < g.cfg.Versions; v++ {
+		at := g.cfg.Start + model.Time(int64(v)*int64(g.cfg.Step))
+		add(at)
+		if r.Intn(3) == 0 && len(feed.Children) > 1 {
+			old := feed.Children[r.Intn(len(feed.Children))]
+			if h := old.SelectPath("headline"); len(h) > 0 && len(h[0].Children) > 0 {
+				h[0].Children[0].Value = "corrected " + g.word(r, zipf)
+			}
+		}
+		out = append(out, Version{Tree: feed.Clone(), At: at})
+	}
+	for _, v := range out {
+		v.Tree.Walk(func(n *xmltree.Node) bool { n.XID = 0; n.Stamp = 0; return true })
+	}
+	return out
+}

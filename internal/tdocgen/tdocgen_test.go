@@ -1,0 +1,145 @@
+package tdocgen
+
+import (
+	"testing"
+
+	"txmldb/internal/core"
+	"txmldb/internal/model"
+	"txmldb/internal/xmltree"
+)
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, Docs: 3, Versions: 4, Start: 1000}
+	a := New(cfg)
+	b := New(cfg)
+	for doc := 0; doc < 3; doc++ {
+		ha, hb := a.History(doc), b.History(doc)
+		if len(ha) != len(hb) {
+			t.Fatalf("doc %d: version counts differ", doc)
+		}
+		for v := range ha {
+			if ha[v].At != hb[v].At || !xmltree.Equal(ha[v].Tree, hb[v].Tree) {
+				t.Fatalf("doc %d version %d differs between equal seeds", doc, v)
+			}
+		}
+	}
+	// Different seeds must differ somewhere.
+	c := New(Config{Seed: 43, Docs: 3, Versions: 4, Start: 1000})
+	same := true
+	for v, hv := range a.History(0) {
+		if !xmltree.Equal(hv.Tree, c.History(0)[v].Tree) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical histories")
+	}
+}
+
+func TestHistoryShape(t *testing.T) {
+	g := New(Config{Seed: 7, Docs: 1, InitialElems: 8, Versions: 6, Start: 1000})
+	hist := g.History(0)
+	if len(hist) != 6 {
+		t.Fatalf("versions = %d", len(hist))
+	}
+	if hist[0].At != 1000 {
+		t.Fatalf("start = %d", hist[0].At)
+	}
+	for v := 1; v < len(hist); v++ {
+		if hist[v].At <= hist[v-1].At {
+			t.Fatal("timestamps must increase")
+		}
+		if xmltree.Equal(hist[v].Tree, hist[v-1].Tree) {
+			t.Fatalf("version %d identical to predecessor", v)
+		}
+		if err := hist[v].Tree.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(hist[0].Tree.ChildElements("restaurant")); got != 8 {
+		t.Fatalf("initial restaurants = %d", got)
+	}
+	// Structure sanity: every restaurant has name and price.
+	for _, r := range hist[len(hist)-1].Tree.ChildElements("restaurant") {
+		if len(r.SelectPath("name")) != 1 || len(r.SelectPath("price")) != 1 {
+			t.Fatalf("malformed restaurant: %s", r)
+		}
+	}
+}
+
+func TestLoadIntoCore(t *testing.T) {
+	g := New(Config{Seed: 1, Docs: 4, Versions: 5, Start: 1000})
+	db := core.Open(core.Config{Clock: func() model.Time { return 1_000_000 }})
+	ids, err := g.Load(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 4 {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i, id := range ids {
+		info, err := db.Info(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Versions != 5 {
+			t.Fatalf("doc %d versions = %d", i, info.Versions)
+		}
+		// Every stored version must reconstruct to the generated tree.
+		hist := g.History(i)
+		for v := 1; v <= 5; v++ {
+			vt, err := db.ReconstructVersion(id, model.VersionNo(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !xmltree.Equal(vt.Root, hist[v-1].Tree) {
+				t.Fatalf("doc %d version %d: stored tree differs from generated", i, v)
+			}
+		}
+	}
+}
+
+func TestNewsHistory(t *testing.T) {
+	g := New(Config{Seed: 5, Versions: 6, Start: 1000})
+	hist := g.NewsHistory(0)
+	if len(hist) != 6 {
+		t.Fatalf("news versions = %d", len(hist))
+	}
+	for v, hv := range hist {
+		items := hv.Tree.ChildElements("item")
+		if len(items) != v+1 {
+			t.Fatalf("version %d has %d items, want %d", v, len(items), v+1)
+		}
+		for _, it := range items {
+			if len(it.SelectPath("published")) != 1 {
+				t.Fatal("item without document timestamp")
+			}
+		}
+	}
+}
+
+func TestEditMixWeights(t *testing.T) {
+	// Insert-only workload: restaurant count must grow monotonically.
+	g := New(Config{Seed: 9, Versions: 8, InitialElems: 2, OpsPerVersion: 1,
+		InsertWeight: 1, UpdateWeight: 0, DeleteWeight: 0, Start: 1000})
+	hist := g.History(0)
+	prev := 0
+	for _, hv := range hist {
+		n := len(hv.Tree.ChildElements("restaurant"))
+		if n < prev {
+			t.Fatal("insert-only workload lost restaurants")
+		}
+		prev = n
+	}
+	if prev != 2+7 {
+		t.Fatalf("final restaurants = %d, want 9", prev)
+	}
+}
+
+func TestURLsDistinct(t *testing.T) {
+	g := New(Config{Docs: 3})
+	if g.URL(0) == g.URL(1) {
+		t.Fatal("URLs must be distinct")
+	}
+}

@@ -1,0 +1,160 @@
+// Package tidx implements the auxiliary create/delete-time index of
+// Section 7.3.6 of the paper: "use an additional index that indexes EID and
+// create/delete timestamps". It turns CreTime and DelTime from delta-chain
+// traversals into ordered-index lookups.
+//
+// As the paper notes, inserts are not globally append-only (new elements
+// appear inside existing documents), but updates arrive batched per
+// document version, so the per-insert amortized cost stays low; the index
+// is a B+ tree keyed by EID.
+package tidx
+
+import (
+	"sync"
+
+	"txmldb/internal/btree"
+	"txmldb/internal/diff"
+	"txmldb/internal/model"
+	"txmldb/internal/xmltree"
+)
+
+// Times are the creation and deletion instants of one element. Deleted is
+// Forever while the element exists.
+type Times struct {
+	Created model.Time
+	Deleted model.Time
+}
+
+// Interval returns the element's lifetime [Created, Deleted).
+func (t Times) Interval() model.Interval {
+	return model.Interval{Start: t.Created, End: t.Deleted}
+}
+
+// Index maps EIDs to their creation and deletion times. It is safe for
+// concurrent use.
+type Index struct {
+	mu   sync.RWMutex
+	tree *btree.Tree[model.EID, Times]
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{tree: btree.New[model.EID, Times](model.EID.Less)}
+}
+
+// Len returns the number of indexed elements.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree.Len()
+}
+
+// AddVersion maintains the index after a document version was stored:
+// script is nil for the initial version (every node of newRoot is created
+// at t), otherwise the completed delta. Inserted subtrees open entries,
+// deleted subtrees close them.
+func (ix *Index) AddVersion(doc model.DocID, newRoot *xmltree.Node, script *diff.Script, t model.Time) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if script == nil {
+		newRoot.Walk(func(n *xmltree.Node) bool {
+			ix.tree.Set(model.EID{Doc: doc, X: n.XID}, Times{Created: t, Deleted: model.Forever})
+			return true
+		})
+		return
+	}
+	for _, op := range script.Ops {
+		switch op.Kind {
+		case diff.OpInsert:
+			op.Node.Walk(func(n *xmltree.Node) bool {
+				ix.tree.Set(model.EID{Doc: doc, X: n.XID}, Times{Created: t, Deleted: model.Forever})
+				return true
+			})
+		case diff.OpDelete:
+			if op.Node == nil {
+				break
+			}
+			op.Node.Walk(func(n *xmltree.Node) bool {
+				eid := model.EID{Doc: doc, X: n.XID}
+				if times, ok := ix.tree.Get(eid); ok {
+					times.Deleted = t
+					ix.tree.Set(eid, times)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// DeleteDoc closes every live element of the document at time t.
+func (ix *Index) DeleteDoc(doc model.DocID, t model.Time) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var toClose []model.EID
+	from := model.EID{Doc: doc, X: 0}
+	to := model.EID{Doc: doc + 1, X: 0}
+	ix.tree.AscendRange(from, to, func(eid model.EID, times Times) bool {
+		if times.Deleted == model.Forever {
+			toClose = append(toClose, eid)
+		}
+		return true
+	})
+	for _, eid := range toClose {
+		times, _ := ix.tree.Get(eid)
+		times.Deleted = t
+		ix.tree.Set(eid, times)
+	}
+}
+
+// Lookup returns the element's lifetime.
+func (ix *Index) Lookup(eid model.EID) (Times, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree.Get(eid)
+}
+
+// CreTime returns the element's creation time (the indexed strategy of the
+// paper's CreTime operator).
+func (ix *Index) CreTime(eid model.EID) (model.Time, bool) {
+	t, ok := ix.Lookup(eid)
+	return t.Created, ok
+}
+
+// DelTime returns the element's deletion time, Forever if it still exists.
+func (ix *Index) DelTime(eid model.EID) (model.Time, bool) {
+	t, ok := ix.Lookup(eid)
+	return t.Deleted, ok
+}
+
+// CreatedIn returns the elements of the document created in [from, to),
+// supporting predicates like CREATE_TIME(R) >= 11/01/2001.
+func (ix *Index) CreatedIn(doc model.DocID, iv model.Interval) []model.EID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []model.EID
+	from := model.EID{Doc: doc, X: 0}
+	to := model.EID{Doc: doc + 1, X: 0}
+	ix.tree.AscendRange(from, to, func(eid model.EID, times Times) bool {
+		if iv.Contains(times.Created) {
+			out = append(out, eid)
+		}
+		return true
+	})
+	return out
+}
+
+// AliveAt returns the document's elements whose lifetime contains t.
+func (ix *Index) AliveAt(doc model.DocID, t model.Time) []model.EID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []model.EID
+	from := model.EID{Doc: doc, X: 0}
+	to := model.EID{Doc: doc + 1, X: 0}
+	ix.tree.AscendRange(from, to, func(eid model.EID, times Times) bool {
+		if times.Interval().Contains(t) {
+			out = append(out, eid)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,193 @@
+package tidx
+
+import (
+	"testing"
+
+	"txmldb/internal/model"
+	"txmldb/internal/store"
+	"txmldb/internal/xmltree"
+)
+
+var (
+	jan1  = model.Date(2001, 1, 1)
+	jan15 = model.Date(2001, 1, 15)
+	jan31 = model.Date(2001, 1, 31)
+	feb10 = model.Date(2001, 2, 10)
+)
+
+func guide(entries ...[2]string) *xmltree.Node {
+	g := xmltree.NewElement("guide")
+	for _, e := range entries {
+		g.AppendChild(xmltree.Elem("restaurant",
+			xmltree.ElemText("name", e[0]),
+			xmltree.ElemText("price", e[1])))
+	}
+	return g
+}
+
+// load drives the Figure 1 history through a store and index.
+func load(t *testing.T) (*store.Store, *Index, model.DocID) {
+	t.Helper()
+	s := store.New(store.Config{})
+	ix := New()
+	id, err := s.Put("guide", guide([2]string{"Napoli", "15"}), jan1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _, _ := s.Current(id)
+	ix.AddVersion(id, cur, nil, jan1)
+	for _, step := range []struct {
+		t    model.Time
+		tree *xmltree.Node
+	}{
+		{jan15, guide([2]string{"Napoli", "15"}, [2]string{"Akropolis", "13"})},
+		{jan31, guide([2]string{"Napoli", "18"})},
+	} {
+		_, script, err := s.Update(id, step.tree, step.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, _, _ := s.Current(id)
+		ix.AddVersion(id, cur, script, step.t)
+	}
+	return s, ix, id
+}
+
+func restaurantEID(t *testing.T, s *store.Store, id model.DocID, ver model.VersionNo, name string) model.EID {
+	t.Helper()
+	vt, err := s.ReconstructVersion(id, ver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range vt.Root.ChildElements("restaurant") {
+		if r.SelectPath("name")[0].Text() == name {
+			return model.EID{Doc: id, X: r.XID}
+		}
+	}
+	t.Fatalf("restaurant %q not in version %d", name, ver)
+	return model.EID{}
+}
+
+func TestCreAndDelTimes(t *testing.T) {
+	s, ix, id := load(t)
+	napoli := restaurantEID(t, s, id, 1, "Napoli")
+	akro := restaurantEID(t, s, id, 2, "Akropolis")
+
+	if got, ok := ix.CreTime(napoli); !ok || got != jan1 {
+		t.Errorf("CreTime(Napoli) = %s, %v", got, ok)
+	}
+	if got, ok := ix.DelTime(napoli); !ok || got != model.Forever {
+		t.Errorf("DelTime(Napoli) = %s, %v", got, ok)
+	}
+	if got, ok := ix.CreTime(akro); !ok || got != jan15 {
+		t.Errorf("CreTime(Akropolis) = %s, %v", got, ok)
+	}
+	if got, ok := ix.DelTime(akro); !ok || got != jan31 {
+		t.Errorf("DelTime(Akropolis) = %s, %v", got, ok)
+	}
+	if _, ok := ix.CreTime(model.EID{Doc: id, X: 9999}); ok {
+		t.Error("unknown EID should not resolve")
+	}
+}
+
+func TestIndexedMatchesTraversal(t *testing.T) {
+	// The index and the delta-traversal strategy must agree — they are two
+	// implementations of the same operator (Section 7.3.6).
+	s, ix, id := load(t)
+	for _, name := range []string{"Napoli", "Akropolis"} {
+		ver := model.VersionNo(2)
+		eid := restaurantEID(t, s, id, ver, name)
+		vt, _ := s.ReconstructVersion(id, ver)
+		teid := model.TEID{E: eid, T: vt.Info.Stamp}
+
+		wantCre, err := s.CreTimeTraverse(teid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotCre, _ := ix.CreTime(eid)
+		if gotCre != wantCre {
+			t.Errorf("%s: CreTime index %s vs traverse %s", name, gotCre, wantCre)
+		}
+		wantDel, err := s.DelTimeTraverse(teid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotDel, _ := ix.DelTime(eid)
+		if gotDel != wantDel {
+			t.Errorf("%s: DelTime index %s vs traverse %s", name, gotDel, wantDel)
+		}
+	}
+}
+
+func TestDeleteDoc(t *testing.T) {
+	s, ix, id := load(t)
+	napoli := restaurantEID(t, s, id, 1, "Napoli")
+	akro := restaurantEID(t, s, id, 2, "Akropolis")
+	ix.DeleteDoc(id, feb10)
+	if got, _ := ix.DelTime(napoli); got != feb10 {
+		t.Errorf("live element after doc delete: %s", got)
+	}
+	// Already-deleted elements keep their original delete time.
+	if got, _ := ix.DelTime(akro); got != jan31 {
+		t.Errorf("Akropolis delete time overwritten: %s", got)
+	}
+}
+
+func TestCreatedInAndAliveAt(t *testing.T) {
+	s, ix, id := load(t)
+	akro := restaurantEID(t, s, id, 2, "Akropolis")
+
+	created := ix.CreatedIn(id, model.Interval{Start: jan15, End: jan31})
+	found := false
+	for _, eid := range created {
+		if eid == akro {
+			found = true
+		}
+		if times, _ := ix.Lookup(eid); times.Created != jan15 {
+			t.Errorf("CreatedIn returned element created at %s", times.Created)
+		}
+	}
+	if !found {
+		t.Error("Akropolis missing from CreatedIn")
+	}
+
+	// At jan15 both restaurant subtrees are alive: guide + 2*(restaurant,
+	// name, text, price, text) = 11 nodes.
+	alive := ix.AliveAt(id, jan15)
+	if len(alive) != 11 {
+		t.Errorf("AliveAt(jan15) = %d nodes, want 11", len(alive))
+	}
+	// At feb10 only Napoli's subtree remains: 6 nodes.
+	alive = ix.AliveAt(id, feb10)
+	if len(alive) != 6 {
+		t.Errorf("AliveAt(feb10) = %d nodes, want 6", len(alive))
+	}
+}
+
+func TestMultiDocumentIsolation(t *testing.T) {
+	s := store.New(store.Config{})
+	ix := New()
+	a, _ := s.Put("a", guide([2]string{"Napoli", "15"}), jan1)
+	cur, _, _ := s.Current(a)
+	ix.AddVersion(a, cur, nil, jan1)
+	b, _ := s.Put("b", guide([2]string{"Akropolis", "13"}), jan15)
+	cur, _, _ = s.Current(b)
+	ix.AddVersion(b, cur, nil, jan15)
+
+	ix.DeleteDoc(a, jan31)
+	// Document b must be untouched.
+	for _, eid := range ix.AliveAt(b, feb10) {
+		if eid.Doc != b {
+			t.Fatalf("foreign element in AliveAt: %v", eid)
+		}
+	}
+	if got := len(ix.AliveAt(b, feb10)); got != 6 {
+		t.Errorf("doc b alive nodes = %d, want 6", got)
+	}
+	if got := len(ix.AliveAt(a, feb10)); got != 0 {
+		t.Errorf("doc a alive nodes after delete = %d", got)
+	}
+	if ix.Len() != 12 {
+		t.Errorf("Len = %d, want 12", ix.Len())
+	}
+}

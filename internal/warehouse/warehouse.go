@@ -1,0 +1,156 @@
+// Package warehouse simulates the XML data-warehouse setting of
+// Section 3.1 of the paper: documents live on the Web and evolve on their
+// own schedule; the warehouse only sees the states its crawler happens to
+// fetch. Consequences the paper lists — and this simulation reproduces —
+// are that version timestamps are retrieval times rather than change
+// times, that some source versions are never captured, and that the
+// warehouse's view across documents is temporally inconsistent.
+package warehouse
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"txmldb/internal/diff"
+	"txmldb/internal/model"
+	"txmldb/internal/tdocgen"
+	"txmldb/internal/xmltree"
+)
+
+// Source is one simulated web document with its true change history.
+type Source struct {
+	URL      string
+	Versions []tdocgen.Version // ascending by At
+}
+
+// At returns the source's content at time t, nil before the first version.
+func (s *Source) At(t model.Time) *xmltree.Node {
+	i := sort.Search(len(s.Versions), func(i int) bool { return s.Versions[i].At > t }) - 1
+	if i < 0 {
+		return nil
+	}
+	return s.Versions[i].Tree
+}
+
+// ChangesIn counts true source changes in [from, to).
+func (s *Source) ChangesIn(iv model.Interval) int {
+	n := 0
+	for _, v := range s.Versions {
+		if iv.Contains(v.At) {
+			n++
+		}
+	}
+	return n
+}
+
+// Store is where crawled copies land. *core.DB satisfies it directly.
+type Store interface {
+	Put(url string, tree *xmltree.Node, t model.Time) (model.DocID, error)
+	Update(id model.DocID, tree *xmltree.Node, t model.Time) (model.VersionNo, *diff.Script, error)
+	LookupDoc(url string) (model.DocID, bool)
+}
+
+// Crawler visits sources at a fixed interval with jitter and stores
+// changed copies with the *retrieval* timestamp.
+type Crawler struct {
+	// Interval is the nominal time between visits to one source.
+	Interval model.Time
+	// Jitter is the maximum random delay added to each visit.
+	Jitter model.Time
+	// Seed drives the jitter.
+	Seed int64
+}
+
+// Stats describes one crawl run.
+type Stats struct {
+	// Fetches is the number of source visits.
+	Fetches int
+	// NewVersions is how many fetches stored a new copy.
+	NewVersions int
+	// SourceChanges is how many times the sources really changed in the
+	// crawled window.
+	SourceChanges int
+	// MissedVersions = SourceChanges - NewVersions: source states that
+	// were overwritten before the crawler saw them (Section 3.1: "we do
+	// not necessarily have all the versions of a particular document").
+	MissedVersions int
+	// MaxStaleness is the largest gap between a source change and the
+	// fetch that finally captured it.
+	MaxStaleness model.Time
+}
+
+// Run crawls the sources over [from, to) and returns the run's statistics.
+func (c *Crawler) Run(st Store, sources []*Source, iv model.Interval) (Stats, error) {
+	if c.Interval <= 0 {
+		return Stats{}, fmt.Errorf("warehouse: crawl interval must be positive")
+	}
+	r := rand.New(rand.NewSource(c.Seed))
+	var stats Stats
+	lastHash := make(map[string]uint64)
+	lastChange := make(map[string]model.Time)
+	for _, src := range sources {
+		stats.SourceChanges += src.ChangesIn(iv)
+	}
+	for _, src := range sources {
+		for visit := iv.Start; visit < iv.End; visit += c.Interval {
+			at := visit
+			if c.Jitter > 0 {
+				at += model.Time(r.Int63n(int64(c.Jitter)))
+			}
+			if at >= iv.End {
+				break
+			}
+			content := src.At(at)
+			if content == nil {
+				continue // source does not exist yet
+			}
+			stats.Fetches++
+			h := content.Hash()
+			if lastHash[src.URL] == h {
+				continue // unchanged since last visit
+			}
+			lastHash[src.URL] = h
+			stats.NewVersions++
+			// Staleness: how long the captured state had been live.
+			for _, v := range src.Versions {
+				if v.At <= at {
+					lastChange[src.URL] = v.At
+				}
+			}
+			if lag := at - lastChange[src.URL]; lag > stats.MaxStaleness {
+				stats.MaxStaleness = lag
+			}
+			copyTree := content.Clone()
+			copyTree.Walk(func(n *xmltree.Node) bool { n.XID = 0; n.Stamp = 0; return true })
+			if id, ok := st.LookupDoc(src.URL); ok {
+				if _, _, err := st.Update(id, copyTree, at); err != nil {
+					return stats, fmt.Errorf("warehouse: update %s: %w", src.URL, err)
+				}
+			} else {
+				if _, err := st.Put(src.URL, copyTree, at); err != nil {
+					return stats, fmt.Errorf("warehouse: put %s: %w", src.URL, err)
+				}
+			}
+		}
+	}
+	stats.MissedVersions = stats.SourceChanges - stats.NewVersions
+	if stats.MissedVersions < 0 {
+		stats.MissedVersions = 0
+	}
+	return stats, nil
+}
+
+// GenerateSources builds a synthetic web from a tdocgen configuration.
+func GenerateSources(cfg tdocgen.Config) []*Source {
+	g := tdocgen.New(cfg)
+	docs := cfg.Docs
+	if docs == 0 {
+		docs = 1
+	}
+	out := make([]*Source, docs)
+	for i := 0; i < docs; i++ {
+		out[i] = &Source{URL: g.URL(i), Versions: g.History(i)}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package warehouse
+
+import (
+	"testing"
+
+	"txmldb/internal/core"
+	"txmldb/internal/model"
+	"txmldb/internal/tdocgen"
+	"txmldb/internal/xmltree"
+)
+
+const day = model.Time(24 * 3600 * 1000)
+
+func sources() []*Source {
+	return GenerateSources(tdocgen.Config{
+		Seed: 3, Docs: 4, Versions: 10, OpsPerVersion: 2,
+		Start: 0, Step: day,
+	})
+}
+
+func TestSourceAt(t *testing.T) {
+	src := sources()[0]
+	if src.At(-1) != nil {
+		t.Fatal("source should not exist before first version")
+	}
+	if got := src.At(0); !xmltree.Equal(got, src.Versions[0].Tree) {
+		t.Fatal("At(0) should be version 1")
+	}
+	if got := src.At(day + 1); !xmltree.Equal(got, src.Versions[1].Tree) {
+		t.Fatal("At(day+1) should be version 2")
+	}
+	if got := src.ChangesIn(model.Interval{Start: 0, End: 3 * day}); got != 3 {
+		t.Fatalf("ChangesIn = %d, want 3", got)
+	}
+}
+
+func TestFrequentCrawlCapturesEverything(t *testing.T) {
+	db := core.Open(core.Config{Clock: func() model.Time { return 100 * day }})
+	c := &Crawler{Interval: day / 4, Seed: 1}
+	window := model.Interval{Start: 0, End: 10 * day}
+	stats, err := c.Run(db, sources(), window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MissedVersions != 0 {
+		t.Fatalf("crawling 4x faster than changes missed %d versions", stats.MissedVersions)
+	}
+	if stats.NewVersions != stats.SourceChanges {
+		t.Fatalf("captured %d of %d changes", stats.NewVersions, stats.SourceChanges)
+	}
+	// Staleness bounded by the crawl interval + jitter.
+	if stats.MaxStaleness >= day/2 {
+		t.Fatalf("staleness %d too large for fast crawl", stats.MaxStaleness)
+	}
+}
+
+func TestSlowCrawlMissesVersions(t *testing.T) {
+	db := core.Open(core.Config{Clock: func() model.Time { return 100 * day }})
+	c := &Crawler{Interval: 3 * day, Seed: 1}
+	stats, err := c.Run(db, sources(), model.Interval{Start: 0, End: 10 * day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MissedVersions == 0 {
+		t.Fatal("crawling 3x slower than changes should miss versions (Section 3.1)")
+	}
+	if stats.NewVersions >= stats.SourceChanges {
+		t.Fatalf("captured %d >= %d changes", stats.NewVersions, stats.SourceChanges)
+	}
+}
+
+func TestCrawlTimestampsAreRetrievalTimes(t *testing.T) {
+	db := core.Open(core.Config{Clock: func() model.Time { return 100 * day }})
+	c := &Crawler{Interval: day, Jitter: day / 2, Seed: 7}
+	srcs := sources()
+	if _, err := c.Run(db, srcs, model.Interval{Start: 0, End: 10 * day}); err != nil {
+		t.Fatal(err)
+	}
+	id, ok := db.LookupDoc(srcs[0].URL)
+	if !ok {
+		t.Fatal("source not stored")
+	}
+	versions, err := db.Versions(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With jitter, stored stamps are retrieval times: they must not all
+	// coincide with true change times (multiples of a day).
+	offGrid := false
+	for _, v := range versions {
+		if int64(v.Stamp)%int64(day) != 0 {
+			offGrid = true
+		}
+	}
+	if !offGrid {
+		t.Fatal("all stored stamps on the change grid; retrieval timestamps expected")
+	}
+}
+
+func TestCrawlerErrors(t *testing.T) {
+	db := core.Open(core.Config{})
+	c := &Crawler{Interval: 0}
+	if _, err := c.Run(db, nil, model.Interval{Start: 0, End: 1}); err == nil {
+		t.Fatal("zero interval must fail")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() Stats {
+		db := core.Open(core.Config{Clock: func() model.Time { return 100 * day }})
+		c := &Crawler{Interval: day, Jitter: day / 3, Seed: 11}
+		st, err := c.Run(db, sources(), model.Interval{Start: 0, End: 8 * day})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if run() != run() {
+		t.Fatal("equal seeds must give equal crawl stats")
+	}
+}

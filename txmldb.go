@@ -1,0 +1,207 @@
+// Package txmldb is a temporal XML database: a from-scratch Go
+// implementation of the system described in Kjetil Nørvåg, "Algorithms for
+// Temporal Query Operators in XML Databases" (EDBT 2002 Workshops).
+//
+// The database stores every version of every XML document — the current
+// version complete, previous versions as chains of completed deltas that
+// apply both forward and backward — indexes all words (including element
+// names) in a temporal full-text index, and executes the paper's temporal
+// query operators: TPatternScan, TPatternScanAll, DocHistory,
+// ElementHistory, CreTime, DelTime, PreviousTS, NextTS, CurrentTS,
+// Reconstruct and Diff. A SELECT/FROM/WHERE temporal query language with
+// snapshot timestamps, the EVERY keyword and NOW-relative time arithmetic
+// runs on top of the operators.
+//
+// # Quick start
+//
+//	db := txmldb.Open(txmldb.Config{})
+//	id, _ := db.PutXML("http://guide.com/restaurants.xml",
+//	    strings.NewReader(`<guide><restaurant><name>Napoli</name><price>15</price></restaurant></guide>`),
+//	    txmldb.Date(2001, time.January, 1))
+//	db.UpdateXML(id, strings.NewReader(`...new version...`), txmldb.Date(2001, time.January, 15))
+//
+//	res, _ := db.Query(`SELECT R FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R`)
+//	fmt.Println(res.Doc().Pretty())
+//
+// Identity follows the paper's Section 3: every element carries a
+// persistent XID that survives updates (maintained by the XyDiff-style
+// change detector); an EID is (document, XID); a TEID adds the version
+// timestamp. All intervals are half-open transaction-time intervals
+// [start, end), with Forever as the open upper bound of current versions.
+package txmldb
+
+import (
+	"time"
+
+	"txmldb/internal/core"
+	"txmldb/internal/diff"
+	"txmldb/internal/doctime"
+	"txmldb/internal/fti"
+	"txmldb/internal/model"
+	"txmldb/internal/pagestore"
+	"txmldb/internal/pattern"
+	"txmldb/internal/plan"
+	"txmldb/internal/query"
+	"txmldb/internal/similarity"
+	"txmldb/internal/store"
+	"txmldb/internal/tdocgen"
+	"txmldb/internal/warehouse"
+	"txmldb/internal/xmltree"
+)
+
+// DB is a temporal XML database. Open one with Open; it is safe for
+// concurrent use.
+type DB = core.DB
+
+// Config parameterizes Open.
+type Config = core.Config
+
+// IndexKind selects the full-text-index maintenance alternative
+// (Section 7.2 of the paper): IndexVersions, IndexDeltas or IndexBoth.
+type IndexKind = core.IndexKind
+
+// Index alternatives.
+const (
+	IndexVersions = core.IndexVersions
+	IndexDeltas   = core.IndexDeltas
+	IndexBoth     = core.IndexBoth
+)
+
+// Open creates an empty database.
+func Open(cfg Config) *DB { return core.Open(cfg) }
+
+// Temporal identity types (Section 3 of the paper).
+type (
+	// Time is a transaction-time instant in milliseconds since the epoch.
+	Time = model.Time
+	// Interval is a half-open transaction-time interval [Start, End).
+	Interval = model.Interval
+	// DocID identifies a stored document.
+	DocID = model.DocID
+	// XID is a persistent per-document element identifier.
+	XID = model.XID
+	// EID identifies an element in a document, independent of time.
+	EID = model.EID
+	// TEID identifies one version of one element.
+	TEID = model.TEID
+	// VersionNo numbers a document's versions, starting at 1.
+	VersionNo = model.VersionNo
+)
+
+// Forever is the open upper bound of current versions' validity.
+const Forever = model.Forever
+
+// Always is the interval covering all of transaction time.
+var Always = model.Always
+
+// Date returns the instant at midnight UTC of the given day.
+func Date(year int, month time.Month, day int) Time { return model.Date(year, month, day) }
+
+// TimeOf converts a time.Time.
+func TimeOf(t time.Time) Time { return model.TimeOf(t) }
+
+// XML tree types.
+type (
+	// Node is one node of an XML tree (element or text).
+	Node = xmltree.Node
+	// Attr is an element attribute.
+	Attr = xmltree.Attr
+)
+
+// ParseXML parses an XML document into a tree.
+var ParseXML = xmltree.ParseString
+
+// Pattern trees (Section 6: the PatternScan family's input).
+type (
+	// Pattern is a pattern-tree node.
+	Pattern = pattern.PNode
+	// ValuePred is a word-containment predicate on a pattern node.
+	ValuePred = pattern.ValuePred
+	// Match is one pattern-scan result.
+	Match = pattern.Match
+)
+
+// Pattern axes.
+const (
+	// Child is the isParentOf relationship.
+	Child = pattern.Child
+	// Descendant is the isAscendantOf relationship (the // axis).
+	Descendant = pattern.Descendant
+)
+
+// Storage and result types.
+type (
+	// StoreConfig configures the version store and its simulated disk.
+	StoreConfig = store.Config
+	// PageConfig configures the simulated paged disk.
+	PageConfig = pagestore.Config
+	// IOStats are simulated-disk counters.
+	IOStats = pagestore.IOStats
+	// VersionInfo is one entry of a document's delta index.
+	VersionInfo = store.VersionInfo
+	// VersionTree is a reconstructed document version.
+	VersionTree = store.VersionTree
+	// DocInfo is document metadata.
+	DocInfo = store.DocInfo
+	// Result is an executed query.
+	Result = plan.Result
+	// Elem is an element value inside a query result row.
+	Elem = plan.Elem
+	// Script is a completed edit script (delta) between two versions.
+	Script = diff.Script
+	// Posting is a temporal full-text-index entry.
+	Posting = fti.Posting
+	// Query is a parsed query.
+	Query = query.Query
+)
+
+// ParseQuery parses a temporal query without executing it.
+var ParseQuery = query.Parse
+
+// Similarity helpers (Section 7.4).
+var (
+	// ShallowEqual compares element name, attributes and direct text.
+	ShallowEqual = similarity.ShallowEqual
+	// DeepEqual compares whole subtrees.
+	DeepEqual = similarity.DeepEqual
+	// SimilarityScore is the Theobald/Weikum-style similarity in [0,1].
+	SimilarityScore = similarity.Score
+	// Similar applies SimilarityScore with a threshold (the ~ operator).
+	Similar = similarity.Similar
+)
+
+// Placement policies of the simulated disk.
+const (
+	// Unclustered scatters extents (the paper's delta worst case).
+	Unclustered = pagestore.Unclustered
+	// Clustered groups a document's extents in arenas.
+	Clustered = pagestore.Clustered
+)
+
+// Workload generation (the TDocGen-style corpus generator) and the
+// warehouse crawl simulation (Section 3.1 of the paper).
+type (
+	// WorkloadConfig parameterizes the deterministic document generator.
+	WorkloadConfig = tdocgen.Config
+	// Workload generates evolving document corpora.
+	Workload = tdocgen.Generator
+	// WorkloadVersion is one generated document state.
+	WorkloadVersion = tdocgen.Version
+	// Source is a simulated web document with its true change history.
+	Source = warehouse.Source
+	// Crawler fetches sources into a DB at retrieval timestamps.
+	Crawler = warehouse.Crawler
+	// CrawlStats summarizes a crawl run (fetches, missed versions,
+	// staleness).
+	CrawlStats = warehouse.Stats
+)
+
+// NewWorkload returns a deterministic corpus generator.
+func NewWorkload(cfg WorkloadConfig) *Workload { return tdocgen.New(cfg) }
+
+// DocTimeEntry is one hit of a document-time range query (Section 3.1 of
+// the paper): an element carrying a timestamp inside the document content.
+type DocTimeEntry = doctime.Entry
+
+// GenerateSources builds a synthetic web from a workload configuration.
+var GenerateSources = warehouse.GenerateSources

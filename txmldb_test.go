@@ -1,0 +1,105 @@
+package txmldb_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"txmldb"
+)
+
+// TestPublicAPIQuickstart exercises the library exactly the way the README
+// quick start does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	db := txmldb.Open(txmldb.Config{
+		Clock: func() txmldb.Time { return txmldb.Date(2001, time.February, 10) },
+	})
+	id, err := db.PutXML("http://guide.com/restaurants.xml",
+		strings.NewReader(`<guide><restaurant><name>Napoli</name><price>15</price></restaurant></guide>`),
+		txmldb.Date(2001, time.January, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.UpdateXML(id, strings.NewReader(
+		`<guide><restaurant><name>Napoli</name><price>15</price></restaurant>
+		        <restaurant><name>Akropolis</name><price>13</price></restaurant></guide>`),
+		txmldb.Date(2001, time.January, 15)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.UpdateXML(id, strings.NewReader(
+		`<guide><restaurant><name>Napoli</name><price>18</price></restaurant></guide>`),
+		txmldb.Date(2001, time.January, 31)); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := db.Query(`SELECT R FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("snapshot rows = %d", len(res.Rows))
+	}
+	out := res.Doc().Pretty()
+	if !strings.Contains(out, "Akropolis") {
+		t.Fatalf("result document missing Akropolis:\n%s", out)
+	}
+
+	// Operator-level API.
+	pat := &txmldb.Pattern{Name: "restaurant", Rel: txmldb.Child, Project: true}
+	teids, err := db.TPatternScan(pat, txmldb.Date(2001, time.January, 26))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(teids) != 2 {
+		t.Fatalf("TPatternScan = %d TEIDs", len(teids))
+	}
+	node, err := db.Reconstruct(teids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Name != "restaurant" {
+		t.Fatalf("reconstructed %q", node.Name)
+	}
+
+	hist, err := db.DocHistory(id, txmldb.Always)
+	if err != nil || len(hist) != 3 {
+		t.Fatalf("history = %d, %v", len(hist), err)
+	}
+
+	// Similarity helpers exposed at the root.
+	a, _ := txmldb.ParseXML(`<r><name>Napoli</name></r>`)
+	b, _ := txmldb.ParseXML(`<r><name>Napoli</name></r>`)
+	if !txmldb.Similar(a, b, 0.9) || txmldb.SimilarityScore(a, b) != 1 {
+		t.Fatal("similarity helpers broken")
+	}
+	if !txmldb.DeepEqual(a, b) || !txmldb.ShallowEqual(a, b) {
+		t.Fatal("equality helpers broken")
+	}
+}
+
+func TestParseQueryExposed(t *testing.T) {
+	q, err := txmldb.ParseQuery(`SELECT TIME(R) FROM doc("u")[EVERY]/r R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.From) != 1 || q.From[0].Var != "R" {
+		t.Fatalf("parsed query = %+v", q)
+	}
+	if _, err := txmldb.ParseQuery(`not a query`); err == nil {
+		t.Fatal("bad query must fail")
+	}
+}
+
+func TestIndexAlternativesExposed(t *testing.T) {
+	for _, kind := range []txmldb.IndexKind{txmldb.IndexVersions, txmldb.IndexDeltas, txmldb.IndexBoth} {
+		db := txmldb.Open(txmldb.Config{Index: kind,
+			Clock: func() txmldb.Time { return txmldb.Date(2001, time.February, 10) }})
+		if _, err := db.PutXML("d", strings.NewReader(`<a><b>x</b></a>`), txmldb.Date(2001, time.January, 1)); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		res, err := db.Query(`SELECT COUNT(R) FROM doc("d")/b R`)
+		if err != nil || res.Rows[0][0].(int64) != 1 {
+			t.Fatalf("%v: %v %v", kind, res, err)
+		}
+	}
+}
