@@ -47,6 +47,7 @@ func main() {
 		{"C8", experiments.C8},
 		{"C9", experiments.C9},
 		{"C10", func() (experiments.Table, error) { return experiments.C10([]int{8, 32, 128}) }},
+		{"W1", experiments.W1},
 	}
 
 	failed := false

@@ -7,6 +7,14 @@
 //	txmldb -demo                     # REPL over the paper's Figure 1 data
 //	txmldb -gen docs=4,versions=8    # REPL over a generated corpus
 //	txmldb -load url=FILE@dd/mm/yyyy # load version files (repeatable)
+//	txmldb -datadir DIR ...          # durable: store in a WAL under DIR
+//	txmldb fsck -datadir DIR         # verify a durable database's storage
+//
+// With -datadir the database lives in a write-ahead log under the given
+// directory and survives restarts; without it everything is in memory.
+// The fsck subcommand replays the log and verifies every stored extent,
+// reporting damaged extents and the versions they make unreachable; it
+// exits non-zero if corruption is found.
 //
 // In the REPL, each line is one query; ".docs" lists documents, ".quit"
 // exits.
@@ -35,23 +43,30 @@ func (l *loadFlags) String() string     { return strings.Join(*l, ",") }
 func (l *loadFlags) Set(v string) error { *l = append(*l, v); return nil }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "fsck" {
+		os.Exit(runFsck(os.Args[2:]))
+	}
+
 	var loads loadFlags
 	demo := flag.Bool("demo", false, "load the paper's Figure 1 restaurant history")
 	gen := flag.String("gen", "", "load a generated corpus, e.g. docs=4,versions=8,elems=10,seed=1")
 	q := flag.String("q", "", "run one query and exit")
 	dump := flag.String("dump", "", "after loading, dump the database to this directory and exit")
 	loadDir := flag.String("loaddir", "", "load a database dump directory before anything else")
+	dataDir := flag.String("datadir", "", "durable mode: keep the database in a write-ahead log under this directory")
 	flag.Var(&loads, "load", "load a document version: url=FILE@dd/mm/yyyy (repeatable)")
 	flag.Parse()
 
-	db := txmldb.Open(txmldb.Config{})
+	db, err := openDB(*dataDir, *demo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
 	switch {
 	case *demo:
-		d, _, err := experiments.Figure1DB(coreConfig())
-		if err != nil {
+		if err := loadDemo(db); err != nil {
 			log.Fatal(err)
 		}
-		db = d
 	case *gen != "":
 		cfg, err := parseGen(*gen)
 		if err != nil {
@@ -90,7 +105,61 @@ func main() {
 	repl(db)
 }
 
-func coreConfig() txmldb.Config { return txmldb.Config{} }
+// openDB opens the database: in memory, or durably under dataDir. The demo
+// pins the clock to the paper's "today" (February 10, 2001) so NOW-relative
+// queries match the text.
+func openDB(dataDir string, demo bool) (*txmldb.DB, error) {
+	cfg := txmldb.Config{}
+	if demo {
+		cfg.Clock = func() txmldb.Time { return txmldb.Date(2001, time.February, 10) }
+	}
+	if dataDir == "" {
+		return txmldb.Open(cfg), nil
+	}
+	return txmldb.OpenDurable(cfg, dataDir)
+}
+
+// loadDemo plays the Figure 1 history into db, skipping documents already
+// present (a durable demo directory being reopened).
+func loadDemo(db *txmldb.DB) error {
+	if _, ok := db.LookupDoc(experiments.Figure1URL); ok {
+		fmt.Fprintln(os.Stderr, "demo data already present")
+		return nil
+	}
+	return experiments.Figure1Load(db)
+}
+
+// runFsck implements the fsck subcommand: replay the write-ahead log under
+// -datadir, verify every referenced extent and report the damage. Exit
+// status 0 means clean, 1 corrupt, 2 unusable.
+func runFsck(args []string) int {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	dataDir := fs.String("datadir", "", "data directory of the durable database to verify")
+	verbose := fs.Bool("v", false, "also print write-ahead-log recovery statistics")
+	fs.Parse(args)
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "fsck: -datadir is required")
+		return 2
+	}
+	db, err := txmldb.OpenDurable(txmldb.Config{}, *dataDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsck: %v\n", err)
+		return 2
+	}
+	defer db.Close()
+	if *verbose {
+		if st, ok := db.WALStats(); ok {
+			fmt.Printf("wal: %d bytes of committed log replayed, %d bytes of torn tail truncated\n",
+				st.RecoveredBytes, st.TruncatedOnOpen)
+		}
+	}
+	rep := db.Fsck()
+	fmt.Println(rep.String())
+	if !rep.Clean() {
+		return 1
+	}
+	return 0
+}
 
 func parseGen(spec string) (tdocgen.Config, error) {
 	cfg := tdocgen.Config{Seed: 1, Docs: 2, Versions: 5, Start: model.Date(2001, 1, 1)}

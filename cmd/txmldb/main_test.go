@@ -3,7 +3,6 @@ package main
 import (
 	"os"
 	"path/filepath"
-	"strings"
 	"testing"
 
 	"txmldb"
@@ -73,11 +72,41 @@ func TestRunQuery(t *testing.T) {
 	}
 }
 
-// loadDemo mirrors the -demo flag for tests.
-func loadDemo(db *txmldb.DB) error {
-	_, err := db.PutXML("http://guide.com/restaurants.xml",
-		strings.NewReader(`<guide><restaurant><name>Napoli</name><price>15</price></restaurant>`+
-			`<restaurant><name>Akropolis</name><price>13</price></restaurant></guide>`),
-		txmldb.Date(2001, 1, 1))
-	return err
+// TestDurableCLIRoundTrip drives the -datadir path: load the demo durably,
+// reopen, query, and fsck it clean.
+func TestDurableCLIRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := openDB(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loadDemo(db); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent: loading again must notice the data is already there.
+	if err := loadDemo(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := openDB(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loadDemo(r); err != nil { // reopen: data already present
+		t.Fatal(err)
+	}
+	if err := runQuery(r, `SELECT COUNT(R) FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R`); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	if code := runFsck([]string{"-datadir", dir, "-v"}); code != 0 {
+		t.Fatalf("fsck of healthy database exited %d", code)
+	}
+	if code := runFsck([]string{}); code != 2 {
+		t.Fatalf("fsck without -datadir exited %d, want 2", code)
+	}
 }

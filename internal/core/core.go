@@ -75,9 +75,12 @@ type DB struct {
 }
 
 // Open creates an empty database.
-func Open(cfg Config) *DB {
+func Open(cfg Config) *DB { return assemble(cfg, store.New(cfg.Store)) }
+
+// assemble builds a DB around an existing version store.
+func assemble(cfg Config, st *store.Store) *DB {
 	db := &DB{
-		store: store.New(cfg.Store),
+		store: st,
 		clock: cfg.Clock,
 	}
 	switch cfg.Index {

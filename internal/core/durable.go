@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"txmldb/internal/diff"
+	"txmldb/internal/model"
+	"txmldb/internal/pagestore"
+	"txmldb/internal/store"
+)
+
+// walFile is the name of the write-ahead log inside a data directory.
+const walFile = "pages.wal"
+
+// OpenDurable opens (or creates) a database whose storage tier is a
+// write-ahead log under dir. All committed versions survive a process
+// crash: reopening replays the log, truncates any torn tail, restores the
+// version store from its last committed metadata snapshot and rebuilds the
+// in-memory indexes (full-text, create/delete-time, document-time) from
+// the recovered delta chains.
+//
+// cfg.Store.Pages.Backend is overridden by the WAL backend.
+func OpenDurable(cfg Config, dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: open durable: %w", err)
+	}
+	wal, err := pagestore.OpenWAL(filepath.Join(dir, walFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: open durable: %w", err)
+	}
+	cfg.Store.Pages.Backend = wal
+	st, err := store.Open(cfg.Store)
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("core: open durable: %w", err)
+	}
+	db := assemble(cfg, st)
+	if err := db.reindex(); err != nil {
+		st.Close()
+		return nil, fmt.Errorf("core: open durable: rebuild indexes: %w", err)
+	}
+	return db, nil
+}
+
+// WALStats returns the write-ahead-log counters, or false when the
+// database does not run on a WAL backend.
+func (db *DB) WALStats() (pagestore.WALStats, bool) {
+	if w, ok := db.store.Pages().Backend().(*pagestore.WAL); ok {
+		return w.Stats(), true
+	}
+	return pagestore.WALStats{}, false
+}
+
+// Fsck verifies every extent referenced by the delta indexes and reports
+// structured corruption findings (see store.FsckReport).
+func (db *DB) Fsck() store.FsckReport { return db.store.Fsck() }
+
+// Close releases the storage backend (fsynced WAL file handles). The
+// database is unusable afterwards.
+func (db *DB) Close() error { return db.store.Close() }
+
+// reindex rebuilds the in-memory indexes from the version store after
+// recovery, replaying every document's history through the same
+// maintenance path live updates use. Versions made unreachable by storage
+// corruption are skipped — queries over them fail with the storage error,
+// while intact versions stay indexed and queryable (graceful degradation;
+// Fsck reports the damage).
+func (db *DB) reindex() error {
+	for _, id := range db.store.Docs() {
+		info, err := db.store.Info(id)
+		if err != nil {
+			return err
+		}
+		versions, err := db.store.Versions(id)
+		if err != nil {
+			return err
+		}
+		for i, v := range versions {
+			vt, err := db.store.ReconstructVersion(id, v.Ver)
+			if err != nil {
+				continue // unreachable version: skip, Fsck reports it
+			}
+			var script *diff.Script
+			if i > 0 {
+				// The delta leading into this version; absence (corrupt
+				// chain) falls back to whole-version indexing, which the
+				// version FTI handles and the delta FTI tolerates as nil.
+				if s, err := db.store.ReadDelta(id, versions[i-1].Ver); err == nil {
+					script = s
+				}
+			}
+			if err := db.fti.AddVersion(id, vt.Root, script, v.Stamp); err != nil {
+				return fmt.Errorf("doc %d version %d: %w", id, v.Ver, err)
+			}
+			if db.times != nil {
+				db.times.AddVersion(id, vt.Root, script, v.Stamp)
+			}
+			if db.docTimes != nil {
+				db.docTimes.AddVersion(id, vt.Root)
+			}
+		}
+		if !info.Live() && info.Deleted != model.Forever {
+			last, err := db.store.ReconstructVersion(id, versions[len(versions)-1].Ver)
+			if err == nil {
+				if err := db.fti.DeleteDoc(id, last.Root, info.Deleted); err != nil {
+					return fmt.Errorf("doc %d delete: %w", id, err)
+				}
+			}
+			if db.times != nil {
+				db.times.DeleteDoc(id, info.Deleted)
+			}
+		}
+	}
+	return nil
+}

@@ -21,6 +21,16 @@ func Figure1DB(cfg core.Config) (*core.DB, model.DocID, error) {
 		cfg.Clock = func() model.Time { return model.Date(2001, 2, 10) }
 	}
 	db := core.Open(cfg)
+	if err := Figure1Load(db); err != nil {
+		return nil, 0, err
+	}
+	id, _ := db.LookupDoc(Figure1URL)
+	return db, id, nil
+}
+
+// Figure1Load plays the Figure 1 history into an already-open database
+// (in-memory or durable).
+func Figure1Load(db *core.DB) error {
 	mk := func(entries ...[2]string) *xmltree.Node {
 		g := xmltree.NewElement("guide")
 		for _, e := range entries {
@@ -32,15 +42,15 @@ func Figure1DB(cfg core.Config) (*core.DB, model.DocID, error) {
 	}
 	id, err := db.Put(Figure1URL, mk([2]string{"Napoli", "15"}), model.Date(2001, 1, 1))
 	if err != nil {
-		return nil, 0, err
+		return err
 	}
 	if _, _, err := db.Update(id, mk([2]string{"Napoli", "15"}, [2]string{"Akropolis", "13"}), model.Date(2001, 1, 15)); err != nil {
-		return nil, 0, err
+		return err
 	}
 	if _, _, err := db.Update(id, mk([2]string{"Napoli", "18"}), model.Date(2001, 1, 31)); err != nil {
-		return nil, 0, err
+		return err
 	}
-	return db, id, nil
+	return nil
 }
 
 // F1 reproduces Figure 1 and the example queries Q1–Q3 of Section 6.2 and

@@ -1,0 +1,282 @@
+package pagestore
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// The fault injector is a Backend decorator that scripts storage failures
+// deterministically: read errors (transient or permanent), torn writes
+// (only a prefix of the payload persists) and bit flips, each fired at a
+// chosen operation count. Failure tests build a store over an injected
+// backend instead of reaching into storage internals, and the seedable
+// randomness (which bit flips, how much of a torn write survives) makes
+// every run reproducible.
+
+// FaultOp selects which backend operation a rule applies to.
+type FaultOp int
+
+const (
+	// FaultRead fires on Get.
+	FaultRead FaultOp = iota
+	// FaultWrite fires on Put.
+	FaultWrite
+	// FaultCommit fires on Commit.
+	FaultCommit
+)
+
+func (op FaultOp) String() string {
+	switch op {
+	case FaultRead:
+		return "read"
+	case FaultWrite:
+		return "write"
+	case FaultCommit:
+		return "commit"
+	default:
+		return fmt.Sprintf("FaultOp(%d)", int(op))
+	}
+}
+
+// FaultKind selects what happens when a rule fires.
+type FaultKind int
+
+const (
+	// FaultTransient returns an error wrapping ErrTransient; a retry that
+	// falls outside the rule's window succeeds.
+	FaultTransient FaultKind = iota
+	// FaultPermanent returns a permanent error (not ErrTransient), so
+	// bounded retries give up.
+	FaultPermanent
+	// FaultBitFlip flips one randomly chosen bit of the extent payload in
+	// the underlying backend (persistent bit rot); the store's checksum
+	// verification surfaces it as ErrCorrupt.
+	FaultBitFlip
+	// FaultTornWrite persists only a random non-empty prefix of the
+	// payload while keeping the full-payload checksum — the classic torn
+	// page, detected as ErrCorrupt on read.
+	FaultTornWrite
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTransient:
+		return "transient"
+	case FaultPermanent:
+		return "permanent"
+	case FaultBitFlip:
+		return "bitflip"
+	case FaultTornWrite:
+		return "tornwrite"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultRule fires Kind on the Op whose 1-based operation count falls in
+// [At, At+Count). Count zero means 1.
+type FaultRule struct {
+	Op    FaultOp
+	Kind  FaultKind
+	At    int64
+	Count int64
+}
+
+func (r FaultRule) covers(n int64) bool {
+	c := r.Count
+	if c <= 0 {
+		c = 1
+	}
+	return n >= r.At && n < r.At+c
+}
+
+// Injector is a fault-injecting Backend decorator. It is safe for
+// concurrent use. The zero operation counters make rule offsets stable:
+// the N-th read of the store is the N-th Get seen here (buffer-pool hits
+// never reach the backend, so disable caching in fault tests or account
+// for it).
+type Injector struct {
+	mu     sync.Mutex
+	inner  Backend
+	rnd    *rand.Rand
+	rules  []FaultRule
+	reads  int64
+	writes int64
+	commit int64
+	fired  int64
+}
+
+// NewInjector wraps inner with a deterministic fault injector seeded with
+// seed.
+func NewInjector(inner Backend, seed int64) *Injector {
+	return &Injector{inner: inner, rnd: rand.New(rand.NewSource(seed))}
+}
+
+// Script appends fault rules to the schedule.
+func (in *Injector) Script(rules ...FaultRule) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, rules...)
+	return in
+}
+
+// Fired returns how many faults have been injected so far.
+func (in *Injector) Fired() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Reads returns the number of Get operations seen so far.
+func (in *Injector) Reads() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.reads
+}
+
+// match returns the first rule covering operation n of op, if any.
+func (in *Injector) match(op FaultOp, n int64) (FaultRule, bool) {
+	for _, r := range in.rules {
+		if r.Op == op && r.covers(n) {
+			return r, true
+		}
+	}
+	return FaultRule{}, false
+}
+
+// CorruptExtent flips one random bit of the stored extent's payload right
+// now, independent of the schedule. It simulates at-rest bit rot.
+func (in *Injector) CorruptExtent(start int64) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ext, err := in.inner.Get(start)
+	if err != nil {
+		return err
+	}
+	if len(ext.Data) == 0 {
+		// No payload bits to flip: corrupt the checksum instead.
+		ext.Sum ^= 1
+	} else {
+		data := append([]byte(nil), ext.Data...)
+		i := in.rnd.Intn(len(data))
+		data[i] ^= 1 << uint(in.rnd.Intn(8))
+		ext.Data = data
+	}
+	in.fired++
+	return in.inner.Put(start, ext)
+}
+
+// DropExtent silently loses the stored extent (an unreadable sector),
+// independent of the schedule.
+func (in *Injector) DropExtent(start int64) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.fired++
+	return in.inner.Delete(start)
+}
+
+func (in *Injector) Get(start int64) (Extent, error) {
+	in.mu.Lock()
+	in.reads++
+	n := in.reads
+	r, hit := in.match(FaultRead, n)
+	if hit {
+		in.fired++
+	}
+	in.mu.Unlock()
+	if hit {
+		switch r.Kind {
+		case FaultTransient:
+			return Extent{}, fmt.Errorf("injected transient read fault (read #%d): %w", n, ErrTransient)
+		case FaultPermanent:
+			return Extent{}, fmt.Errorf("pagestore: injected permanent read fault (read #%d)", n)
+		case FaultBitFlip:
+			if err := in.corruptLocked(start); err != nil {
+				return Extent{}, err
+			}
+		}
+	}
+	return in.inner.Get(start)
+}
+
+// corruptLocked is CorruptExtent without double-counting fired.
+func (in *Injector) corruptLocked(start int64) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ext, err := in.inner.Get(start)
+	if err != nil {
+		return err
+	}
+	if len(ext.Data) == 0 {
+		ext.Sum ^= 1
+	} else {
+		data := append([]byte(nil), ext.Data...)
+		i := in.rnd.Intn(len(data))
+		data[i] ^= 1 << uint(in.rnd.Intn(8))
+		ext.Data = data
+	}
+	return in.inner.Put(start, ext)
+}
+
+func (in *Injector) Put(start int64, ext Extent) error {
+	in.mu.Lock()
+	in.writes++
+	n := in.writes
+	r, hit := in.match(FaultWrite, n)
+	if hit {
+		in.fired++
+	}
+	var torn Extent
+	if hit && r.Kind == FaultTornWrite && len(ext.Data) > 0 {
+		keep := in.rnd.Intn(len(ext.Data)) // strict (possibly empty) prefix
+		torn = Extent{Data: ext.Data[:keep:keep], Pages: ext.Pages, Sum: ext.Sum}
+	}
+	in.mu.Unlock()
+	if hit {
+		switch r.Kind {
+		case FaultTransient:
+			return fmt.Errorf("injected transient write fault (write #%d): %w", n, ErrTransient)
+		case FaultPermanent:
+			return fmt.Errorf("pagestore: injected permanent write fault (write #%d)", n)
+		case FaultTornWrite:
+			if len(ext.Data) > 0 {
+				return in.inner.Put(start, torn)
+			}
+		case FaultBitFlip:
+			if err := in.inner.Put(start, ext); err != nil {
+				return err
+			}
+			return in.corruptLocked(start)
+		}
+	}
+	return in.inner.Put(start, ext)
+}
+
+func (in *Injector) Commit() error {
+	in.mu.Lock()
+	in.commit++
+	n := in.commit
+	r, hit := in.match(FaultCommit, n)
+	if hit {
+		in.fired++
+	}
+	in.mu.Unlock()
+	if hit {
+		switch r.Kind {
+		case FaultTransient:
+			return fmt.Errorf("injected transient commit fault (commit #%d): %w", n, ErrTransient)
+		default:
+			return fmt.Errorf("pagestore: injected permanent commit fault (commit #%d)", n)
+		}
+	}
+	return in.inner.Commit()
+}
+
+func (in *Injector) Delete(start int64) error          { return in.inner.Delete(start) }
+func (in *Injector) PutMeta(meta []byte) error         { return in.inner.PutMeta(meta) }
+func (in *Injector) Meta() []byte                      { return in.inner.Meta() }
+func (in *Injector) Range(fn func(int64, Extent) bool) { in.inner.Range(fn) }
+func (in *Injector) NextPage() int64                   { return in.inner.NextPage() }
+func (in *Injector) Durable() bool                     { return in.inner.Durable() }
+func (in *Injector) Close() error                      { return in.inner.Close() }

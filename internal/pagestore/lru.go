@@ -13,7 +13,7 @@ type lruCache struct {
 
 type lruEntry struct {
 	key   int64
-	data  []byte
+	ext   Extent
 	pages int
 }
 
@@ -25,16 +25,16 @@ func newLRU(capacityPages int) *lruCache {
 	}
 }
 
-func (c *lruCache) get(key int64) ([]byte, bool) {
+func (c *lruCache) get(key int64) (Extent, bool) {
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return Extent{}, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).data, true
+	return el.Value.(*lruEntry).ext, true
 }
 
-func (c *lruCache) put(key int64, data []byte, pages int) {
+func (c *lruCache) put(key int64, ext Extent, pages int) {
 	if pages > c.capacity {
 		return // extent larger than the whole pool: do not cache
 	}
@@ -42,9 +42,9 @@ func (c *lruCache) put(key int64, data []byte, pages int) {
 		c.order.MoveToFront(el)
 		ent := el.Value.(*lruEntry)
 		c.used += pages - ent.pages
-		ent.data, ent.pages = data, pages
+		ent.ext, ent.pages = ext, pages
 	} else {
-		el := c.order.PushFront(&lruEntry{key: key, data: data, pages: pages})
+		el := c.order.PushFront(&lruEntry{key: key, ext: ext, pages: pages})
 		c.items[key] = el
 		c.used += pages
 	}

@@ -1,4 +1,4 @@
-// Package pagestore simulates a page-oriented disk with I/O accounting.
+// Package pagestore is a page-oriented storage tier with I/O accounting.
 //
 // The paper's cost arguments (Section 7.2, "Additional notes on indexes")
 // are about disk behaviour: "deltas will in many cases be stored unclustered
@@ -9,6 +9,13 @@
 // the previous one ended) and buffer-pool hits. The version store places
 // documents, deltas and snapshots here, and the benchmark harness reports
 // the counters.
+//
+// Persistence is pluggable through the Backend interface: the default
+// in-memory backend is volatile (the original simulated disk), while the
+// write-ahead-log backend (wal.go) makes every committed extent durable
+// across process crashes. Every extent, on either backend, carries a CRC32
+// checksum computed at write time and verified on every read; a mismatch
+// surfaces as ErrCorrupt rather than as downstream XML parse failures.
 //
 // Two placement policies are provided:
 //
@@ -62,6 +69,10 @@ type Config struct {
 	// move counting as a seek (a short stroke within a track or arena).
 	// Zero means only an exact forward continuation is seekless.
 	NearDistance int64
+	// Backend supplies the persistence tier. Nil selects the volatile
+	// in-memory backend. Pass a WAL backend (OpenWAL) for durability, or a
+	// fault injector (NewInjector) for failure testing.
+	Backend Backend
 }
 
 // IOStats are the accumulated counters of a Store.
@@ -120,14 +131,15 @@ func (r Ref) Zero() bool { return r == Ref{} }
 // page so that the first read always counts as a seek.
 const parkedHead int64 = -(1 << 40)
 
-// Store is a simulated paged disk. It is safe for concurrent use.
+// Store is a paged storage tier over a pluggable Backend. It is safe for
+// concurrent use.
 type Store struct {
 	mu      sync.Mutex
 	cfg     Config
-	extents map[int64][]byte // start page -> payload
-	next    int64            // next free page in the global heap
-	arenas  map[int]*arena   // placement group -> arena (clustered only)
-	lastPos int64            // page position after the most recent read
+	backend Backend
+	next    int64          // next free page in the global heap
+	arenas  map[int]*arena // placement group -> arena (clustered only)
+	lastPos int64          // page position after the most recent read
 	stats   IOStats
 	cache   *lruCache
 }
@@ -136,7 +148,9 @@ type arena struct {
 	next, limit int64
 }
 
-// New returns an empty store with the given configuration.
+// New returns a store over cfg.Backend (a fresh in-memory backend when
+// nil). For a backend recovered from disk, allocation resumes past the
+// highest recovered extent.
 func New(cfg Config) *Store {
 	if cfg.PageSize <= 0 {
 		cfg.PageSize = 4096
@@ -144,9 +158,13 @@ func New(cfg Config) *Store {
 	if cfg.ArenaChunk <= 0 {
 		cfg.ArenaChunk = 64
 	}
+	if cfg.Backend == nil {
+		cfg.Backend = NewMemory()
+	}
 	s := &Store{
 		cfg:     cfg,
-		extents: make(map[int64][]byte),
+		backend: cfg.Backend,
+		next:    cfg.Backend.NextPage(),
 		arenas:  make(map[int]*arena),
 		lastPos: parkedHead,
 	}
@@ -159,6 +177,12 @@ func New(cfg Config) *Store {
 // PageSize returns the configured page size in bytes.
 func (s *Store) PageSize() int { return s.cfg.PageSize }
 
+// Backend returns the persistence tier under the store.
+func (s *Store) Backend() Backend { return s.backend }
+
+// Durable reports whether the backend survives a process crash.
+func (s *Store) Durable() bool { return s.backend.Durable() }
+
 // pagesFor returns how many pages a payload of n bytes occupies (min 1).
 func (s *Store) pagesFor(n int) int32 {
 	p := (n + s.cfg.PageSize - 1) / s.cfg.PageSize
@@ -170,7 +194,8 @@ func (s *Store) pagesFor(n int) int32 {
 
 // Write stores a copy of data as a new extent belonging to the placement
 // group and returns its reference. Group is typically a document identifier.
-func (s *Store) Write(group int, data []byte) Ref {
+// The extent is checksummed; durable backends persist it at the next Commit.
+func (s *Store) Write(group int, data []byte) (Ref, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	pages := s.pagesFor(len(data))
@@ -196,26 +221,46 @@ func (s *Store) Write(group int, data []byte) Ref {
 		start = s.next
 		s.next += int64(pages)
 	}
-	s.extents[start] = append([]byte(nil), data...)
+	ext := Extent{
+		Data:  append([]byte(nil), data...),
+		Pages: pages,
+		Sum:   Checksum(data),
+	}
+	if err := s.backend.Put(start, ext); err != nil {
+		return Ref{}, fmt.Errorf("pagestore: write at page %d: %w", start, err)
+	}
 	s.stats.PageWrites += int64(pages)
-	return Ref{Start: start, Pages: pages, Len: int32(len(data))}
+	return Ref{Start: start, Pages: pages, Len: int32(len(data))}, nil
 }
 
 // Read returns the payload of the extent, charging page reads and a seek if
 // the extent does not start where the previous read ended. Reads served by
-// the buffer pool charge nothing but a cache hit.
+// the buffer pool charge nothing but a cache hit. The payload's checksum is
+// verified on every read; a mismatch returns an error wrapping ErrCorrupt.
 func (s *Store) Read(ref Ref) ([]byte, error) {
+	if ref.Zero() {
+		return nil, ErrZeroRef
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cache != nil {
-		if data, ok := s.cache.get(ref.Start); ok {
-			s.stats.CacheHits++
-			return data, nil
+		if ext, ok := s.cache.get(ref.Start); ok {
+			if err := verify(ref, ext); err != nil {
+				// A poisoned buffer-pool entry: drop it and fall through
+				// to the backend copy.
+				s.cache.drop(ref.Start)
+			} else {
+				s.stats.CacheHits++
+				return ext.Data, nil
+			}
 		}
 	}
-	data, ok := s.extents[ref.Start]
-	if !ok {
-		return nil, fmt.Errorf("pagestore: read of unknown extent at page %d", ref.Start)
+	ext, err := s.backend.Get(ref.Start)
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: read of extent at page %d: %w", ref.Start, err)
+	}
+	if err := verify(ref, ext); err != nil {
+		return nil, err
 	}
 	if dist := ref.Start - s.lastPos; dist < -s.cfg.NearDistance || dist > s.cfg.NearDistance {
 		s.stats.Seeks++
@@ -224,21 +269,63 @@ func (s *Store) Read(ref Ref) ([]byte, error) {
 	s.stats.ExtentRead++
 	s.lastPos = ref.Start + int64(ref.Pages)
 	if s.cache != nil {
-		s.cache.put(ref.Start, data, int(ref.Pages))
+		s.cache.put(ref.Start, ext, int(ref.Pages))
 	}
-	return data, nil
+	return ext.Data, nil
+}
+
+// verify checks the extent's payload against its write-time checksum.
+func verify(ref Ref, ext Extent) error {
+	if int32(len(ext.Data)) != ref.Len || Checksum(ext.Data) != ext.Sum {
+		return fmt.Errorf("pagestore: extent at page %d: %w (have %d bytes sum %08x, ref wants %d bytes sum %08x)",
+			ref.Start, ErrCorrupt, len(ext.Data), Checksum(ext.Data), ref.Len, ext.Sum)
+	}
+	return nil
 }
 
 // Free releases an extent. The pages are not reused (the disk is
 // append-only, like the paper's log-structured repositories), but the
-// payload is dropped and further reads fail.
+// payload is dropped and further reads fail. Freeing the zero Ref is a
+// no-op: the zero value means "no extent", never the extent at page 0.
 func (s *Store) Free(ref Ref) {
+	if ref.Zero() {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.extents, ref.Start)
+	_ = s.backend.Delete(ref.Start)
 	if s.cache != nil {
 		s.cache.drop(ref.Start)
 	}
+}
+
+// SetMeta hands an opaque metadata blob to the backend (the version store's
+// serialized delta index); durable backends persist it at the next Commit.
+func (s *Store) SetMeta(meta []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.backend.PutMeta(meta)
+}
+
+// Meta returns the backend's current metadata blob, nil if none.
+func (s *Store) Meta() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.backend.Meta()
+}
+
+// Commit asks the backend to make everything written so far durable.
+func (s *Store) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.backend.Commit()
+}
+
+// Close releases the backend.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.backend.Close()
 }
 
 // Stats returns a snapshot of the I/O counters.
@@ -280,8 +367,9 @@ func (s *Store) BytesStored() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var total int64
-	for _, d := range s.extents {
-		total += int64(len(d))
-	}
+	s.backend.Range(func(_ int64, ext Extent) bool {
+		total += int64(len(ext.Data))
+		return true
+	})
 	return total
 }

@@ -8,10 +8,21 @@ import (
 	"testing/quick"
 )
 
+// mustWrite is the test shorthand for infallible writes (the in-memory
+// backend only fails through the fault injector).
+func mustWrite(t testing.TB, s *Store, group int, data []byte) Ref {
+	t.Helper()
+	ref, err := s.Write(group, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
 func TestWriteReadRoundTrip(t *testing.T) {
 	s := New(Config{PageSize: 128})
 	payload := []byte("hello, paged world")
-	ref := s.Write(1, payload)
+	ref := mustWrite(t, s, 1, payload)
 	got, err := s.Read(ref)
 	if err != nil {
 		t.Fatal(err)
@@ -30,7 +41,7 @@ func TestMultiPageExtent(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i)
 	}
-	ref := s.Write(1, payload)
+	ref := mustWrite(t, s, 1, payload)
 	if ref.Pages != 7 {
 		t.Fatalf("pages = %d, want 7", ref.Pages)
 	}
@@ -49,7 +60,7 @@ func TestMultiPageExtent(t *testing.T) {
 
 func TestEmptyPayloadOccupiesOnePage(t *testing.T) {
 	s := New(Config{})
-	ref := s.Write(1, nil)
+	ref := mustWrite(t, s, 1, nil)
 	if ref.Pages != 1 {
 		t.Fatalf("empty payload pages = %d", ref.Pages)
 	}
@@ -61,9 +72,9 @@ func TestEmptyPayloadOccupiesOnePage(t *testing.T) {
 
 func TestSeekAccounting(t *testing.T) {
 	s := New(Config{PageSize: 64})
-	a := s.Write(1, make([]byte, 64))
-	b := s.Write(1, make([]byte, 64)) // contiguous with a in unclustered append
-	c := s.Write(1, make([]byte, 64))
+	a := mustWrite(t, s, 1, make([]byte, 64))
+	b := mustWrite(t, s, 1, make([]byte, 64)) // contiguous with a in unclustered append
+	c := mustWrite(t, s, 1, make([]byte, 64))
 	// Sequential read a,b,c: one seek (initial) only.
 	for _, r := range []Ref{a, b, c} {
 		if _, err := s.Read(r); err != nil {
@@ -88,9 +99,9 @@ func TestSeekAccounting(t *testing.T) {
 
 func TestNearDistanceSuppressesShortStrokes(t *testing.T) {
 	s := New(Config{PageSize: 64, NearDistance: 4})
-	a := s.Write(1, make([]byte, 64)) // page 0
-	b := s.Write(1, make([]byte, 64)) // page 1
-	c := s.Write(1, make([]byte, 64)) // page 2
+	a := mustWrite(t, s, 1, make([]byte, 64)) // page 0
+	b := mustWrite(t, s, 1, make([]byte, 64)) // page 1
+	c := mustWrite(t, s, 1, make([]byte, 64)) // page 2
 	// Backward read of a tight cluster: short strokes, only the initial
 	// positioning counts.
 	for _, r := range []Ref{c, b, a} {
@@ -102,11 +113,11 @@ func TestNearDistanceSuppressesShortStrokes(t *testing.T) {
 		t.Fatalf("backward near reads: seeks = %d, want 1", st.Seeks)
 	}
 	// A far jump still seeks.
-	far := s.Write(1, make([]byte, 64))
+	far := mustWrite(t, s, 1, make([]byte, 64))
 	for i := 0; i < 10; i++ {
-		s.Write(2, make([]byte, 64))
+		mustWrite(t, s, 2, make([]byte, 64))
 	}
-	far2 := s.Write(1, make([]byte, 64))
+	far2 := mustWrite(t, s, 1, make([]byte, 64))
 	s.ResetStats()
 	if _, err := s.Read(far); err != nil {
 		t.Fatal(err)
@@ -128,7 +139,7 @@ func TestClusteredPlacementReducesSeeks(t *testing.T) {
 		// crawled updates.
 		for d := 0; d < deltas; d++ {
 			for doc := 0; doc < docs; doc++ {
-				refs[doc] = append(refs[doc], s.Write(doc, make([]byte, 64)))
+				refs[doc] = append(refs[doc], mustWrite(t, s, doc, make([]byte, 64)))
 			}
 		}
 		s.ResetStats()
@@ -152,9 +163,9 @@ func TestClusteredPlacementReducesSeeks(t *testing.T) {
 
 func TestBufferPool(t *testing.T) {
 	s := New(Config{PageSize: 64, BufferPages: 2})
-	a := s.Write(1, []byte("aa"))
-	b := s.Write(1, []byte("bb"))
-	c := s.Write(1, []byte("cc"))
+	a := mustWrite(t, s, 1, []byte("aa"))
+	b := mustWrite(t, s, 1, []byte("bb"))
+	c := mustWrite(t, s, 1, []byte("cc"))
 	readAll := func(refs ...Ref) {
 		for _, r := range refs {
 			if _, err := s.Read(r); err != nil {
@@ -181,7 +192,7 @@ func TestBufferPool(t *testing.T) {
 
 func TestCacheSkipsOversizedExtent(t *testing.T) {
 	s := New(Config{PageSize: 16, BufferPages: 2})
-	big := s.Write(1, make([]byte, 100)) // 7 pages > capacity 2
+	big := mustWrite(t, s, 1, make([]byte, 100)) // 7 pages > capacity 2
 	if _, err := s.Read(big); err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +206,7 @@ func TestCacheSkipsOversizedExtent(t *testing.T) {
 
 func TestFree(t *testing.T) {
 	s := New(Config{BufferPages: 4})
-	ref := s.Write(1, []byte("x"))
+	ref := mustWrite(t, s, 1, []byte("x"))
 	if _, err := s.Read(ref); err != nil {
 		t.Fatal(err)
 	}
@@ -233,8 +244,8 @@ func TestStatsArithmetic(t *testing.T) {
 
 func TestPagesUsedAndBytesStored(t *testing.T) {
 	s := New(Config{PageSize: 64})
-	s.Write(1, make([]byte, 65)) // 2 pages
-	s.Write(2, make([]byte, 10)) // 1 page
+	mustWrite(t, s, 1, make([]byte, 65)) // 2 pages
+	mustWrite(t, s, 2, make([]byte, 10)) // 1 page
 	if got := s.PagesUsed(); got != 3 {
 		t.Fatalf("PagesUsed = %d, want 3", got)
 	}
@@ -266,7 +277,7 @@ func TestPropertyRoundTrip(t *testing.T) {
 		for i := 0; i < 50; i++ {
 			data := make([]byte, r.Intn(200))
 			r.Read(data)
-			pairs = append(pairs, pair{s.Write(r.Intn(4), data), data})
+			pairs = append(pairs, pair{mustWrite(t, s, r.Intn(4), data), data})
 		}
 		for _, p := range pairs {
 			got, err := s.Read(p.ref)
@@ -289,7 +300,7 @@ func TestConcurrentAccess(t *testing.T) {
 			var err error
 			for i := 0; i < 200; i++ {
 				data := []byte(fmt.Sprintf("g%d-i%d", g, i))
-				ref := s.Write(g, data)
+				ref := mustWrite(t, s, g, data)
 				var got []byte
 				got, err = s.Read(ref)
 				if err != nil || !bytes.Equal(got, data) {

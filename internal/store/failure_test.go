@@ -1,28 +1,44 @@
 package store
 
 import (
-	"strings"
+	"errors"
 	"sync"
 	"testing"
 
 	"txmldb/internal/model"
+	"txmldb/internal/pagestore"
 )
 
-// TestReconstructFailsOnLostDelta injects storage corruption: a freed
-// delta extent must surface as a reconstruction error, not a panic or a
-// silently wrong tree.
+// figure1FaultStore is figure1Store over a fault-injected backend, so
+// failure tests corrupt storage through the injector instead of reaching
+// into pagestore internals.
+func figure1FaultStore(t *testing.T) (*Store, model.DocID, *pagestore.Injector) {
+	t.Helper()
+	inj := pagestore.NewInjector(pagestore.NewMemory(), 1)
+	s, id := figure1Store(t, Config{Pages: pagestore.Config{Backend: inj}})
+	return s, id, inj
+}
+
+// TestReconstructFailsOnLostDelta injects storage corruption: a dropped
+// delta extent must surface as a typed reconstruction error, not a panic or
+// a silently wrong tree.
 func TestReconstructFailsOnLostDelta(t *testing.T) {
-	s, id := figure1Store(t, Config{})
+	s, id, inj := figure1FaultStore(t)
 	vs, err := s.Versions(id)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Drop the delta 1→2; version 1 becomes unreachable, version 3 stays.
-	s.Pages().Free(vs[0].DeltaToNext)
-	if _, err := s.ReconstructVersion(id, 1); err == nil {
-		t.Fatal("reconstruction over a lost delta must fail")
-	} else if !strings.Contains(err.Error(), "delta") {
-		t.Fatalf("unhelpful error: %v", err)
+	// Drop the delta 1→2; version 1 becomes unreachable, versions 2 and 3
+	// are ahead of the break and stay readable.
+	if err := inj.DropExtent(vs[0].DeltaToNext.Start); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.ReconstructVersion(id, 1)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("reconstruction over a lost delta = %v, want ErrUnreachable", err)
+	}
+	if !errors.Is(err, pagestore.ErrUnknownExtent) {
+		t.Fatalf("error chain loses the storage cause: %v", err)
 	}
 	if _, err := s.ReconstructVersion(id, 3); err != nil {
 		t.Fatalf("current version must stay readable: %v", err)
@@ -36,11 +52,13 @@ func TestReconstructFailsOnLostDelta(t *testing.T) {
 // TestReconstructFailsOnLostSnapshot removes the current version's full
 // serialization.
 func TestReconstructFailsOnLostSnapshot(t *testing.T) {
-	s, id := figure1Store(t, Config{})
+	s, id, inj := figure1FaultStore(t)
 	vs, _ := s.Versions(id)
-	s.Pages().Free(vs[2].Snapshot)
-	if _, err := s.ReconstructVersion(id, 2); err == nil {
-		t.Fatal("reconstruction without any snapshot must fail")
+	if err := inj.DropExtent(vs[2].Snapshot.Start); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReconstructVersion(id, 2); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("reconstruction without any snapshot = %v, want ErrUnreachable", err)
 	}
 	// The in-memory current version is unaffected.
 	if _, _, err := s.Current(id); err != nil {
@@ -48,18 +66,65 @@ func TestReconstructFailsOnLostSnapshot(t *testing.T) {
 	}
 }
 
-// TestCorruptedDeltaDocument overwrites a delta with garbage XML.
+// TestCorruptedDeltaDocument flips a bit inside a stored delta: checksum
+// verification must surface it as pagestore.ErrCorrupt, and reconstruction
+// through it as ErrUnreachable naming the broken link.
 func TestCorruptedDeltaDocument(t *testing.T) {
-	s, id := figure1Store(t, Config{})
+	s, id, inj := figure1FaultStore(t)
 	vs, _ := s.Versions(id)
-	// Replace the extent contents by freeing and re-reading: simulate by
-	// freeing and writing garbage at a new location, then patching the
-	// version info is not possible from outside — instead corrupt via the
-	// public surface: free the delta and verify the error chain is typed.
-	s.Pages().Free(vs[1].DeltaToNext)
+	if err := inj.CorruptExtent(vs[1].DeltaToNext.Start); err != nil {
+		t.Fatal(err)
+	}
 	_, err := s.ReadDelta(id, 2)
-	if err == nil {
-		t.Fatal("reading a lost delta must fail")
+	if !errors.Is(err, pagestore.ErrCorrupt) {
+		t.Fatalf("reading a bit-flipped delta = %v, want ErrCorrupt", err)
+	}
+	// Versions 1 and 2 depend on the 2→3 delta; both become unreachable,
+	// and the error names both the version and the storage cause.
+	for _, ver := range []model.VersionNo{1, 2} {
+		_, err := s.ReconstructVersion(id, ver)
+		if !errors.Is(err, ErrUnreachable) || !errors.Is(err, pagestore.ErrCorrupt) {
+			t.Fatalf("v%d over corrupt delta = %v, want ErrUnreachable wrapping ErrCorrupt", ver, err)
+		}
+	}
+	if _, err := s.ReconstructVersion(id, 3); err != nil {
+		t.Fatalf("version ahead of the corruption must stay readable: %v", err)
+	}
+}
+
+// TestTransientReadFaultIsRetried: bounded retries absorb a transient fault
+// window shorter than the retry budget.
+func TestTransientReadFaultIsRetried(t *testing.T) {
+	inj := pagestore.NewInjector(pagestore.NewMemory(), 1)
+	s, id := figure1Store(t, Config{
+		Pages:       pagestore.Config{Backend: inj},
+		ReadRetries: 3,
+	})
+	reads := inj.Reads()
+	// The next two backend reads fail transiently; the retry loop rides
+	// through them.
+	inj.Script(pagestore.FaultRule{Op: pagestore.FaultRead, Kind: pagestore.FaultTransient, At: reads + 1, Count: 2})
+	if _, err := s.ReconstructVersion(id, 1); err != nil {
+		t.Fatalf("reconstruction under transient faults: %v", err)
+	}
+	if inj.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2 transient faults absorbed", inj.Fired())
+	}
+}
+
+// TestTransientFaultExhaustsRetries: a fault window longer than the retry
+// budget surfaces the transient error.
+func TestTransientFaultExhaustsRetries(t *testing.T) {
+	inj := pagestore.NewInjector(pagestore.NewMemory(), 1)
+	s, id := figure1Store(t, Config{
+		Pages:       pagestore.Config{Backend: inj},
+		ReadRetries: 2,
+	})
+	reads := inj.Reads()
+	inj.Script(pagestore.FaultRule{Op: pagestore.FaultRead, Kind: pagestore.FaultTransient, At: reads + 1, Count: 1 << 30})
+	_, err := s.ReconstructVersion(id, 1)
+	if !errors.Is(err, pagestore.ErrTransient) {
+		t.Fatalf("exhausted retries = %v, want ErrTransient surfaced", err)
 	}
 }
 

@@ -20,18 +20,21 @@ func (v VersionTree) TEID(doc model.DocID) model.TEID {
 }
 
 // readScript loads and parses one completed delta document from disk.
+// Transient read faults are retried (bounded backoff); permanent failures
+// name the broken delta so callers can report which part of the chain is
+// damaged.
 func (s *Store) readScript(d *docEntry, fromVer model.VersionNo) (*diff.Script, error) {
 	info := d.versions[fromVer-1]
 	if info.DeltaToNext.Zero() {
 		return nil, fmt.Errorf("store: no delta from version %d of doc %d", fromVer, d.id)
 	}
-	data, err := s.pages.Read(info.DeltaToNext)
+	data, err := s.readExtent(info.DeltaToNext)
 	if err != nil {
 		return nil, fmt.Errorf("store: reading delta %d→%d of doc %d: %w", fromVer, fromVer+1, d.id, err)
 	}
 	node, err := xmltree.Unmarshal(data)
 	if err != nil {
-		return nil, fmt.Errorf("store: parsing delta document: %w", err)
+		return nil, fmt.Errorf("store: parsing delta document %d→%d of doc %d: %w", fromVer, fromVer+1, d.id, err)
 	}
 	return diff.FromXML(node)
 }
@@ -69,28 +72,44 @@ func (s *Store) reconstruct(d *docEntry, ver model.VersionNo) (VersionTree, erro
 	if ver < 1 || int(ver) > len(d.versions) {
 		return VersionTree{}, fmt.Errorf("store: doc %d has no version %d", d.id, ver)
 	}
-	// Use the oldest snapshot at or after the target version
-	// (the current version always has a full serialization).
-	snapVer := ver
-	for int(snapVer) <= len(d.versions) && d.versions[snapVer-1].Snapshot.Zero() {
-		snapVer++
+	// Use the oldest readable snapshot at or after the target version (the
+	// current version always has a full serialization). A corrupt snapshot
+	// degrades gracefully: reconstruction falls forward to the next
+	// snapshot and applies the extra deltas instead of failing outright.
+	var (
+		tree    *xmltree.Node
+		snapVer model.VersionNo
+		snapErr error
+	)
+	for cand := ver; int(cand) <= len(d.versions); cand++ {
+		if d.versions[cand-1].Snapshot.Zero() {
+			continue
+		}
+		data, err := s.readExtent(d.versions[cand-1].Snapshot)
+		if err != nil {
+			snapErr = fmt.Errorf("store: reading snapshot of version %d of doc %d: %w", cand, d.id, err)
+			continue
+		}
+		t, err := xmltree.Unmarshal(data)
+		if err != nil {
+			snapErr = fmt.Errorf("store: parsing snapshot of version %d of doc %d: %w", cand, d.id, err)
+			continue
+		}
+		tree, snapVer = t, cand
+		break
 	}
-	if int(snapVer) > len(d.versions) {
+	if tree == nil {
+		if snapErr != nil {
+			return VersionTree{}, fmt.Errorf("%w: version %d of doc %d: %w", ErrUnreachable, ver, d.id, snapErr)
+		}
 		return VersionTree{}, fmt.Errorf("store: doc %d: no snapshot at or after version %d", d.id, ver)
-	}
-	data, err := s.pages.Read(d.versions[snapVer-1].Snapshot)
-	if err != nil {
-		return VersionTree{}, fmt.Errorf("store: reading snapshot of version %d: %w", snapVer, err)
-	}
-	tree, err := xmltree.Unmarshal(data)
-	if err != nil {
-		return VersionTree{}, fmt.Errorf("store: parsing snapshot: %w", err)
 	}
 	// Apply inverted deltas backwards: snapVer-1 → ... → ver.
 	for v := snapVer - 1; v >= ver; v-- {
 		script, err := s.readScript(d, v)
 		if err != nil {
-			return VersionTree{}, err
+			return VersionTree{}, fmt.Errorf("%w: version %d of doc %d depends on delta %d→%d: %w",
+				ErrUnreachable, ver, d.id, v, v+1, err)
 		}
 		if err := diff.Apply(tree, script.Invert()); err != nil {
 			return VersionTree{}, fmt.Errorf("store: applying inverse delta %d→%d: %w", v+1, v, err)
@@ -242,6 +261,9 @@ func (s *Store) DelTimeTraverse(teid model.TEID) (model.Time, error) {
 	}
 	// If the element is still in the (cached) last version, its delete
 	// time is the document's.
+	if d.cur == nil {
+		return 0, fmt.Errorf("store: current version of doc %d unavailable: %w", d.id, d.curErr)
+	}
 	if d.cur.FindXID(teid.E.X) != nil {
 		return d.deleted, nil // Forever for live documents
 	}

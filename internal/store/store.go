@@ -10,9 +10,11 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"txmldb/internal/diff"
 	"txmldb/internal/model"
@@ -22,10 +24,18 @@ import (
 
 // Config parameterizes a Store.
 type Config struct {
-	// Pages configures the simulated disk.
+	// Pages configures the storage tier (in-memory by default; set
+	// Pages.Backend to a WAL backend for durability).
 	Pages pagestore.Config
 	// SnapshotEvery stores a full snapshot every k-th version (0 = never).
 	SnapshotEvery int
+	// ReadRetries bounds how often a transient read fault
+	// (pagestore.ErrTransient) is retried before giving up. Zero means the
+	// default of 3; negative disables retries.
+	ReadRetries int
+	// RetryBackoff is the sleep before the first retry; it doubles per
+	// attempt. Zero means the default of 200µs.
+	RetryBackoff time.Duration
 }
 
 // VersionInfo is one entry of a document's delta index.
@@ -69,7 +79,8 @@ type docEntry struct {
 	deleted model.Time
 	rootXID model.XID
 
-	cur      *xmltree.Node // cached current version
+	cur      *xmltree.Node // cached current version; nil if unrecoverable
+	curErr   error         // why cur is nil after a degraded recovery
 	versions []VersionInfo // index 0 = version 1
 }
 
@@ -98,6 +109,12 @@ func New(cfg Config) *Store {
 // Pages exposes the simulated disk, mainly for I/O accounting in benchmarks.
 func (s *Store) Pages() *pagestore.Store { return s.pages }
 
+// Durable reports whether the store survives a process crash.
+func (s *Store) Durable() bool { return s.pages.Durable() }
+
+// Close releases the storage backend. The store is unusable afterwards.
+func (s *Store) Close() error { return s.pages.Close() }
+
 var (
 	// ErrNotFound reports an unknown document.
 	ErrNotFound = fmt.Errorf("store: document not found")
@@ -110,7 +127,57 @@ var (
 	// ErrStale reports an update whose timestamp does not advance the
 	// document's history.
 	ErrStale = fmt.Errorf("store: timestamp not newer than current version")
+	// ErrUnreachable reports a version that cannot be reconstructed
+	// because an extent it depends on is corrupt or missing. The error
+	// chain also carries the underlying pagestore error
+	// (pagestore.ErrCorrupt or pagestore.ErrUnknownExtent) and names the
+	// broken delta or snapshot.
+	ErrUnreachable = errors.New("store: version unreachable")
 )
+
+// readExtent reads one extent, retrying transient faults with bounded
+// exponential backoff. Permanent faults (corruption, unknown extents) are
+// returned immediately.
+func (s *Store) readExtent(ref pagestore.Ref) ([]byte, error) {
+	retries := s.cfg.ReadRetries
+	switch {
+	case retries == 0:
+		retries = 3
+	case retries < 0:
+		retries = 0
+	}
+	backoff := s.cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = 200 * time.Microsecond
+	}
+	for attempt := 0; ; attempt++ {
+		data, err := s.pages.Read(ref)
+		if err == nil || !errors.Is(err, pagestore.ErrTransient) || attempt >= retries {
+			return data, err
+		}
+		time.Sleep(backoff << attempt)
+	}
+}
+
+// persistLocked snapshots the delta index into the backend's metadata and
+// commits, making the mutation durable. It is a no-op on volatile
+// backends. Callers hold s.mu.
+func (s *Store) persistLocked() error {
+	if !s.pages.Durable() {
+		return nil
+	}
+	meta, err := s.marshalMetaLocked()
+	if err != nil {
+		return fmt.Errorf("store: serialize meta: %w", err)
+	}
+	if err := s.pages.SetMeta(meta); err != nil {
+		return fmt.Errorf("store: persist meta: %w", err)
+	}
+	if err := s.pages.Commit(); err != nil {
+		return fmt.Errorf("store: commit: %w", err)
+	}
+	return nil
+}
 
 // Put stores tree as version 1 of a new document under name. The tree is
 // annotated in place with fresh XIDs and stamp t. If a document with the
@@ -138,10 +205,17 @@ func (s *Store) Put(name string, tree *xmltree.Node, t model.Time) (model.DocID,
 	diff.AssignXIDs(tree, d.allocXID, t)
 	d.rootXID = tree.XID
 	d.cur = tree.Clone()
-	ref := s.pages.Write(int(id), xmltree.Marshal(d.cur))
+	ref, err := s.pages.Write(int(id), xmltree.Marshal(d.cur))
+	if err != nil {
+		s.nextDoc--
+		return 0, fmt.Errorf("store: put %q: %w", name, err)
+	}
 	d.versions = []VersionInfo{{Ver: 1, Stamp: t, End: model.Forever, Snapshot: ref}}
 	s.docs[id] = d
 	s.byName[name] = id
+	if err := s.persistLocked(); err != nil {
+		return 0, fmt.Errorf("store: put %q: %w", name, err)
+	}
 	return id, nil
 }
 
@@ -167,6 +241,9 @@ func (s *Store) Update(id model.DocID, tree *xmltree.Node, t model.Time) (model.
 	if d.deleted != model.Forever {
 		return 0, nil, fmt.Errorf("%w: %d", ErrDeleted, id)
 	}
+	if d.cur == nil {
+		return 0, nil, fmt.Errorf("store: update %d: current version unavailable: %w", id, d.curErr)
+	}
 	cur := d.curInfo()
 	if t <= cur.Stamp {
 		return 0, nil, fmt.Errorf("%w: %s <= %s", ErrStale, t, cur.Stamp)
@@ -183,7 +260,10 @@ func (s *Store) Update(id model.DocID, tree *xmltree.Node, t model.Time) (model.
 		return 0, nil, fmt.Errorf("store: update %d: %w", id, err)
 	}
 	// Store the completed delta as its own XML document (Section 7.1).
-	deltaRef := s.pages.Write(int(id), xmltree.Marshal(script.ToXML()))
+	deltaRef, err := s.pages.Write(int(id), xmltree.Marshal(script.ToXML()))
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: update %d: %w", id, err)
+	}
 	cur.DeltaToNext = deltaRef
 	cur.End = t
 	// The previous "current" full version is dropped unless it is a
@@ -194,8 +274,14 @@ func (s *Store) Update(id model.DocID, tree *xmltree.Node, t model.Time) (model.
 	}
 	d.cur = annotated
 	newInfo := VersionInfo{Ver: newVer, Stamp: t, End: model.Forever}
-	newInfo.Snapshot = s.pages.Write(int(id), xmltree.Marshal(d.cur))
+	newInfo.Snapshot, err = s.pages.Write(int(id), xmltree.Marshal(d.cur))
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: update %d: %w", id, err)
+	}
 	d.versions = append(d.versions, newInfo)
+	if err := s.persistLocked(); err != nil {
+		return 0, nil, fmt.Errorf("store: update %d: %w", id, err)
+	}
 	return newVer, script, nil
 }
 
@@ -222,6 +308,9 @@ func (s *Store) Delete(id model.DocID, t model.Time) error {
 	}
 	d.deleted = t
 	cur.End = t
+	if err := s.persistLocked(); err != nil {
+		return fmt.Errorf("store: delete %d: %w", id, err)
+	}
 	return nil
 }
 
@@ -271,6 +360,9 @@ func (s *Store) Current(id model.DocID) (*xmltree.Node, VersionInfo, error) {
 	}
 	if d.deleted != model.Forever {
 		return nil, VersionInfo{}, fmt.Errorf("%w: %d", ErrDeleted, id)
+	}
+	if d.cur == nil {
+		return nil, VersionInfo{}, fmt.Errorf("store: current version of doc %d unavailable: %w", id, d.curErr)
 	}
 	return d.cur.Clone(), *d.curInfo(), nil
 }

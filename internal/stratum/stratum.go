@@ -118,7 +118,10 @@ func (db *DB) storeVersion(d *docEntry, tree *xmltree.Node, t model.Time) error 
 		n.Stamp = t
 		return true
 	})
-	ref := db.pages.Write(int(d.id), xmltree.Marshal(cp))
+	ref, err := db.pages.Write(int(d.id), xmltree.Marshal(cp))
+	if err != nil {
+		return fmt.Errorf("stratum: %w", err)
+	}
 	if n := len(d.versions); n > 0 {
 		d.versions[n-1].end = t
 	}

@@ -70,6 +70,33 @@ const (
 // Open creates an empty database.
 func Open(cfg Config) *DB { return core.Open(cfg) }
 
+// OpenDurable opens (or creates) a crash-safe database stored in a
+// write-ahead log under dir. Committed versions survive process crashes:
+// reopening replays the log, truncates any torn tail and rebuilds all
+// in-memory indexes. Close the database to release the log file.
+func OpenDurable(cfg Config, dir string) (*DB, error) { return core.OpenDurable(cfg, dir) }
+
+// Durability and corruption-detection types (the storage fault model is
+// described in DESIGN.md, "Durability & fault model").
+type (
+	// FsckReport is a structured storage-verification report.
+	FsckReport = store.FsckReport
+	// FsckProblem is one damaged extent and the versions it makes
+	// unreachable.
+	FsckProblem = store.FsckProblem
+	// WALStats are write-ahead-log counters (write amplification etc.).
+	WALStats = pagestore.WALStats
+)
+
+// Typed storage errors, matched with errors.Is.
+var (
+	// ErrCorrupt reports an extent whose checksum no longer matches.
+	ErrCorrupt = pagestore.ErrCorrupt
+	// ErrUnreachable reports a version that cannot be reconstructed
+	// because the chain it depends on is damaged.
+	ErrUnreachable = store.ErrUnreachable
+)
+
 // Temporal identity types (Section 3 of the paper).
 type (
 	// Time is a transaction-time instant in milliseconds since the epoch.
