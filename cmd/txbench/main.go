@@ -48,6 +48,7 @@ func main() {
 		{"C9", experiments.C9},
 		{"C10", func() (experiments.Table, error) { return experiments.C10([]int{8, 32, 128}) }},
 		{"W1", experiments.W1},
+		{"S1", func() (experiments.Table, error) { return experiments.S1([]int{1, 8, 64}, 200) }},
 	}
 
 	failed := false

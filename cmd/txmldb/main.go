@@ -22,8 +22,10 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -98,7 +100,8 @@ func main() {
 
 	if *q != "" {
 		if err := runQuery(db, *q); err != nil {
-			log.Fatal(err)
+			printQueryError(os.Stderr, *q, err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -221,6 +224,27 @@ func loadFile(db *txmldb.DB, spec string) error {
 	return nil
 }
 
+// printQueryError renders a query failure; syntax errors point at the
+// offending spot in the query text with a caret.
+func printQueryError(w io.Writer, src string, err error) {
+	var pe *txmldb.ParseError
+	if !errors.As(err, &pe) {
+		fmt.Fprintln(w, "error:", err)
+		return
+	}
+	fmt.Fprintf(w, "error: %v\n", pe)
+	lines := strings.Split(src, "\n")
+	if pe.Line >= 1 && pe.Line <= len(lines) && pe.Col >= 1 {
+		line := lines[pe.Line-1]
+		fmt.Fprintf(w, "  %s\n", line)
+		col := pe.Col
+		if col > len(line)+1 {
+			col = len(line) + 1
+		}
+		fmt.Fprintf(w, "  %s^\n", strings.Repeat(" ", col-1))
+	}
+}
+
 func runQuery(db *txmldb.DB, src string) error {
 	res, err := db.Query(src)
 	if err != nil {
@@ -248,9 +272,10 @@ func repl(db *txmldb.DB) {
 		case line == ".quit" || line == ".exit":
 			return
 		case strings.HasPrefix(line, ".explain "):
-			out, err := db.Explain(strings.TrimPrefix(line, ".explain "))
+			src := strings.TrimPrefix(line, ".explain ")
+			out, err := db.Explain(src)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
+				printQueryError(os.Stderr, src, err)
 				continue
 			}
 			fmt.Print(out)
@@ -269,7 +294,7 @@ func repl(db *txmldb.DB) {
 			}
 		default:
 			if err := runQuery(db, line); err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
+				printQueryError(os.Stderr, line, err)
 			}
 		}
 	}

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"txmldb"
@@ -108,5 +110,31 @@ func TestDurableCLIRoundTrip(t *testing.T) {
 	}
 	if code := runFsck([]string{}); code != 2 {
 		t.Fatalf("fsck without -datadir exited %d, want 2", code)
+	}
+}
+
+func TestPrintQueryErrorCaret(t *testing.T) {
+	db := txmldb.Open(txmldb.Config{})
+	src := `SELECT R FORM doc("u")/restaurant R`
+	err := runQuery(db, src)
+	if err == nil {
+		t.Fatal("malformed query succeeded")
+	}
+	var b strings.Builder
+	printQueryError(&b, src, err)
+	out := b.String()
+	if !strings.Contains(out, "line 1, col 10") {
+		t.Errorf("missing position in %q", out)
+	}
+	if !strings.Contains(out, src) || !strings.Contains(out, "\n           ^") {
+		t.Errorf("missing caret rendering in:\n%s", out)
+	}
+}
+
+func TestPrintQueryErrorNonParse(t *testing.T) {
+	var b strings.Builder
+	printQueryError(&b, "q", errors.New("boom"))
+	if got := b.String(); got != "error: boom\n" {
+		t.Errorf("non-parse rendering = %q", got)
 	}
 }

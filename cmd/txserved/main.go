@@ -1,0 +1,152 @@
+// Command txserved serves the temporal XML database over HTTP/JSON: the
+// query language on /query, plans on /explain, liveness on /healthz and
+// a Prometheus-style exposition on /metrics.
+//
+// Usage:
+//
+//	txserved -demo                     # serve the paper's Figure 1 data
+//	txserved -datadir DIR              # serve a durable (WAL) database
+//	txserved -gen docs=4,versions=8    # serve a generated corpus
+//
+//	curl -s 'localhost:8080/query?q=SELECT+R+FROM+doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant+R'
+//	curl -s localhost:8080/query -d '{"query":"SELECT SUM(R) FROM doc(\"http://guide.com/restaurants.xml\")[26/01/2001]/restaurant R"}'
+//	curl -s localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the server stops accepting, drains in-flight queries
+// (bounded by -drain) and only then closes the durable store, so every
+// acknowledged response corresponds to a committed write-ahead log.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"txmldb"
+	"txmldb/internal/experiments"
+	"txmldb/internal/model"
+	"txmldb/internal/server"
+	"txmldb/internal/tdocgen"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	demo := flag.Bool("demo", false, "load the paper's Figure 1 restaurant history")
+	gen := flag.String("gen", "", "load a generated corpus, e.g. docs=4,versions=8,seed=1")
+	dataDir := flag.String("datadir", "", "durable mode: keep the database in a write-ahead log under this directory")
+	maxInFlight := flag.Int("max-inflight", 8, "concurrently executing queries")
+	maxQueue := flag.Int("max-queue", 32, "requests allowed to wait for an execution slot")
+	queueWait := flag.Duration("queue-wait", time.Second, "longest a queued request waits before 429")
+	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-query execution deadline")
+	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (negative disables)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight queries")
+	quiet := flag.Bool("quiet", false, "disable the per-request access log")
+	flag.Parse()
+
+	db, err := openDB(*dataDir, *demo)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *demo {
+		if _, ok := db.LookupDoc(experiments.Figure1URL); !ok {
+			if err := experiments.Figure1Load(db); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *gen != "" {
+		cfg, err := parseGen(*gen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := tdocgen.New(cfg).Load(db); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d generated documents", cfg.Docs)
+	}
+
+	cfg := server.Config{
+		MaxInFlight:  *maxInFlight,
+		MaxQueue:     *maxQueue,
+		QueueWait:    *queueWait,
+		QueryTimeout: *queryTimeout,
+		SlowQuery:    *slowQuery,
+		ErrorLog:     log.New(os.Stderr, "txserved: ", log.LstdFlags),
+	}
+	if !*quiet {
+		cfg.AccessLog = log.New(os.Stderr, "access: ", log.LstdFlags)
+	}
+	srv := server.New(db, cfg)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("txserved listening on %s (%d docs, max-inflight %d, queue %d)",
+		l.Addr(), len(db.Docs()), *maxInFlight, *maxQueue)
+
+	// Shutdown ordering: a signal stops accepting, Run drains in-flight
+	// queries, and only after that the store is closed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx, l, *drain); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		log.Fatalf("closing store: %v", err)
+	}
+	log.Print("txserved: drained and closed cleanly")
+}
+
+// openDB opens the database in memory or durably under dataDir. The demo
+// pins the clock to the paper's "today" (February 10, 2001) so
+// NOW-relative queries match the text.
+func openDB(dataDir string, demo bool) (*txmldb.DB, error) {
+	cfg := txmldb.Config{}
+	if demo {
+		cfg.Clock = func() txmldb.Time { return txmldb.Date(2001, time.February, 10) }
+	}
+	if dataDir == "" {
+		return txmldb.Open(cfg), nil
+	}
+	return txmldb.OpenDurable(cfg, dataDir)
+}
+
+// parseGen parses -gen key=value lists (same keys as cmd/txmldb).
+func parseGen(spec string) (tdocgen.Config, error) {
+	cfg := tdocgen.Config{Seed: 1, Docs: 2, Versions: 5, Start: model.Date(2001, 1, 1)}
+	for _, kv := range strings.Split(spec, ",") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return cfg, fmt.Errorf("bad -gen entry %q (want key=value)", kv)
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return cfg, fmt.Errorf("bad -gen value %q: %w", kv, err)
+		}
+		switch parts[0] {
+		case "docs":
+			cfg.Docs = n
+		case "versions":
+			cfg.Versions = n
+		case "elems":
+			cfg.InitialElems = n
+		case "ops":
+			cfg.OpsPerVersion = n
+		case "seed":
+			cfg.Seed = int64(n)
+		default:
+			return cfg, fmt.Errorf("unknown -gen key %q", parts[0])
+		}
+	}
+	return cfg, nil
+}

@@ -1,6 +1,8 @@
 package txmldb_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -60,6 +62,44 @@ func ExampleDB_Query_count() {
 	fmt.Printf("%v restaurants, %d reconstructions\n", res.Rows[0][0], res.Metrics.Reconstructions)
 	// Output:
 	// 2 restaurants, 0 reconstructions
+}
+
+// Explain shows the operator plan — which PatternScan variant runs, the
+// pattern tree after predicate pushdown — without executing the query.
+func ExampleDB_Explain() {
+	db := figure1()
+	out, _ := db.Explain(`SELECT R/name FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R`)
+	fmt.Print(out)
+	// Output:
+	// scan 1: TPatternScan at 26/01/2001 of doc("http://guide.com/restaurants.xml")
+	//   pattern: /restaurant*
+	//   binds:   R
+	// project: R/name
+	// output: <results> document
+}
+
+// QueryContext threads a deadline into execution; a canceled context
+// aborts the query with the context's error.
+func ExampleDB_QueryContext() {
+	db := figure1()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // give up before execution starts
+	_, err := db.QueryContext(ctx, `SELECT R FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R`)
+	fmt.Println(err)
+	// Output:
+	// context canceled
+}
+
+// Syntax errors carry their position; match them with errors.As.
+func ExampleParseError() {
+	db := figure1()
+	_, err := db.Query(`SELECT R FORM doc("u")/restaurant R`)
+	var pe *txmldb.ParseError
+	if errors.As(err, &pe) {
+		fmt.Printf("line %d, col %d: %s\n", pe.Line, pe.Col, pe.Msg)
+	}
+	// Output:
+	// line 1, col 10: expected FROM, found "FORM"
 }
 
 // The operator-level API underneath the language: TPatternScan returns

@@ -1,0 +1,125 @@
+package txmldb_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"txmldb"
+)
+
+// TestFacadeConcurrentReadersDuringWrites drives parallel Query and
+// QueryContext calls through the public facade while a writer appends
+// versions; run under -race (CI does) this guards the whole
+// facade → plan → store read path against the update path.
+func TestFacadeConcurrentReadersDuringWrites(t *testing.T) {
+	db := txmldb.Open(txmldb.Config{Clock: func() txmldb.Time { return 10_000_000 }})
+	mk := func(price int) string {
+		return fmt.Sprintf(`<guide><restaurant><name>Napoli</name><price>%d</price></restaurant></guide>`, price)
+	}
+	id, err := db.PutXML("u", strings.NewReader(mk(1)), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.UpdateXML(id, strings.NewReader(mk(2)), 1001); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	errc := make(chan error, 64)
+
+	// Writer: keeps appending versions until the readers are done.
+	var writerWg sync.WaitGroup
+	writerWg.Add(1)
+	go func() {
+		defer writerWg.Done()
+		for v := 3; ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := db.UpdateXML(id, strings.NewReader(mk(v)), txmldb.Time(1000+v)); err != nil {
+				errc <- fmt.Errorf("writer: %w", err)
+				return
+			}
+		}
+	}()
+
+	// Readers: a historical snapshot query (whose answer is immutable once
+	// its timestamp has passed) and a current-state count, both of which
+	// must always succeed regardless of interleaving.
+	queries := []struct {
+		src  string
+		want func(*txmldb.Result) error
+	}{
+		{
+			// Timestamp 01/01/1970 predates version 1: always empty rows,
+			// never an error.
+			src: `SELECT R/price FROM doc("u")[01/01/1970]/restaurant R`,
+			want: func(r *txmldb.Result) error {
+				if len(r.Rows) != 0 {
+					return fmt.Errorf("snapshot before creation returned %d rows", len(r.Rows))
+				}
+				return nil
+			},
+		},
+		{
+			// Exactly one restaurant exists in every version.
+			src: `SELECT COUNT(R) FROM doc("u")/restaurant R`,
+			want: func(r *txmldb.Result) error {
+				if n := r.Rows[0][0].(int64); n != 1 {
+					return fmt.Errorf("current count = %d, want 1", n)
+				}
+				return nil
+			},
+		},
+	}
+	var readerWg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		for _, q := range queries {
+			readerWg.Add(1)
+			go func(src string, check func(*txmldb.Result) error) {
+				defer readerWg.Done()
+				for i := 0; i < 50; i++ {
+					res, err := db.Query(src)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if err := check(res); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}(q.src, q.want)
+		}
+	}
+	// One reader uses QueryContext with a deadline, mixing canceled and
+	// successful executions into the same interleavings.
+	readerWg.Add(1)
+	go func() {
+		defer readerWg.Done()
+		for i := 0; i < 50; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			_, err := db.QueryContext(ctx, `SELECT COUNT(R) FROM doc("u")/restaurant R`)
+			cancel()
+			if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	readerWg.Wait()
+	close(stop)
+	writerWg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -452,6 +453,14 @@ func (db *DB) DiffNodes(a, b *xmltree.Node) (*xmltree.Node, error) {
 // Query parses and executes a temporal query.
 func (db *DB) Query(src string) (*plan.Result, error) {
 	return plan.RunString(db, src)
+}
+
+// QueryContext parses and executes a temporal query under a context:
+// cancellation and deadline expiry abort execution between reconstructions
+// and rows, returning the context's error. The request-scoped entry point
+// the query server uses.
+func (db *DB) QueryContext(ctx context.Context, src string) (*plan.Result, error) {
+	return plan.RunStringContext(ctx, db, src)
 }
 
 // Explain returns the operator plan of a query without executing it.

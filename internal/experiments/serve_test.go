@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestS1ShapeHolds runs the serving experiment small: every request must
+// succeed and throughput must be non-zero at each concurrency level.
+func TestS1ShapeHolds(t *testing.T) {
+	tbl, err := S1([]int{1, 4}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		qps, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || qps <= 0 {
+			t.Errorf("clients=%s: qps = %q, want > 0", row[0], row[2])
+		}
+		if row[5] != "0" {
+			t.Errorf("clients=%s: %s non-200 responses", row[0], row[5])
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package metrics is a minimal, stdlib-only observability layer for the
+// query server: atomic counters and gauges, fixed-bucket latency
+// histograms, and a Registry that renders a Prometheus-style text
+// exposition for the /metrics endpoint. Everything is safe for concurrent
+// use and allocation-free on the hot path (Inc/Observe are a handful of
+// atomic adds), so instrumenting the request path costs next to nothing.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the exposition to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can go up and down (in-flight requests,
+// queue depth).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultLatencyBuckets are the upper bounds, in milliseconds, of the
+// default latency histogram: roughly logarithmic from half a millisecond
+// to ten seconds.
+var DefaultLatencyBuckets = []float64{
+	0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (conventionally: milliseconds of latency). Buckets are cumulative-style
+// on render but stored disjoint; observation is two atomic adds plus a
+// binary search over the (small, immutable) bound slice.
+type Histogram struct {
+	bounds   []float64      // sorted upper bounds; implicit +Inf last
+	counts   []atomic.Int64 // len(bounds)+1
+	count    atomic.Int64
+	sumMicro atomic.Int64 // sum in thousandths of a unit, to stay integral
+}
+
+// NewHistogram builds a histogram with the given upper bounds (sorted
+// ascending; a copy is taken). Nil bounds mean DefaultLatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumMicro.Add(int64(v * 1000))
+}
+
+// ObserveDuration records a duration in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return float64(h.sumMicro.Load()) / 1000 }
+
+// Quantile estimates the q-th quantile (0 < q < 1) by linear
+// interpolation inside the bucket that contains it, the standard
+// fixed-bucket estimate. It returns NaN with no observations; values in
+// the overflow bucket clamp to the largest bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) { // overflow bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metric is anything the registry can render.
+type metric interface {
+	writeText(w io.Writer, name, help string)
+}
+
+func (c *Counter) writeText(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, c.Value())
+}
+
+func (g *Gauge) writeText(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, g.Value())
+}
+
+func (h *Histogram) writeText(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+// Registry holds named metrics and renders them in registration order.
+// Lookup/registration takes a mutex; the returned metric handles are then
+// lock-free, so callers should hold on to them rather than re-look them
+// up per request.
+type Registry struct {
+	mu    sync.Mutex
+	order []string
+	byN   map[string]metric
+	helps map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byN: make(map[string]metric), helps: make(map[string]string)}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. Registering the same name as a different metric type panics: that
+// is a programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.lookup(name, help, func() metric { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %s already registered as %T", name, m))
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.lookup(name, help, func() metric { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %s already registered as %T", name, m))
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given bounds (nil = DefaultLatencyBuckets) on first use.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.lookup(name, help, func() metric { return NewHistogram(bounds) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %s already registered as %T", name, m))
+	}
+	return h
+}
+
+func (r *Registry) lookup(name, help string, mk func() metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byN[name]; ok {
+		return m
+	}
+	m := mk()
+	r.byN[name] = m
+	r.helps[name] = help
+	r.order = append(r.order, name)
+	return m
+}
+
+// WriteText renders every metric in registration order in the Prometheus
+// text exposition format.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	for _, name := range names {
+		r.mu.Lock()
+		m, help := r.byN[name], r.helps[name]
+		r.mu.Unlock()
+		m.writeText(w, name, help)
+	}
+}

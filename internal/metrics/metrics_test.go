@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Errorf("Counter = %d, want 42", c.Value())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("Gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Errorf("empty histogram quantile = %v, want NaN", h.Quantile(0.5))
+	}
+	// 100 observations uniform in (0, 100): quantiles should land near the
+	// true values within bucket resolution.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-5050) > 0.5 {
+		t.Errorf("Sum = %v, want 5050", got)
+	}
+	// p50 must be inside the (10, 100] bucket; p99 likewise.
+	if q := h.Quantile(0.50); q <= 10 || q > 100 {
+		t.Errorf("p50 = %v, want in (10, 100]", q)
+	}
+	// Everything at or below 1 is one observation, so p0.01 lands in the
+	// first bucket.
+	if q := h.Quantile(0.01); q > 1 {
+		t.Errorf("p1 = %v, want <= 1", q)
+	}
+	// Overflow clamps to the top bound.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(50)
+	if q := h2.Quantile(0.99); q != 2 {
+		t.Errorf("overflow quantile = %v, want 2 (clamped)", q)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(nil)
+	h.ObserveDuration(250 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-250) > 0.01 {
+		t.Errorf("Sum = %v ms, want 250", got)
+	}
+}
+
+func TestRegistryRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("queries_total", "queries served")
+	g := r.Gauge("inflight", "in-flight requests")
+	h := r.Histogram("latency_ms", "query latency", []float64{1, 10})
+	c.Add(3)
+	g.Set(2)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	// Second lookup returns the same instance.
+	if r.Counter("queries_total", "") != c {
+		t.Error("Counter lookup did not return the registered instance")
+	}
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE queries_total counter",
+		"queries_total 3",
+		"# TYPE inflight gauge",
+		"inflight 2",
+		"# TYPE latency_ms histogram",
+		`latency_ms_bucket{le="1"} 1`,
+		`latency_ms_bucket{le="10"} 2`,
+		`latency_ms_bucket{le="+Inf"} 3`,
+		"latency_ms_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Registration order is stable.
+	if strings.Index(out, "queries_total") > strings.Index(out, "inflight") {
+		t.Error("metrics not rendered in registration order")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+// TestConcurrentUse drives all metric types from many goroutines; run
+// under -race this checks the lock-free paths.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(float64(i % 97))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("counts = %d/%d/%d, want 8000 each", c.Value(), g.Value(), h.Count())
+	}
+}

@@ -1,0 +1,49 @@
+package plan_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"txmldb/internal/plan"
+)
+
+// TestRunContextCanceled checks an already-canceled context aborts
+// execution before any reconstruction work.
+func TestRunContextCanceled(t *testing.T) {
+	db := figure1(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := plan.RunStringContext(ctx, db, `SELECT R FROM doc("u")[26/01/2001]/restaurant R`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextDeadline checks an expired deadline surfaces as
+// DeadlineExceeded from inside execution.
+func TestRunContextDeadline(t *testing.T) {
+	db := figure1(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Minute))
+	defer cancel()
+	_, err := plan.RunStringContext(ctx, db,
+		`SELECT TIME(R), R/price FROM doc("u")[EVERY]/restaurant R WHERE R/name="Napoli"`)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextBackgroundUnaffected checks the plain entry points still
+// work (Run delegates to RunContext with a background context).
+func TestRunContextBackgroundUnaffected(t *testing.T) {
+	db := figure1(t)
+	res, err := plan.RunStringContext(context.Background(), db,
+		`SELECT SUM(R) FROM doc("u")[26/01/2001]/restaurant R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 2 {
+		t.Errorf("SUM = %v, want 2", res.Rows[0][0])
+	}
+}

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -36,9 +37,25 @@ type treeKey struct {
 }
 
 type executor struct {
+	ctx       context.Context
 	engine    Engine
 	treeCache map[treeKey]*store.VersionTree
 	metrics   Metrics
+	steps     int // work units since the last context poll
+}
+
+// ctxStride is how many cheap work units (candidate rows, pattern matches,
+// version expansions) run between context polls. Expensive units — version
+// reconstructions — poll unconditionally in tree().
+const ctxStride = 256
+
+// checkCtx observes cancellation every ctxStride calls.
+func (ex *executor) checkCtx() error {
+	ex.steps++
+	if ex.steps%ctxStride != 0 {
+		return nil
+	}
+	return ex.ctx.Err()
 }
 
 // tree reconstructs (with caching) one document version.
@@ -46,6 +63,9 @@ func (ex *executor) tree(doc model.DocID, ver model.VersionNo) (*store.VersionTr
 	key := treeKey{doc, ver}
 	if t, ok := ex.treeCache[key]; ok {
 		return t, nil
+	}
+	if err := ex.ctx.Err(); err != nil {
+		return nil, err
 	}
 	vt, err := ex.engine.ReconstructVersion(doc, ver)
 	if err != nil {
@@ -85,6 +105,9 @@ func (ex *executor) run(q *query.Query) (*Result, error) {
 	build = func(i int, acc env) error {
 		if i == len(q.From) {
 			ex.metrics.RowsExamined++
+			if err := ex.checkCtx(); err != nil {
+				return err
+			}
 			if q.Where != nil {
 				v, err := ex.eval(q.Where, acc)
 				if err != nil {
@@ -213,6 +236,9 @@ func (ex *executor) bindFromItem(q *query.Query, f query.FromItem) ([]*binding, 
 			continue
 		}
 		ex.metrics.PatternMatches++
+		if err := ex.checkCtx(); err != nil {
+			return nil, err
+		}
 		if f.Kind == query.AtEvery || f.Kind == query.AtRange {
 			clipped, ok := m.Span.Intersect(clip)
 			if !ok {

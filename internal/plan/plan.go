@@ -13,6 +13,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -67,7 +68,17 @@ type Result struct {
 
 // Run executes a parsed query.
 func Run(e Engine, q *query.Query) (*Result, error) {
+	return RunContext(context.Background(), e, q)
+}
+
+// RunContext executes a parsed query under a context. Cancellation and
+// deadline expiry are observed at every version reconstruction and, for
+// cheap row work, every ctxStride steps; an interrupted query returns the
+// context's error (matched with errors.Is against context.Canceled or
+// context.DeadlineExceeded).
+func RunContext(ctx context.Context, e Engine, q *query.Query) (*Result, error) {
 	ex := &executor{
+		ctx:       ctx,
 		engine:    e,
 		treeCache: make(map[treeKey]*store.VersionTree),
 	}
@@ -76,11 +87,16 @@ func Run(e Engine, q *query.Query) (*Result, error) {
 
 // RunString parses and executes a query text.
 func RunString(e Engine, src string) (*Result, error) {
+	return RunStringContext(context.Background(), e, src)
+}
+
+// RunStringContext parses and executes a query text under a context.
+func RunStringContext(ctx context.Context, e Engine, src string) (*Result, error) {
 	q, err := query.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return Run(e, q)
+	return RunContext(ctx, e, q)
 }
 
 // Doc renders the result as the paper's default output document:

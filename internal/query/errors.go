@@ -1,0 +1,42 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError is a syntax error in a query text, carrying the byte offset
+// and the 1-based line/column of the offending token so that callers (the
+// CLI, the HTTP server) can point at the exact spot in the input.
+type ParseError struct {
+	// Offset is the byte offset of the error in the query text.
+	Offset int
+	// Line is the 1-based line number of the error.
+	Line int
+	// Col is the 1-based byte column within the line.
+	Col int
+	// Msg describes the error, without position information.
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("query: line %d, col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// newParseError builds a ParseError, deriving line/column from the offset.
+func newParseError(src string, offset int, format string, args ...any) *ParseError {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(src) {
+		offset = len(src)
+	}
+	line := 1 + strings.Count(src[:offset], "\n")
+	col := offset - strings.LastIndexByte(src[:offset], '\n') // LastIndex is -1 on line 1
+	return &ParseError{
+		Offset: offset,
+		Line:   line,
+		Col:    col,
+		Msg:    fmt.Sprintf(format, args...),
+	}
+}

@@ -1,0 +1,87 @@
+package query
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseErrorPositions feeds malformed queries and checks that the
+// returned *ParseError points at the right byte and line/column.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		offset  int
+		line    int
+		col     int
+		msgPart string
+	}{
+		{
+			name: "missing FROM",
+			src:  `SELECT R WHERE x = 1`,
+			// "WHERE" starts at byte 9.
+			offset: 9, line: 1, col: 10, msgPart: "expected FROM",
+		},
+		{
+			name:   "bad FROM item",
+			src:    `SELECT R FROM 42`,
+			offset: 14, line: 1, col: 15, msgPart: "expected doc",
+		},
+		{
+			name:   "unterminated string",
+			src:    `SELECT R FROM doc("u`,
+			offset: 18, line: 1, col: 19, msgPart: "unterminated string",
+		},
+		{
+			name:   "unexpected character",
+			src:    `SELECT R FROM doc("u")/r R WHERE R ? 1`,
+			offset: 35, line: 1, col: 36, msgPart: "unexpected character",
+		},
+		{
+			name:   "second line",
+			src:    "SELECT R\nFROM doc(\"u\")/r R\nWHERE R/price <",
+			offset: 42, line: 3, col: 16, msgPart: "expected expression",
+		},
+		{
+			name:   "trailing garbage",
+			src:    `SELECT R FROM doc("u")/r R )`,
+			offset: 27, line: 1, col: 28, msgPart: "after end of query",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error", tc.src)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse(%q) error is %T (%v), want *ParseError", tc.src, err, err)
+			}
+			if pe.Offset != tc.offset || pe.Line != tc.line || pe.Col != tc.col {
+				t.Errorf("position = offset %d line %d col %d, want offset %d line %d col %d (err: %v)",
+					pe.Offset, pe.Line, pe.Col, tc.offset, tc.line, tc.col, pe)
+			}
+			if !strings.Contains(pe.Msg, tc.msgPart) {
+				t.Errorf("Msg = %q, want it to contain %q", pe.Msg, tc.msgPart)
+			}
+			if !strings.Contains(pe.Error(), "line") {
+				t.Errorf("Error() = %q, want line/col rendering", pe.Error())
+			}
+		})
+	}
+}
+
+// TestParseErrorAtEOF checks the offset clamps to the end of the input.
+func TestParseErrorAtEOF(t *testing.T) {
+	src := `SELECT R FROM`
+	_, err := Parse(src)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *ParseError", err)
+	}
+	if pe.Offset != len(src) {
+		t.Errorf("Offset = %d, want %d (end of input)", pe.Offset, len(src))
+	}
+}

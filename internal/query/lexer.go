@@ -87,7 +87,7 @@ func Lex(src string) ([]Token, error) {
 				j++
 			}
 			if j >= len(src) {
-				return nil, fmt.Errorf("query: unterminated string at offset %d", i)
+				return nil, newParseError(src, i, "unterminated string")
 			}
 			out = append(out, Token{Kind: TokString, Text: src[i+1 : j], Pos: i})
 			i = j + 1
@@ -144,7 +144,7 @@ func lexNumberOrDate(src string, i int) (Token, int, error) {
 	}
 	var f float64
 	if _, err := fmt.Sscanf(src[i:j], "%g", &f); err != nil {
-		return Token{}, 0, fmt.Errorf("query: bad number %q at offset %d", src[i:j], i)
+		return Token{}, 0, newParseError(src, i, "bad number %q", src[i:j])
 	}
 	return Token{Kind: TokNumber, Text: src[i:j], Num: f, Pos: i}, j, nil
 }
@@ -204,7 +204,7 @@ func lexSymbol(src string, i int) (Token, int, error) {
 	case '(', ')', '[', ']', ',', '/', '=', '<', '>', '~', '+', '-', '*':
 		return Token{Kind: TokSym, Text: string(src[i]), Pos: i}, i + 1, nil
 	}
-	return Token{}, 0, fmt.Errorf("query: unexpected character %q at offset %d", src[i], i)
+	return Token{}, 0, newParseError(src, i, "unexpected character %q", src[i])
 }
 
 // isKeyword reports whether the token is the given keyword,

@@ -5,13 +5,14 @@ import (
 	"strings"
 )
 
-// Parse parses one query.
+// Parse parses one query. Syntax errors are returned as *ParseError,
+// carrying the byte offset and line/column of the offending token.
 func Parse(src string) (*Query, error) {
 	toks, err := Lex(src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{src: src, toks: toks}
 	q, err := p.parseQuery()
 	if err != nil {
 		return nil, err
@@ -32,6 +33,7 @@ func MustParse(src string) *Query {
 }
 
 type parser struct {
+	src  string
 	toks []Token
 	pos  int
 }
@@ -47,7 +49,7 @@ func (p *parser) next() Token {
 }
 
 func (p *parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("query: offset %d: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+	return newParseError(p.src, p.cur().Pos, format, args...)
 }
 
 func (p *parser) expectKeyword(kw string) error {

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errOverload is returned by gate.acquire when the server is saturated:
+// every execution slot is busy and the wait queue is full (or the waiter
+// timed out). The handler turns it into 429 + Retry-After.
+var errOverload = errors.New("server: overloaded")
+
+// gate is two-level admission control for query execution. Up to
+// maxInFlight queries execute concurrently; up to maxQueue more requests
+// may wait (each at most wait) for a slot to free; everything beyond that
+// is rejected immediately. Bounding both levels keeps the server's memory
+// and latency under overload proportional to the configuration, not to
+// the offered load — the queue can never grow without bound and a queued
+// request can never wait forever.
+type gate struct {
+	tokens chan struct{} // capacity = maxInFlight; a send acquires a slot
+	queued atomic.Int64
+	max    int64 // maxQueue
+	wait   time.Duration
+}
+
+func newGate(maxInFlight, maxQueue int, wait time.Duration) *gate {
+	return &gate{
+		tokens: make(chan struct{}, maxInFlight),
+		max:    int64(maxQueue),
+		wait:   wait,
+	}
+}
+
+// acquire reserves an execution slot, waiting in the bounded queue if
+// necessary. It returns errOverload when rejected, or the context's error
+// when the caller gave up first. On nil error the caller must release().
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.tokens <- struct{}{}:
+		return nil
+	default:
+	}
+	// Saturated: try to join the wait queue.
+	if g.queued.Add(1) > g.max {
+		g.queued.Add(-1)
+		return errOverload
+	}
+	defer g.queued.Add(-1)
+	t := time.NewTimer(g.wait)
+	defer t.Stop()
+	select {
+	case g.tokens <- struct{}{}:
+		return nil
+	case <-t.C:
+		return errOverload
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees a slot acquired with acquire.
+func (g *gate) release() { <-g.tokens }
+
+// inFlight returns the number of executing queries.
+func (g *gate) inFlight() int { return len(g.tokens) }
+
+// queueDepth returns the number of waiting requests.
+func (g *gate) queueDepth() int64 { return g.queued.Load() }

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateAcquireRelease(t *testing.T) {
+	g := newGate(2, 1, 50*time.Millisecond)
+	ctx := context.Background()
+	if err := g.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if g.inFlight() != 2 {
+		t.Errorf("inFlight = %d, want 2", g.inFlight())
+	}
+	// Third acquire waits and times out: the queue drained nothing.
+	start := time.Now()
+	if err := g.acquire(ctx); !errors.Is(err, errOverload) {
+		t.Fatalf("3rd acquire = %v, want overload", err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Error("queued acquire returned before the wait deadline")
+	}
+	g.release()
+	if err := g.acquire(ctx); err != nil {
+		t.Fatalf("acquire after release = %v", err)
+	}
+}
+
+func TestGateQueueOverflowRejectsImmediately(t *testing.T) {
+	g := newGate(1, 1, time.Second)
+	ctx := context.Background()
+	if err := g.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter occupies the queue.
+	queued := make(chan error, 1)
+	go func() { queued <- g.acquire(ctx) }()
+	for g.queueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// The next acquire must fail without waiting.
+	start := time.Now()
+	if err := g.acquire(ctx); !errors.Is(err, errOverload) {
+		t.Fatalf("overflow acquire = %v, want overload", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("overflow rejection was not immediate")
+	}
+	g.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire = %v, want success after release", err)
+	}
+}
+
+func TestGateHonorsContextWhileQueued(t *testing.T) {
+	g := newGate(1, 4, time.Minute)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.acquire(ctx) }()
+	for g.queueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter = %v, want context.Canceled", err)
+	}
+	if g.queueDepth() != 0 {
+		t.Errorf("queueDepth = %d after cancel, want 0", g.queueDepth())
+	}
+}
+
+// TestGateStress hammers the gate from many goroutines; under -race this
+// checks the token/queue accounting.
+func TestGateStress(t *testing.T) {
+	g := newGate(4, 8, 100*time.Millisecond)
+	var wg sync.WaitGroup
+	var admitted, rejected sync.Map
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := g.acquire(context.Background()); err != nil {
+				rejected.Store(i, true)
+				return
+			}
+			admitted.Store(i, true)
+			time.Sleep(time.Millisecond)
+			g.release()
+		}(i)
+	}
+	wg.Wait()
+	if g.inFlight() != 0 || g.queueDepth() != 0 {
+		t.Errorf("gate not drained: inFlight=%d queued=%d", g.inFlight(), g.queueDepth())
+	}
+	n := 0
+	admitted.Range(func(_, _ any) bool { n++; return true })
+	if n == 0 {
+		t.Error("no request was ever admitted")
+	}
+}

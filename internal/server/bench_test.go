@@ -1,0 +1,31 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+)
+
+// BenchmarkServedQ1 prices one served query end to end: HTTP round trip,
+// admission, plan execution and JSON streaming over the Figure 1 data.
+func BenchmarkServedQ1(b *testing.B) {
+	s := New(figure1DB(b), Config{SlowQuery: -1, ErrorLog: discardLogger()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	target := ts.URL + "/query?q=" + url.QueryEscape(
+		`SELECT R FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

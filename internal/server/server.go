@@ -1,0 +1,447 @@
+// Package server is the HTTP/JSON query service over the temporal XML
+// database: the wire face of the paper's operators. It goes through the
+// same public facade entry points external users call (txmldb.DB's
+// QueryContext/Explain), threads per-request deadlines into plan
+// execution, applies two-level admission control (bounded in-flight
+// executions plus a bounded wait queue — overflow is rejected with 429
+// and Retry-After), recovers per-request panics, streams large results,
+// and feeds an internal/metrics registry exposed on /metrics.
+//
+// Endpoints:
+//
+//	POST /query    {"query": "...", "timeout_ms": 0}  (or GET ?q=...)
+//	GET  /explain  ?q=...                             (or POST, same body)
+//	GET  /healthz  liveness + uptime + doc count
+//	GET  /metrics  Prometheus-style text exposition
+//
+// Shutdown ordering is: stop accepting, drain in-flight requests, then
+// (in the caller, cmd/txserved) close the durable store — so a committed
+// response always means a committed write-ahead log.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"txmldb"
+	"txmldb/internal/metrics"
+)
+
+// Engine is the query surface the server serves; *txmldb.DB implements
+// it. Tests substitute stub engines to exercise overload and timeout
+// paths deterministically.
+type Engine interface {
+	QueryContext(ctx context.Context, src string) (*txmldb.Result, error)
+	Explain(src string) (string, error)
+}
+
+// docLister is optionally implemented by engines (txmldb.DB is one) to
+// enrich /healthz with a document count.
+type docLister interface {
+	Docs() []txmldb.DocID
+}
+
+// Config parameterizes a Server. Zero values select the defaults noted
+// on each field.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries (default 8).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot (default 32).
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits before being
+	// rejected with 429 (default 1s).
+	QueueWait time.Duration
+	// QueryTimeout is the per-query execution deadline (default 30s). A
+	// request's timeout_ms may shorten it but never extend it.
+	QueryTimeout time.Duration
+	// SlowQuery is the slow-query log threshold (default 500ms; negative
+	// disables the log).
+	SlowQuery time.Duration
+	// AccessLog receives one structured line per request; nil disables.
+	AccessLog *log.Logger
+	// ErrorLog receives panics and internal errors; nil uses log.Default().
+	ErrorLog *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 32
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = time.Second
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.SlowQuery == 0 {
+		c.SlowQuery = 500 * time.Millisecond
+	}
+	if c.ErrorLog == nil {
+		c.ErrorLog = log.Default()
+	}
+	return c
+}
+
+// Server is the HTTP query service.
+type Server struct {
+	engine Engine
+	cfg    Config
+	gate   *gate
+	mux    *http.ServeMux
+	reg    *metrics.Registry
+	start  time.Time
+
+	mRequests  *metrics.Counter
+	mQueries   *metrics.Counter
+	mRows      *metrics.Counter
+	mParseErrs *metrics.Counter
+	mTimeouts  *metrics.Counter
+	mRejected  *metrics.Counter
+	mInternal  *metrics.Counter
+	mPanics    *metrics.Counter
+	mSlow      *metrics.Counter
+	mInFlight  *metrics.Gauge
+	mQueued    *metrics.Gauge
+	mLatency   *metrics.Histogram
+}
+
+// New builds a Server over an engine.
+func New(engine Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := metrics.NewRegistry()
+	s := &Server{
+		engine: engine,
+		cfg:    cfg,
+		gate:   newGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		reg:    reg,
+		start:  time.Now(),
+
+		mRequests:  reg.Counter("txserved_http_requests_total", "HTTP requests received"),
+		mQueries:   reg.Counter("txserved_queries_total", "queries executed successfully"),
+		mRows:      reg.Counter("txserved_result_rows_total", "result rows returned"),
+		mParseErrs: reg.Counter("txserved_errors_parse_total", "requests rejected with a query syntax error"),
+		mTimeouts:  reg.Counter("txserved_errors_timeout_total", "queries aborted by deadline expiry"),
+		mRejected:  reg.Counter("txserved_rejected_total", "requests rejected by admission control (429)"),
+		mInternal:  reg.Counter("txserved_errors_internal_total", "queries failed with an internal error"),
+		mPanics:    reg.Counter("txserved_panics_total", "request handlers recovered from a panic"),
+		mSlow:      reg.Counter("txserved_slow_queries_total", "queries slower than the slow-query threshold"),
+		mInFlight:  reg.Gauge("txserved_inflight_queries", "queries executing now"),
+		mQueued:    reg.Gauge("txserved_queued_requests", "requests waiting for an execution slot"),
+		mLatency:   reg.Histogram("txserved_query_latency_ms", "query latency in milliseconds", nil),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Registry exposes the server's metrics registry (benchmarks read it).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Handler returns the full middleware stack: panic recovery, request
+// counting and access logging around the route mux.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mRequests.Inc()
+		lw := &loggingWriter{ResponseWriter: w, status: http.StatusOK}
+		started := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.mPanics.Inc()
+				s.cfg.ErrorLog.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if !lw.wrote {
+					writeError(lw, http.StatusInternalServerError, errorBody{Kind: "internal", Message: "internal server error"})
+				}
+			}
+			if s.cfg.AccessLog != nil {
+				s.cfg.AccessLog.Printf("method=%s path=%s status=%d dur_ms=%.3f bytes=%d remote=%s",
+					r.Method, r.URL.Path, lw.status, float64(time.Since(started))/float64(time.Millisecond),
+					lw.bytes, r.RemoteAddr)
+			}
+		}()
+		s.mux.ServeHTTP(lw, r)
+	})
+}
+
+// Run serves on l until ctx is canceled, then gracefully shuts down:
+// stops accepting connections and waits (up to drainTimeout) for in-flight
+// requests to finish. It returns the serve error, or nil after a clean
+// drain.
+func (s *Server) Run(ctx context.Context, l net.Listener, drainTimeout time.Duration) error {
+	hs := &http.Server{Handler: s.Handler(), ErrorLog: s.cfg.ErrorLog}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	return hs.Shutdown(dctx)
+}
+
+// loggingWriter captures status and byte count for the access log, and
+// whether anything was written (panic recovery can only send an error
+// response on an untouched connection).
+type loggingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (w *loggingWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *loggingWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *loggingWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// --- request / response shapes ---
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	Query string `json:"query"`
+	// TimeoutMs shortens the server's query deadline for this request;
+	// it can never extend it.
+	TimeoutMs int64 `json:"timeout_ms"`
+}
+
+// errorBody is the typed error envelope: {"error": {...}}.
+type errorBody struct {
+	Kind    string `json:"kind"` // parse | timeout | overload | bad_request | internal
+	Message string `json:"message"`
+	// Position of a parse error in the query text (1-based; present only
+	// for kind "parse").
+	Line   int `json:"line,omitempty"`
+	Col    int `json:"col,omitempty"`
+	Offset int `json:"offset,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, body errorBody) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]errorBody{"error": body})
+}
+
+// readQueryRequest accepts GET ?q=...&timeout_ms=... or a POST JSON body.
+func readQueryRequest(r *http.Request) (queryRequest, error) {
+	if r.Method == http.MethodGet {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			return queryRequest{}, errors.New("missing q parameter")
+		}
+		var tmo int64
+		if t := r.URL.Query().Get("timeout_ms"); t != "" {
+			var err error
+			if tmo, err = strconv.ParseInt(t, 10, 64); err != nil {
+				return queryRequest{}, fmt.Errorf("bad timeout_ms: %v", err)
+			}
+		}
+		return queryRequest{Query: q, TimeoutMs: tmo}, nil
+	}
+	var req queryRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return req, err
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return req, fmt.Errorf("bad request body: %v", err)
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		return req, errors.New("empty query")
+	}
+	return req, nil
+}
+
+// --- handlers ---
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errorBody{Kind: "bad_request", Message: "use GET or POST"})
+		return
+	}
+	req, err := readQueryRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errorBody{Kind: "bad_request", Message: err.Error()})
+		return
+	}
+
+	// Admission: reserve an execution slot or reject with Retry-After.
+	s.mQueued.Set(s.gate.queueDepth())
+	if err := s.gate.acquire(r.Context()); err != nil {
+		if errors.Is(err, errOverload) {
+			s.mRejected.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.QueueWait+time.Second-1)/time.Second)))
+			writeError(w, http.StatusTooManyRequests, errorBody{Kind: "overload", Message: "server overloaded, retry later"})
+			return
+		}
+		// Client went away while queued.
+		writeError(w, statusClientClosedRequest, errorBody{Kind: "canceled", Message: "client closed request"})
+		return
+	}
+	defer s.gate.release()
+	s.mInFlight.Inc()
+	defer s.mInFlight.Dec()
+
+	timeout := s.cfg.QueryTimeout
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	started := time.Now()
+	res, err := s.engine.QueryContext(ctx, req.Query)
+	elapsed := time.Since(started)
+	s.mLatency.ObserveDuration(elapsed)
+	if s.cfg.SlowQuery > 0 && elapsed > s.cfg.SlowQuery {
+		s.mSlow.Inc()
+		s.cfg.ErrorLog.Printf("slow query: dur_ms=%.1f query=%q", float64(elapsed)/float64(time.Millisecond), req.Query)
+	}
+	if err != nil {
+		s.writeQueryError(w, r, err)
+		return
+	}
+	s.mQueries.Inc()
+	s.mRows.Add(int64(len(res.Rows)))
+	streamResult(w, res, elapsed)
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected before the server produced a response.
+const statusClientClosedRequest = 499
+
+// writeQueryError maps an execution error to a typed response.
+func (s *Server) writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+	var pe *txmldb.ParseError
+	switch {
+	case errors.As(err, &pe):
+		s.mParseErrs.Inc()
+		writeError(w, http.StatusBadRequest, errorBody{
+			Kind: "parse", Message: pe.Msg, Line: pe.Line, Col: pe.Col, Offset: pe.Offset,
+		})
+	case errors.Is(err, context.DeadlineExceeded):
+		s.mTimeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, errorBody{Kind: "timeout", Message: "query exceeded its deadline"})
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosedRequest, errorBody{Kind: "canceled", Message: "client closed request"})
+	default:
+		s.mInternal.Inc()
+		s.cfg.ErrorLog.Printf("query failed: %v (%s %s)", err, r.Method, r.URL.Path)
+		writeError(w, http.StatusInternalServerError, errorBody{Kind: "internal", Message: err.Error()})
+	}
+}
+
+// streamResult writes the result as one JSON object, row by row with
+// periodic flushes so large answers stream instead of buffering whole in
+// memory a second time.
+func streamResult(w http.ResponseWriter, res *txmldb.Result, elapsed time.Duration) {
+	w.Header().Set("Content-Type", "application/json")
+	flusher, _ := w.(http.Flusher)
+	cols, _ := json.Marshal(res.Columns)
+	fmt.Fprintf(w, `{"columns":%s,"rows":[`, cols)
+	for i, row := range res.Rows {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		enc, err := json.Marshal(jsonRow(row))
+		if err != nil {
+			enc = []byte(`null`)
+		}
+		w.Write(enc)
+		if flusher != nil && i%64 == 63 {
+			flusher.Flush()
+		}
+	}
+	fmt.Fprintf(w, `],"row_count":%d,"metrics":{"pattern_matches":%d,"reconstructions":%d,"rows_examined":%d},"elapsed_ms":%.3f}`,
+		len(res.Rows), res.Metrics.PatternMatches, res.Metrics.Reconstructions, res.Metrics.RowsExamined,
+		float64(elapsed)/float64(time.Millisecond))
+	io.WriteString(w, "\n")
+}
+
+// jsonRow converts one result row into JSON-encodable values: element
+// lists become lists of XML strings, timestamps render in the language's
+// own format, scalars pass through.
+func jsonRow(row []any) []any {
+	out := make([]any, len(row))
+	for i, v := range row {
+		switch x := v.(type) {
+		case []txmldb.Elem:
+			xs := make([]string, len(x))
+			for j, el := range x {
+				xs[j] = el.Node.String()
+			}
+			out[i] = xs
+		case txmldb.Time:
+			out[i] = x.String()
+		default:
+			out[i] = v
+		}
+	}
+	return out
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, err := readQueryRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errorBody{Kind: "bad_request", Message: err.Error()})
+		return
+	}
+	plan, err := s.engine.Explain(req.Query)
+	if err != nil {
+		s.writeQueryError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"plan": plan})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{
+		"status":   "ok",
+		"uptime_s": int64(time.Since(s.start) / time.Second),
+	}
+	if dl, ok := s.engine.(docLister); ok {
+		resp["docs"] = len(dl.Docs())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WriteText(w)
+}

@@ -172,6 +172,9 @@ type (
 	DocInfo = store.DocInfo
 	// Result is an executed query.
 	Result = plan.Result
+	// QueryMetrics counts the work a query performed (pattern matches,
+	// reconstructions, rows examined).
+	QueryMetrics = plan.Metrics
 	// Elem is an element value inside a query result row.
 	Elem = plan.Elem
 	// Script is a completed edit script (delta) between two versions.
@@ -180,10 +183,23 @@ type (
 	Posting = fti.Posting
 	// Query is a parsed query.
 	Query = query.Query
+	// ParseError is a query syntax error carrying the byte offset and
+	// 1-based line/column of the offending token; match it with errors.As.
+	ParseError = query.ParseError
 )
 
 // ParseQuery parses a temporal query without executing it.
 var ParseQuery = query.Parse
+
+// Query execution entry points, shared by library users, the CLI and the
+// txserved HTTP server:
+//
+//	(*DB).Query(src)                 — parse and execute
+//	(*DB).QueryContext(ctx, src)     — with cancellation/deadline support
+//	(*DB).Explain(src)               — operator plan without executing
+//
+// See the DB method documentation in internal/core and the examples in
+// example_test.go.
 
 // Similarity helpers (Section 7.4).
 var (
