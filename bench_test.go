@@ -13,6 +13,7 @@ import (
 	"txmldb/internal/model"
 	"txmldb/internal/pagestore"
 	"txmldb/internal/store"
+	"txmldb/internal/vcache"
 )
 
 var day = experiments.Day
@@ -146,6 +147,47 @@ func BenchmarkC3Reconstruct(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := db.ReconstructVersion(ids[0], model.VersionNo(target)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				st := db.Store().Pages().Stats()
+				b.ReportMetric(float64(st.ExtentRead)/float64(b.N), "extent_reads/op")
+			})
+		}
+	}
+}
+
+// BenchmarkC3CachedReconstruct is the cached ablation of C3: the same
+// corpus, reconstructing the version delta-age d behind current, with the
+// version cache off, cold (purged before every op) and warm. Warm hits
+// skip delta replay entirely, so the warm/off ratio grows with d.
+func BenchmarkC3CachedReconstruct(b *testing.B) {
+	c := experiments.CorpusConfig{Docs: 1, Elems: 20, Versions: 128, Ops: 2, Seed: 3}
+	for _, age := range []int{1, 16, 64} {
+		target := model.VersionNo(c.Versions - age)
+		for _, mode := range []string{"off", "cold", "warm"} {
+			cfg := core.Config{}
+			if mode != "off" {
+				cfg.Cache = vcache.Config{MaxBytes: 64 << 20}
+			}
+			db, ids, err := experiments.NativeDB(c, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("age=%d/cache=%s", age, mode), func(b *testing.B) {
+				if mode == "warm" {
+					if _, err := db.ReconstructVersion(ids[0], target); err != nil {
+						b.Fatal(err)
+					}
+				}
+				db.Store().Pages().ResetStats()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode == "cold" {
+						db.PurgeCache()
+					}
+					if _, err := db.ReconstructVersion(ids[0], target); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -47,8 +47,10 @@ func main() {
 		{"C8", experiments.C8},
 		{"C9", experiments.C9},
 		{"C10", func() (experiments.Table, error) { return experiments.C10([]int{8, 32, 128}) }},
+		{"C11", experiments.C11},
 		{"W1", experiments.W1},
 		{"S1", func() (experiments.Table, error) { return experiments.S1([]int{1, 8, 64}, 200) }},
+		{"S2", func() (experiments.Table, error) { return experiments.S2([]int{1, 8, 64}, 200) }},
 	}
 
 	failed := false

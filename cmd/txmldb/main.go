@@ -56,10 +56,11 @@ func main() {
 	dump := flag.String("dump", "", "after loading, dump the database to this directory and exit")
 	loadDir := flag.String("loaddir", "", "load a database dump directory before anything else")
 	dataDir := flag.String("datadir", "", "durable mode: keep the database in a write-ahead log under this directory")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "byte budget of the shared version-reconstruction cache (0 disables)")
 	flag.Var(&loads, "load", "load a document version: url=FILE@dd/mm/yyyy (repeatable)")
 	flag.Parse()
 
-	db, err := openDB(*dataDir, *demo)
+	db, err := openDB(*dataDir, *demo, *cacheBytes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,8 +112,8 @@ func main() {
 // openDB opens the database: in memory, or durably under dataDir. The demo
 // pins the clock to the paper's "today" (February 10, 2001) so NOW-relative
 // queries match the text.
-func openDB(dataDir string, demo bool) (*txmldb.DB, error) {
-	cfg := txmldb.Config{}
+func openDB(dataDir string, demo bool, cacheBytes int64) (*txmldb.DB, error) {
+	cfg := txmldb.Config{Cache: txmldb.CacheConfig{MaxBytes: cacheBytes}}
 	if demo {
 		cfg.Clock = func() txmldb.Time { return txmldb.Date(2001, time.February, 10) }
 	}

@@ -49,9 +49,11 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight queries")
 	quiet := flag.Bool("quiet", false, "disable the per-request access log")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "byte budget of the shared version-reconstruction cache (0 disables)")
+	cacheReplay := flag.Int("cache-replay", 128, "max deltas replayed forward from a cached ancestor version")
 	flag.Parse()
 
-	db, err := openDB(*dataDir, *demo)
+	db, err := openDB(*dataDir, *demo, txmldb.CacheConfig{MaxBytes: *cacheBytes, MaxReplay: *cacheReplay})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,8 +112,8 @@ func main() {
 // openDB opens the database in memory or durably under dataDir. The demo
 // pins the clock to the paper's "today" (February 10, 2001) so
 // NOW-relative queries match the text.
-func openDB(dataDir string, demo bool) (*txmldb.DB, error) {
-	cfg := txmldb.Config{}
+func openDB(dataDir string, demo bool, cache txmldb.CacheConfig) (*txmldb.DB, error) {
+	cfg := txmldb.Config{Cache: cache}
 	if demo {
 		cfg.Clock = func() txmldb.Time { return txmldb.Date(2001, time.February, 10) }
 	}

@@ -15,10 +15,12 @@ import (
 	"txmldb/internal/doctime"
 	"txmldb/internal/fti"
 	"txmldb/internal/model"
+	"txmldb/internal/pagestore"
 	"txmldb/internal/pattern"
 	"txmldb/internal/plan"
 	"txmldb/internal/store"
 	"txmldb/internal/tidx"
+	"txmldb/internal/vcache"
 	"txmldb/internal/xmltree"
 )
 
@@ -64,6 +66,13 @@ type Config struct {
 	// paper): slash-separated element paths whose text holds a timestamp
 	// inside the document, e.g. "item/published".
 	DocTimePaths []string
+	// Cache configures the shared version-reconstruction cache
+	// (internal/vcache): a byte-budgeted LRU of materialized versions with
+	// singleflight collapse and nearest-cached-ancestor delta replay,
+	// shared by every operator that materializes a version. MaxBytes <= 0
+	// leaves the cache disabled (the default, so operator-level
+	// benchmarks keep measuring the raw reconstruction path).
+	Cache vcache.Config
 }
 
 // DB is a temporal XML database.
@@ -72,6 +81,7 @@ type DB struct {
 	fti      fti.Index
 	times    *tidx.Index    // nil when disabled
 	docTimes *doctime.Index // nil unless DocTimePaths configured
+	vcache   *vcache.Cache  // nil when disabled
 	clock    func() model.Time
 }
 
@@ -97,6 +107,9 @@ func assemble(cfg Config, st *store.Store) *DB {
 	}
 	if len(cfg.DocTimePaths) > 0 {
 		db.docTimes = doctime.New(doctime.Config{Paths: cfg.DocTimePaths})
+	}
+	if cfg.Cache.MaxBytes > 0 {
+		db.vcache = vcache.New(st, cfg.Cache)
 	}
 	if db.clock == nil {
 		db.clock = func() model.Time { return model.TimeOf(time.Now()) }
@@ -167,6 +180,12 @@ func (db *DB) Update(id model.DocID, root *xmltree.Node, t model.Time) (model.Ve
 	if err != nil {
 		return 0, nil, err
 	}
+	if db.vcache != nil {
+		// Drop cached versions of the document before Update returns: the
+		// formerly-current version's validity interval just closed, and
+		// in-flight reconstructions must not install stale metadata.
+		db.vcache.InvalidateDoc(id)
+	}
 	cur, _, err := db.store.Current(id)
 	if err != nil {
 		return 0, nil, err
@@ -200,6 +219,9 @@ func (db *DB) Delete(id model.DocID, t model.Time) error {
 	}
 	if err := db.store.Delete(id, t); err != nil {
 		return err
+	}
+	if db.vcache != nil {
+		db.vcache.InvalidateDoc(id)
 	}
 	if err := db.fti.DeleteDoc(id, cur, t); err != nil {
 		return fmt.Errorf("core: index maintenance: %w", err)
@@ -289,21 +311,48 @@ func (db *DB) ScanCurrent(p *pattern.PNode) ([]pattern.Match, error) {
 }
 
 // DocHistory returns all versions of the document valid in [from, to),
-// most recent first.
+// most recent first. With the version cache enabled the materialized
+// trees are offered to it (oldest first, so the most recent version ends
+// up most recently used), converting the walk into future cache hits.
 func (db *DB) DocHistory(id model.DocID, iv model.Interval) ([]store.VersionTree, error) {
-	return db.store.DocHistory(id, iv)
+	out, err := db.store.DocHistory(id, iv)
+	if err == nil && db.vcache != nil {
+		for i := len(out) - 1; i >= 0; i-- {
+			db.vcache.Add(id, out[i])
+		}
+	}
+	return out, err
 }
 
 // ElementHistory returns all versions of the element valid in [from, to),
-// most recent first.
+// most recent first. Like store.ElementHistory it reconstructs the
+// document versions and filters the subtree rooted at the element
+// (Section 7.3.5), but it goes through the cache-filling DocHistory.
 func (db *DB) ElementHistory(eid model.EID, iv model.Interval) ([]store.VersionTree, error) {
-	return db.store.ElementHistory(eid, iv)
+	if db.vcache == nil {
+		return db.store.ElementHistory(eid, iv)
+	}
+	docVersions, err := db.DocHistory(eid.Doc, iv)
+	if err != nil {
+		return nil, err
+	}
+	var out []store.VersionTree
+	for _, dv := range docVersions {
+		if sub := dv.Root.FindXID(eid.X); sub != nil {
+			out = append(out, store.VersionTree{Info: dv.Info, Root: sub.Detach()})
+		}
+	}
+	return out, nil
 }
 
 // Reconstruct rebuilds the element version identified by the TEID: the
 // Reconstruct operator of Section 7.3.3 followed by subtree extraction.
 func (db *DB) Reconstruct(teid model.TEID) (*xmltree.Node, error) {
-	vt, err := db.store.ReconstructAt(teid.E.Doc, teid.T)
+	v, err := db.store.VersionAt(teid.E.Doc, teid.T)
+	if err != nil {
+		return nil, err
+	}
+	vt, err := db.ReconstructVersion(teid.E.Doc, v.Ver)
 	if err != nil {
 		return nil, err
 	}
@@ -314,10 +363,38 @@ func (db *DB) Reconstruct(teid model.TEID) (*xmltree.Node, error) {
 	return n.Detach(), nil
 }
 
-// ReconstructVersion implements plan.Engine.
+// ReconstructVersion implements plan.Engine. With the cache enabled this
+// is the shared entry point that gives the plan executor, server, CLI and
+// operators exact hits, nearest-ancestor replays and singleflight
+// collapse transparently.
 func (db *DB) ReconstructVersion(id model.DocID, ver model.VersionNo) (store.VersionTree, error) {
+	if db.vcache != nil {
+		return db.vcache.Get(id, ver)
+	}
 	return db.store.ReconstructVersion(id, ver)
 }
+
+// CacheStats returns the version-cache counters; ok is false when the
+// cache is disabled.
+func (db *DB) CacheStats() (vcache.Stats, bool) {
+	if db.vcache == nil {
+		return vcache.Stats{}, false
+	}
+	return db.vcache.Stats(), true
+}
+
+// PurgeCache empties the version cache (cold-cache benchmark runs). It is
+// a no-op when the cache is disabled.
+func (db *DB) PurgeCache() {
+	if db.vcache != nil {
+		db.vcache.Purge()
+	}
+}
+
+// IOStats returns the simulated-disk counters, including the buffer
+// pool's hit/miss/eviction counts (the serving layer exposes them on
+// /metrics).
+func (db *DB) IOStats() pagestore.IOStats { return db.store.Pages().Stats() }
 
 // Versions implements plan.Engine.
 func (db *DB) Versions(id model.DocID) ([]store.VersionInfo, error) {

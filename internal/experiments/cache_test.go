@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestC11ShapeHolds: warm reconstructions must beat uncached ones, and by
+// a growing margin as delta age grows; warm rows must show exact hits.
+func TestC11ShapeHolds(t *testing.T) {
+	tbl, err := C11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 (3 ages x 3 modes)", len(tbl.Rows))
+	}
+	perAge := map[string]map[string]float64{} // age -> mode -> ms_per_op
+	for _, row := range tbl.Rows {
+		age, mode := row[0], row[1]
+		if perAge[age] == nil {
+			perAge[age] = map[string]float64{}
+		}
+		perAge[age][mode] = cell(t, row, 2)
+		if mode == "warm" {
+			if hits := cell(t, row, 6); hits == 0 {
+				t.Errorf("age=%s warm: no vcache hits", age)
+			}
+			if reads := cell(t, row, 3); reads != 0 {
+				t.Errorf("age=%s warm: %v extent reads per op, want 0", age, reads)
+			}
+		}
+	}
+	for age, modes := range perAge {
+		if !(modes["warm"] < modes["off"]) {
+			t.Errorf("age=%s: warm (%v ms) not faster than off (%v ms)", age, modes["warm"], modes["off"])
+		}
+	}
+	// The acceptance bar: >= 5x at delta age 64. The measured margin is
+	// orders of magnitude; 5x keeps the test robust on loaded machines.
+	if off, warm := perAge["64"]["off"], perAge["64"]["warm"]; warm*5 > off {
+		t.Errorf("age=64: warm %v ms vs off %v ms — less than the required 5x", warm, off)
+	}
+}
+
+// TestS2ShapeHolds runs the hot-document serving comparison small: all
+// requests succeed, and the cache-on run records a high exact-hit rate.
+func TestS2ShapeHolds(t *testing.T) {
+	tbl, err := S2([]int{2}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (off and on)", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		qps, err := strconv.ParseFloat(row[3], 64)
+		if err != nil || qps <= 0 {
+			t.Errorf("cache=%s: qps = %q, want > 0", row[0], row[3])
+		}
+		if row[7] != "0" {
+			t.Errorf("cache=%s: %s non-200 responses", row[0], row[7])
+		}
+	}
+	if tbl.Rows[0][6] != "n/a" {
+		t.Errorf("cache-off row reports a vcache hit rate: %q", tbl.Rows[0][6])
+	}
+	if hit := cell(t, tbl.Rows[1], 6); hit < 0.5 {
+		t.Errorf("cache-on hit rate = %v, want >= 0.5", hit)
+	}
+}

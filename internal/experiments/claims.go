@@ -534,6 +534,7 @@ func All() ([]Table, error) {
 		func() (Table, error) { return C7([]int{8, 32, 128}) },
 		C8, C9,
 		func() (Table, error) { return C10([]int{8, 32, 128}) },
+		C11,
 	}
 	for _, run := range runs {
 		tbl, err := run()

@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterFuncAndGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	hits := int64(0)
+	r.CounterFunc("pool_hits_total", "buffer pool hits", func() int64 { return hits })
+	r.GaugeFunc("resident_bytes", "cache residency", func() int64 { return 4096 })
+
+	hits = 7
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, w := range []string{
+		"# TYPE pool_hits_total counter",
+		"pool_hits_total 7",
+		"# TYPE resident_bytes gauge",
+		"resident_bytes 4096",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("exposition missing %q:\n%s", w, out)
+		}
+	}
+
+	// The callback is read at exposition time, not registration time.
+	hits = 11
+	b.Reset()
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), "pool_hits_total 11") {
+		t.Errorf("func counter not re-read: %s", b.String())
+	}
+
+	// Re-registering keeps the first callback and must not panic.
+	r.CounterFunc("pool_hits_total", "dup", func() int64 { return -1 })
+	b.Reset()
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), "pool_hits_total 11") {
+		t.Errorf("re-registration replaced the callback: %s", b.String())
+	}
+}
+
+func TestFuncMetricTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "a plain counter").Inc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CounterFunc over an existing plain counter did not panic")
+		}
+	}()
+	r.CounterFunc("x_total", "dup", func() int64 { return 0 })
+}

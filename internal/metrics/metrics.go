@@ -138,6 +138,19 @@ type metric interface {
 	writeText(w io.Writer, name, help string)
 }
 
+// funcMetric renders a value pulled from a callback at exposition time.
+// It lets the registry export counters owned by other subsystems (the
+// buffer pool's hit/miss counters, the version cache's residency) without
+// double accounting on their hot paths.
+type funcMetric struct {
+	typ string // "counter" or "gauge"
+	f   func() int64
+}
+
+func (m *funcMetric) writeText(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, m.typ, name, m.f())
+}
+
 func (c *Counter) writeText(w io.Writer, name, help string) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, c.Value())
 }
@@ -205,6 +218,25 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 		panic(fmt.Sprintf("metrics: %s already registered as %T", name, m))
 	}
 	return h
+}
+
+// CounterFunc registers a counter whose value is pulled from f at
+// exposition time. The value must be monotonically non-decreasing.
+// Re-registering an existing name keeps the first callback.
+func (r *Registry) CounterFunc(name, help string, f func() int64) {
+	m := r.lookup(name, help, func() metric { return &funcMetric{typ: "counter", f: f} })
+	if fm, ok := m.(*funcMetric); !ok || fm.typ != "counter" {
+		panic(fmt.Sprintf("metrics: %s already registered as %T", name, m))
+	}
+}
+
+// GaugeFunc registers a gauge whose value is pulled from f at exposition
+// time.
+func (r *Registry) GaugeFunc(name, help string, f func() int64) {
+	m := r.lookup(name, help, func() metric { return &funcMetric{typ: "gauge", f: f} })
+	if fm, ok := m.(*funcMetric); !ok || fm.typ != "gauge" {
+		panic(fmt.Sprintf("metrics: %s already registered as %T", name, m))
+	}
 }
 
 func (r *Registry) lookup(name, help string, mk func() metric) metric {

@@ -34,9 +34,11 @@ func (c *lruCache) get(key int64) (Extent, bool) {
 	return el.Value.(*lruEntry).ext, true
 }
 
-func (c *lruCache) put(key int64, ext Extent, pages int) {
+// put caches the extent and returns how many entries the page budget
+// evicted to make room (the store accounts them in IOStats).
+func (c *lruCache) put(key int64, ext Extent, pages int) int {
 	if pages > c.capacity {
-		return // extent larger than the whole pool: do not cache
+		return 0 // extent larger than the whole pool: do not cache
 	}
 	if el, ok := c.items[key]; ok {
 		c.order.MoveToFront(el)
@@ -48,6 +50,7 @@ func (c *lruCache) put(key int64, ext Extent, pages int) {
 		c.items[key] = el
 		c.used += pages
 	}
+	evicted := 0
 	for c.used > c.capacity {
 		back := c.order.Back()
 		if back == nil {
@@ -57,7 +60,9 @@ func (c *lruCache) put(key int64, ext Extent, pages int) {
 		c.order.Remove(back)
 		delete(c.items, ent.key)
 		c.used -= ent.pages
+		evicted++
 	}
+	return evicted
 }
 
 func (c *lruCache) drop(key int64) {

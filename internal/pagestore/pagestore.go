@@ -77,32 +77,38 @@ type Config struct {
 
 // IOStats are the accumulated counters of a Store.
 type IOStats struct {
-	PageReads  int64 // pages transferred from "disk"
-	PageWrites int64 // pages transferred to "disk"
-	Seeks      int64 // reads that did not continue at the previous position
-	CacheHits  int64 // extent reads served by the buffer pool
-	ExtentRead int64 // number of Read calls that touched the disk
+	PageReads      int64 // pages transferred from "disk"
+	PageWrites     int64 // pages transferred to "disk"
+	Seeks          int64 // reads that did not continue at the previous position
+	CacheHits      int64 // extent reads served by the buffer pool
+	CacheMisses    int64 // reads that fell through the buffer pool to the backend
+	CacheEvictions int64 // extents evicted from the buffer pool by its page budget
+	ExtentRead     int64 // number of Read calls that touched the disk
 }
 
 // Add returns the sum of two counter snapshots.
 func (s IOStats) Add(o IOStats) IOStats {
 	return IOStats{
-		PageReads:  s.PageReads + o.PageReads,
-		PageWrites: s.PageWrites + o.PageWrites,
-		Seeks:      s.Seeks + o.Seeks,
-		CacheHits:  s.CacheHits + o.CacheHits,
-		ExtentRead: s.ExtentRead + o.ExtentRead,
+		PageReads:      s.PageReads + o.PageReads,
+		PageWrites:     s.PageWrites + o.PageWrites,
+		Seeks:          s.Seeks + o.Seeks,
+		CacheHits:      s.CacheHits + o.CacheHits,
+		CacheMisses:    s.CacheMisses + o.CacheMisses,
+		CacheEvictions: s.CacheEvictions + o.CacheEvictions,
+		ExtentRead:     s.ExtentRead + o.ExtentRead,
 	}
 }
 
 // Sub returns the difference s - o, for measuring a window of activity.
 func (s IOStats) Sub(o IOStats) IOStats {
 	return IOStats{
-		PageReads:  s.PageReads - o.PageReads,
-		PageWrites: s.PageWrites - o.PageWrites,
-		Seeks:      s.Seeks - o.Seeks,
-		CacheHits:  s.CacheHits - o.CacheHits,
-		ExtentRead: s.ExtentRead - o.ExtentRead,
+		PageReads:      s.PageReads - o.PageReads,
+		PageWrites:     s.PageWrites - o.PageWrites,
+		Seeks:          s.Seeks - o.Seeks,
+		CacheHits:      s.CacheHits - o.CacheHits,
+		CacheMisses:    s.CacheMisses - o.CacheMisses,
+		CacheEvictions: s.CacheEvictions - o.CacheEvictions,
+		ExtentRead:     s.ExtentRead - o.ExtentRead,
 	}
 }
 
@@ -254,6 +260,7 @@ func (s *Store) Read(ref Ref) ([]byte, error) {
 				return ext.Data, nil
 			}
 		}
+		s.stats.CacheMisses++
 	}
 	ext, err := s.backend.Get(ref.Start)
 	if err != nil {
@@ -269,7 +276,7 @@ func (s *Store) Read(ref Ref) ([]byte, error) {
 	s.stats.ExtentRead++
 	s.lastPos = ref.Start + int64(ref.Pages)
 	if s.cache != nil {
-		s.cache.put(ref.Start, ext, int(ref.Pages))
+		s.stats.CacheEvictions += int64(s.cache.put(ref.Start, ext, int(ref.Pages)))
 	}
 	return ext.Data, nil
 }

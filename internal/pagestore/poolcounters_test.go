@@ -1,0 +1,61 @@
+package pagestore
+
+import "testing"
+
+// TestBufferPoolMissAndEvictionCounters pins the miss/eviction accounting
+// the /metrics exposition reports: every cached read is either a hit or a
+// miss, and budget-driven evictions are counted.
+func TestBufferPoolMissAndEvictionCounters(t *testing.T) {
+	s := New(Config{PageSize: 64, BufferPages: 2})
+	a := mustWrite(t, s, 1, []byte("aa"))
+	b := mustWrite(t, s, 1, []byte("bb"))
+	c := mustWrite(t, s, 1, []byte("cc"))
+
+	reads := 0
+	readAll := func(refs ...Ref) {
+		for _, r := range refs {
+			if _, err := s.Read(r); err != nil {
+				t.Fatal(err)
+			}
+			reads++
+		}
+	}
+
+	readAll(a, a, a)
+	if st := s.Stats(); st.CacheHits != 2 || st.CacheMisses != 1 {
+		t.Fatalf("repeat read: %+v", st)
+	}
+
+	readAll(b, c) // capacity 2 pages: b fits beside a, inserting c evicts a
+	st := s.Stats()
+	if st.CacheEvictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (%+v)", st.CacheEvictions, st)
+	}
+	readAll(a) // miss; re-inserting a evicts b
+	st = s.Stats()
+	if st.CacheEvictions != 2 {
+		t.Fatalf("evictions = %d, want 2 (%+v)", st.CacheEvictions, st)
+	}
+	if st.CacheHits+st.CacheMisses != int64(reads) {
+		t.Fatalf("hits %d + misses %d != reads %d", st.CacheHits, st.CacheMisses, reads)
+	}
+	if st.CacheMisses != 4 {
+		t.Fatalf("misses = %d, want 4 (%+v)", st.CacheMisses, st)
+	}
+}
+
+// TestUncachedReadsCountNoMisses: without a buffer pool there is no cache
+// to miss, so the counters stay zero and dashboards divide by hits+misses
+// safely only when a pool exists.
+func TestUncachedReadsCountNoMisses(t *testing.T) {
+	s := New(Config{PageSize: 64})
+	a := mustWrite(t, s, 1, []byte("aa"))
+	for i := 0; i < 3; i++ {
+		if _, err := s.Read(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.CacheHits != 0 || st.CacheMisses != 0 || st.CacheEvictions != 0 {
+		t.Fatalf("uncached store counted pool activity: %+v", st)
+	}
+}

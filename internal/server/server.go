@@ -51,6 +51,18 @@ type docLister interface {
 	Docs() []txmldb.DocID
 }
 
+// ioStatser is optionally implemented by engines (txmldb.DB is one) to
+// expose the storage tier's buffer-pool counters on /metrics.
+type ioStatser interface {
+	IOStats() txmldb.IOStats
+}
+
+// cacheStatser is optionally implemented by engines (txmldb.DB is one) to
+// expose the version-reconstruction cache counters on /metrics.
+type cacheStatser interface {
+	CacheStats() (txmldb.CacheStats, bool)
+}
+
 // Config parameterizes a Server. Zero values select the defaults noted
 // on each field.
 type Config struct {
@@ -142,6 +154,7 @@ func New(engine Engine, cfg Config) *Server {
 		mQueued:    reg.Gauge("txserved_queued_requests", "requests waiting for an execution slot"),
 		mLatency:   reg.Histogram("txserved_query_latency_ms", "query latency in milliseconds", nil),
 	}
+	s.registerEngineMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/explain", s.handleExplain)
@@ -152,6 +165,60 @@ func New(engine Engine, cfg Config) *Server {
 
 // Registry exposes the server's metrics registry (benchmarks read it).
 func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// registerEngineMetrics pulls engine-owned counters — the storage tier's
+// buffer pool and the shared version-reconstruction cache — into the
+// /metrics exposition, when the engine exposes them.
+func (s *Server) registerEngineMetrics() {
+	if es, ok := s.engine.(ioStatser); ok {
+		s.reg.CounterFunc("txserved_pagestore_cache_hits_total",
+			"extent reads served by the buffer pool",
+			func() int64 { return es.IOStats().CacheHits })
+		s.reg.CounterFunc("txserved_pagestore_cache_misses_total",
+			"extent reads that fell through the buffer pool to the backend",
+			func() int64 { return es.IOStats().CacheMisses })
+		s.reg.CounterFunc("txserved_pagestore_cache_evictions_total",
+			"extents evicted from the buffer pool by its page budget",
+			func() int64 { return es.IOStats().CacheEvictions })
+		s.reg.CounterFunc("txserved_pagestore_extent_reads_total",
+			"extent reads that touched the simulated disk",
+			func() int64 { return es.IOStats().ExtentRead })
+	}
+	cs, ok := s.engine.(cacheStatser)
+	if !ok {
+		return
+	}
+	if _, enabled := cs.CacheStats(); !enabled {
+		return
+	}
+	vc := func(f func(txmldb.CacheStats) int64) func() int64 {
+		return func() int64 { st, _ := cs.CacheStats(); return f(st) }
+	}
+	s.reg.CounterFunc("txserved_vcache_lookups_total",
+		"version-cache lookups", vc(func(st txmldb.CacheStats) int64 { return st.Lookups }))
+	s.reg.CounterFunc("txserved_vcache_hits_total",
+		"version-cache exact hits", vc(func(st txmldb.CacheStats) int64 { return st.Hits }))
+	s.reg.CounterFunc("txserved_vcache_misses_total",
+		"version-cache misses", vc(func(st txmldb.CacheStats) int64 { return st.Misses }))
+	s.reg.CounterFunc("txserved_vcache_ancestor_hits_total",
+		"version-cache misses served by forward replay from a cached ancestor",
+		vc(func(st txmldb.CacheStats) int64 { return st.AncestorHits }))
+	s.reg.CounterFunc("txserved_vcache_collapsed_flights_total",
+		"version-cache misses collapsed into another goroutine's reconstruction",
+		vc(func(st txmldb.CacheStats) int64 { return st.CollapsedFlights }))
+	s.reg.CounterFunc("txserved_vcache_evictions_total",
+		"version-cache entries evicted by the byte budget",
+		vc(func(st txmldb.CacheStats) int64 { return st.Evictions }))
+	s.reg.CounterFunc("txserved_vcache_invalidations_total",
+		"version-cache entries dropped by document writes",
+		vc(func(st txmldb.CacheStats) int64 { return st.Invalidations }))
+	s.reg.GaugeFunc("txserved_vcache_resident_bytes",
+		"deep size of all cached version trees",
+		vc(func(st txmldb.CacheStats) int64 { return st.ResidentBytes }))
+	s.reg.GaugeFunc("txserved_vcache_entries",
+		"cached version trees resident now",
+		vc(func(st txmldb.CacheStats) int64 { return st.Entries }))
+}
 
 // Handler returns the full middleware stack: panic recovery, request
 // counting and access logging around the route mux.

@@ -118,6 +118,44 @@ func (s *Store) reconstruct(d *docEntry, ver model.VersionNo) (VersionTree, erro
 	return VersionTree{Info: d.versions[ver-1], Root: tree}, nil
 }
 
+// ReconstructFrom rebuilds version `to` of the document by replaying
+// completed deltas forward from an already-materialized base version —
+// the dynamic form of the paper's snapshot-bounding argument (Section
+// 7.3.3): a caller holding version v′ pays only the v′→to chain instead
+// of the full replay from the nearest stored snapshot. The base tree is
+// not modified; the returned tree is owned by the caller.
+//
+// The version-reconstruction cache uses this for nearest-cached-ancestor
+// misses, and history walks can use it to reuse the previous iteration's
+// tree. base.Info.Ver must be at most `to`.
+func (s *Store) ReconstructFrom(id model.DocID, base VersionTree, to model.VersionNo) (VersionTree, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok {
+		return VersionTree{}, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if to < 1 || int(to) > len(d.versions) {
+		return VersionTree{}, fmt.Errorf("store: doc %d has no version %d", d.id, to)
+	}
+	from := base.Info.Ver
+	if from < 1 || from > to {
+		return VersionTree{}, fmt.Errorf("store: cannot replay doc %d forward from version %d to %d", d.id, from, to)
+	}
+	tree := base.Root.Clone()
+	for v := from; v < to; v++ {
+		script, err := s.readScript(d, v)
+		if err != nil {
+			return VersionTree{}, fmt.Errorf("%w: version %d of doc %d depends on delta %d→%d: %w",
+				ErrUnreachable, to, d.id, v, v+1, err)
+		}
+		if err := diff.Apply(tree, script); err != nil {
+			return VersionTree{}, fmt.Errorf("store: applying delta %d→%d: %w", v, v+1, err)
+		}
+	}
+	return VersionTree{Info: d.versions[to-1], Root: tree}, nil
+}
+
 // ReconstructAt rebuilds the version of the document valid at time t.
 func (s *Store) ReconstructAt(id model.DocID, t model.Time) (VersionTree, error) {
 	s.mu.RLock()

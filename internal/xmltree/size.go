@@ -1,0 +1,29 @@
+package xmltree
+
+import "unsafe"
+
+// sizeofNode and sizeofAttr are the shallow struct sizes used by DeepSize.
+const (
+	sizeofNode = int64(unsafe.Sizeof(Node{}))
+	sizeofAttr = int64(unsafe.Sizeof(Attr{}))
+	sizeofPtr  = int64(unsafe.Sizeof((*Node)(nil)))
+)
+
+// DeepSize estimates, in bytes, the heap memory retained by the subtree
+// rooted at n: one Node struct per node, the backing arrays of the string
+// fields, the attribute slice and the child-pointer slice. It is an
+// estimate — allocator overhead and slice over-capacity are not visible —
+// but it is deterministic and monotone in tree content, which is what a
+// byte-budgeted cache needs to account residency fairly.
+func (n *Node) DeepSize() int64 {
+	var total int64
+	n.Walk(func(d *Node) bool {
+		total += sizeofNode + int64(len(d.Name)) + int64(len(d.Value))
+		for _, a := range d.Attrs {
+			total += sizeofAttr + int64(len(a.Name)) + int64(len(a.Value))
+		}
+		total += int64(len(d.Children)) * sizeofPtr
+		return true
+	})
+	return total
+}

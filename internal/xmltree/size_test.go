@@ -1,0 +1,32 @@
+package xmltree
+
+import "testing"
+
+func TestDeepSize(t *testing.T) {
+	leaf := NewText("hello")
+	if got, want := leaf.DeepSize(), sizeofNode+5; got != want {
+		t.Fatalf("text DeepSize = %d, want %d", got, want)
+	}
+
+	el := Elem("a", NewText("xy"))
+	el.SetAttr("k", "val")
+	want := sizeofNode + 1 + // <a> + name
+		sizeofAttr + 1 + 3 + // k="val"
+		sizeofPtr + // one child pointer
+		sizeofNode + 2 // text node + value
+	if got := el.DeepSize(); got != want {
+		t.Fatalf("element DeepSize = %d, want %d", got, want)
+	}
+
+	// Monotone: growing the tree grows the size.
+	before := el.DeepSize()
+	el.AppendChild(ElemText("b", "more content"))
+	if after := el.DeepSize(); after <= before {
+		t.Fatalf("DeepSize not monotone: %d -> %d", before, after)
+	}
+
+	// Clones are the same size.
+	if el.Clone().DeepSize() != el.DeepSize() {
+		t.Fatal("clone size differs")
+	}
+}

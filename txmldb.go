@@ -45,6 +45,7 @@ import (
 	"txmldb/internal/similarity"
 	"txmldb/internal/store"
 	"txmldb/internal/tdocgen"
+	"txmldb/internal/vcache"
 	"txmldb/internal/warehouse"
 	"txmldb/internal/xmltree"
 )
@@ -162,6 +163,11 @@ type (
 	StoreConfig = store.Config
 	// PageConfig configures the simulated paged disk.
 	PageConfig = pagestore.Config
+	// CacheConfig configures the shared version-reconstruction cache
+	// (set Config.Cache; MaxBytes <= 0 disables it).
+	CacheConfig = vcache.Config
+	// CacheStats are the version-cache counters, from (*DB).CacheStats.
+	CacheStats = vcache.Stats
 	// IOStats are simulated-disk counters.
 	IOStats = pagestore.IOStats
 	// VersionInfo is one entry of a document's delta index.
