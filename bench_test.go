@@ -5,6 +5,7 @@
 package txmldb_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -402,4 +403,64 @@ func BenchmarkC9History(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- P1: the parallel execution tier (shared worker pool) ---
+
+// BenchmarkC1ParallelScan runs the C1-style scan followed by batch
+// materialization of every matched element version — the pipeline the
+// worker pool fans out per document — on the 64-document P1 corpus with
+// simulated device latency, across worker counts. workers=1 is the
+// sequential baseline; the CI gate expects >= 2.5x at 4 workers because
+// the device waits are paid outside the pagestore mutex and overlap.
+func BenchmarkC1ParallelScan(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			db, err := experiments.ParallelDB(w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pat := experiments.RestaurantPattern()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				teids, err := db.TPatternScanAll(pat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(teids) == 0 {
+					b.Fatal("scan matched nothing")
+				}
+				if _, err := db.ReconstructBatch(context.Background(), teids); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP1DocHistory is the chunked-history counterpart: one document
+// with a long snapshot-interspersed history, walked whole, per worker
+// count.
+func BenchmarkP1DocHistory(b *testing.B) {
+	c := experiments.CorpusConfig{Docs: 1, Elems: 12, Versions: 64, Ops: 2, Seed: 12}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			db, ids, err := experiments.NativeDB(c, core.Config{
+				Workers: w,
+				Store: store.Config{
+					SnapshotEvery: 8,
+					Pages:         experiments.ParallelPages,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.DocHistory(ids[0], model.Always); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

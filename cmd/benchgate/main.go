@@ -1,0 +1,177 @@
+// Command benchgate compares two `go test -bench` outputs and fails when
+// the geometric-mean ns/op ratio (new over old) regresses past a
+// threshold. It is the CI perf gate: the workflow benchmarks the PR head
+// and its merge-base, then runs
+//
+//	benchgate -old base.txt -new head.txt -threshold 1.15
+//
+// Only benchmarks present in both files are compared. Exit status 1 means
+// the gate tripped (or an input could not be parsed); a JSON report of
+// every ratio goes to -json for artifact upload.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine is one parsed benchmark result: name with the -N GOMAXPROCS
+// suffix kept (it distinguishes sub-benchmarks only when procs differ,
+// which the gate treats as distinct configurations).
+type benchLine struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// parseBench extracts "BenchmarkX-N  iters  ns/op" lines from go test
+// -bench output. Repeated runs of the same benchmark (e.g. -count=3) are
+// averaged so the gate sees one number per benchmark.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if fields[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		sums[fields[0]] += ns
+		counts[fields[0]]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(sums))
+	for name, sum := range sums {
+		out[name] = sum / float64(counts[name])
+	}
+	return out, nil
+}
+
+// report is the JSON artifact the gate writes.
+type report struct {
+	Threshold float64      `json:"threshold"`
+	Geomean   float64      `json:"geomean"`
+	Pass      bool         `json:"pass"`
+	Compared  int          `json:"compared"`
+	Ratios    []ratioEntry `json:"ratios"`
+	OnlyOld   []string     `json:"only_in_old,omitempty"`
+	OnlyNew   []string     `json:"only_in_new,omitempty"`
+}
+
+type ratioEntry struct {
+	Name  string  `json:"name"`
+	OldNs float64 `json:"old_ns_per_op"`
+	NewNs float64 `json:"new_ns_per_op"`
+	Ratio float64 `json:"ratio"`
+}
+
+// gate compares the two result sets and builds the report. Pure so the
+// fixture test can drive it directly.
+func gate(old, new map[string]float64, threshold float64) report {
+	r := report{Threshold: threshold}
+	var logSum float64
+	for name, oldNs := range old {
+		newNs, ok := new[name]
+		if !ok {
+			r.OnlyOld = append(r.OnlyOld, name)
+			continue
+		}
+		ratio := newNs / oldNs
+		r.Ratios = append(r.Ratios, ratioEntry{Name: name, OldNs: oldNs, NewNs: newNs, Ratio: ratio})
+		logSum += math.Log(ratio)
+	}
+	for name := range new {
+		if _, ok := old[name]; !ok {
+			r.OnlyNew = append(r.OnlyNew, name)
+		}
+	}
+	sort.Slice(r.Ratios, func(i, j int) bool { return r.Ratios[i].Ratio > r.Ratios[j].Ratio })
+	sort.Strings(r.OnlyOld)
+	sort.Strings(r.OnlyNew)
+	r.Compared = len(r.Ratios)
+	if r.Compared > 0 {
+		r.Geomean = math.Exp(logSum / float64(r.Compared))
+	} else {
+		r.Geomean = 1.0
+	}
+	r.Pass = r.Geomean <= threshold
+	return r
+}
+
+func main() {
+	oldPath := flag.String("old", "", "go test -bench output of the baseline (merge-base)")
+	newPath := flag.String("new", "", "go test -bench output of the candidate (PR head)")
+	threshold := flag.Float64("threshold", 1.15, "max allowed geomean ns/op ratio (new/old)")
+	jsonPath := flag.String("json", "", "write the full comparison report to this file")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+
+	oldRes, err := parseBench(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	newRes, err := parseBench(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	r := gate(oldRes, newRes, *threshold)
+	if r.Compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmarks in common between the two inputs")
+		os.Exit(1)
+	}
+
+	for _, e := range r.Ratios {
+		fmt.Printf("%-60s %14.0f -> %14.0f  %.3fx\n", e.Name, e.OldNs, e.NewNs, e.Ratio)
+	}
+	for _, name := range r.OnlyOld {
+		fmt.Printf("%-60s removed\n", name)
+	}
+	for _, name := range r.OnlyNew {
+		fmt.Printf("%-60s new\n", name)
+	}
+	fmt.Printf("geomean %.3fx over %d benchmarks (threshold %.2fx)\n", r.Geomean, r.Compared, r.Threshold)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: write report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if !r.Pass {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: geomean regression %.3fx exceeds %.2fx\n", r.Geomean, r.Threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const baseOutput = `goos: linux
+goarch: amd64
+pkg: txmldb
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkC1Scan/docs=64-4         	       3	 100000000 ns/op
+BenchmarkC3CachedReconstruct-4    	      50	   5000000 ns/op
+BenchmarkC1ParallelScan/workers=4-4	       3	 640000000 ns/op
+PASS
+ok  	txmldb	12.345s
+`
+
+// headSlow is the injected regression: every benchmark exactly 2x slower.
+const headSlow = `goos: linux
+goarch: amd64
+pkg: txmldb
+BenchmarkC1Scan/docs=64-4         	       3	 200000000 ns/op
+BenchmarkC3CachedReconstruct-4    	      50	  10000000 ns/op
+BenchmarkC1ParallelScan/workers=4-4	       3	1280000000 ns/op
+PASS
+`
+
+// headNoise is within-threshold jitter plus one added, one removed bench.
+const headNoise = `BenchmarkC1Scan/docs=64-4         	       3	 108000000 ns/op
+BenchmarkC1ParallelScan/workers=4-4	       3	 601600000 ns/op
+BenchmarkP1DocHistory/workers=4-4 	       3	  24000000 ns/op
+`
+
+func writeFixture(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchAveragesRepeats(t *testing.T) {
+	path := writeFixture(t, "rep.txt", `
+BenchmarkX-4	10	100 ns/op
+BenchmarkX-4	10	300 ns/op
+not a bench line
+BenchmarkBroken-4	10	abc ns/op
+`)
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["BenchmarkX-4"] != 200 {
+		t.Fatalf("parseBench = %v, want BenchmarkX-4: 200", got)
+	}
+}
+
+// TestGateFailsOnInjectedSlowdown is the required local verification: a
+// uniform 2x slowdown must trip the 15%-geomean gate.
+func TestGateFailsOnInjectedSlowdown(t *testing.T) {
+	old, err := parseBench(writeFixture(t, "base.txt", baseOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	new, err := parseBench(writeFixture(t, "head.txt", headSlow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := gate(old, new, 1.15)
+	if r.Pass {
+		t.Fatalf("gate passed a uniform 2x slowdown: %+v", r)
+	}
+	if math.Abs(r.Geomean-2.0) > 0.01 {
+		t.Fatalf("geomean = %.3f, want ~2.0", r.Geomean)
+	}
+	if r.Compared != 3 {
+		t.Fatalf("compared %d benchmarks, want 3", r.Compared)
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	old, err := parseBench(writeFixture(t, "base.txt", baseOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	new, err := parseBench(writeFixture(t, "head.txt", headNoise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := gate(old, new, 1.15)
+	if !r.Pass {
+		t.Fatalf("gate failed on within-threshold jitter: geomean %.3f", r.Geomean)
+	}
+	// 1.08 and 0.94 ratios over the two shared benchmarks.
+	if r.Compared != 2 {
+		t.Fatalf("compared %d benchmarks, want 2 (only shared names)", r.Compared)
+	}
+	if len(r.OnlyOld) != 1 || r.OnlyOld[0] != "BenchmarkC3CachedReconstruct-4" {
+		t.Fatalf("only_in_old = %v", r.OnlyOld)
+	}
+	if len(r.OnlyNew) != 1 || r.OnlyNew[0] != "BenchmarkP1DocHistory/workers=4-4" {
+		t.Fatalf("only_in_new = %v", r.OnlyNew)
+	}
+}
+
+func TestGateNeutralGeomeanWhenEmpty(t *testing.T) {
+	r := gate(map[string]float64{"BenchmarkA-4": 1}, map[string]float64{"BenchmarkB-4": 1}, 1.15)
+	if r.Compared != 0 || r.Geomean != 1.0 {
+		t.Fatalf("disjoint inputs: %+v", r)
+	}
+}

@@ -51,6 +51,7 @@ func main() {
 		{"W1", experiments.W1},
 		{"S1", func() (experiments.Table, error) { return experiments.S1([]int{1, 8, 64}, 200) }},
 		{"S2", func() (experiments.Table, error) { return experiments.S2([]int{1, 8, 64}, 200) }},
+		{"P1", func() (experiments.Table, error) { return experiments.P1([]int{1, 2, 4, 8}) }},
 	}
 
 	failed := false

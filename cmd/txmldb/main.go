@@ -57,10 +57,11 @@ func main() {
 	loadDir := flag.String("loaddir", "", "load a database dump directory before anything else")
 	dataDir := flag.String("datadir", "", "durable mode: keep the database in a write-ahead log under this directory")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "byte budget of the shared version-reconstruction cache (0 disables)")
+	workers := flag.Int("workers", 0, "worker-pool size for parallel operators (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Var(&loads, "load", "load a document version: url=FILE@dd/mm/yyyy (repeatable)")
 	flag.Parse()
 
-	db, err := openDB(*dataDir, *demo, *cacheBytes)
+	db, err := openDB(*dataDir, *demo, *cacheBytes, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,8 +113,8 @@ func main() {
 // openDB opens the database: in memory, or durably under dataDir. The demo
 // pins the clock to the paper's "today" (February 10, 2001) so NOW-relative
 // queries match the text.
-func openDB(dataDir string, demo bool, cacheBytes int64) (*txmldb.DB, error) {
-	cfg := txmldb.Config{Cache: txmldb.CacheConfig{MaxBytes: cacheBytes}}
+func openDB(dataDir string, demo bool, cacheBytes int64, workers int) (*txmldb.DB, error) {
+	cfg := txmldb.Config{Cache: txmldb.CacheConfig{MaxBytes: cacheBytes}, Workers: workers}
 	if demo {
 		cfg.Clock = func() txmldb.Time { return txmldb.Date(2001, time.February, 10) }
 	}

@@ -51,9 +51,10 @@ func main() {
 	quiet := flag.Bool("quiet", false, "disable the per-request access log")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "byte budget of the shared version-reconstruction cache (0 disables)")
 	cacheReplay := flag.Int("cache-replay", 128, "max deltas replayed forward from a cached ancestor version")
+	workers := flag.Int("workers", 0, "worker-pool size for parallel operators (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	db, err := openDB(*dataDir, *demo, txmldb.CacheConfig{MaxBytes: *cacheBytes, MaxReplay: *cacheReplay})
+	db, err := openDB(*dataDir, *demo, txmldb.CacheConfig{MaxBytes: *cacheBytes, MaxReplay: *cacheReplay}, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,8 +113,8 @@ func main() {
 // openDB opens the database in memory or durably under dataDir. The demo
 // pins the clock to the paper's "today" (February 10, 2001) so
 // NOW-relative queries match the text.
-func openDB(dataDir string, demo bool, cache txmldb.CacheConfig) (*txmldb.DB, error) {
-	cfg := txmldb.Config{Cache: cache}
+func openDB(dataDir string, demo bool, cache txmldb.CacheConfig, workers int) (*txmldb.DB, error) {
+	cfg := txmldb.Config{Cache: cache, Workers: workers}
 	if demo {
 		cfg.Clock = func() txmldb.Time { return txmldb.Date(2001, time.February, 10) }
 	}

@@ -16,6 +16,7 @@ import (
 	"txmldb/internal/fti"
 	"txmldb/internal/model"
 	"txmldb/internal/pagestore"
+	"txmldb/internal/parallel"
 	"txmldb/internal/pattern"
 	"txmldb/internal/plan"
 	"txmldb/internal/store"
@@ -73,6 +74,13 @@ type Config struct {
 	// leaves the cache disabled (the default, so operator-level
 	// benchmarks keep measuring the raw reconstruction path).
 	Cache vcache.Config
+	// Workers bounds the shared worker pool beneath the multi-document
+	// operators (TPatternScanAll, DocHistory/ElementHistory, Diff,
+	// ReconstructBatch and the query executor's reconstruction prefetch).
+	// 0 defaults to GOMAXPROCS; 1 forces the inline sequential path,
+	// whose results every parallel run is guaranteed to reproduce
+	// byte-for-byte.
+	Workers int
 }
 
 // DB is a temporal XML database.
@@ -82,6 +90,7 @@ type DB struct {
 	times    *tidx.Index    // nil when disabled
 	docTimes *doctime.Index // nil unless DocTimePaths configured
 	vcache   *vcache.Cache  // nil when disabled
+	pool     *parallel.Pool // shared worker pool of the parallel tier
 	clock    func() model.Time
 }
 
@@ -111,6 +120,7 @@ func assemble(cfg Config, st *store.Store) *DB {
 	if cfg.Cache.MaxBytes > 0 {
 		db.vcache = vcache.New(st, cfg.Cache)
 	}
+	db.pool = parallel.New(parallel.Config{Workers: cfg.Workers})
 	if db.clock == nil {
 		db.clock = func() model.Time { return model.TimeOf(time.Now()) }
 	}
@@ -251,7 +261,7 @@ func (db *DB) Current(id model.DocID) (*xmltree.Node, store.VersionInfo, error) 
 // TPatternScan matches the pattern against the snapshot valid at time t
 // and returns the TEIDs of the projected elements.
 func (db *DB) TPatternScan(p *pattern.PNode, t model.Time) ([]model.TEID, error) {
-	ms, err := pattern.ScanT(db.fti, p, t)
+	ms, err := db.ScanT(p, t)
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +272,7 @@ func (db *DB) TPatternScan(p *pattern.PNode, t model.Time) ([]model.TEID, error)
 // documents; each returned TEID is stamped with the start of the temporal
 // overlap of its match.
 func (db *DB) TPatternScanAll(p *pattern.PNode) ([]model.TEID, error) {
-	ms, err := pattern.ScanAll(db.fti, p)
+	ms, err := db.ScanAll(p)
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +281,7 @@ func (db *DB) TPatternScanAll(p *pattern.PNode) ([]model.TEID, error) {
 
 // PatternScan matches against the current database state.
 func (db *DB) PatternScan(p *pattern.PNode) ([]model.TEID, error) {
-	ms, err := pattern.ScanCurrent(db.fti, p)
+	ms, err := db.ScanCurrent(p)
 	if err != nil {
 		return nil, err
 	}
@@ -295,33 +305,47 @@ func teidsOf(ms []pattern.Match, p *pattern.PNode, stamp func(pattern.Match) mod
 	return out
 }
 
-// ScanT implements plan.Engine.
+// ScanT implements plan.Engine. The per-document join runs on the shared
+// worker pool.
 func (db *DB) ScanT(p *pattern.PNode, t model.Time) ([]pattern.Match, error) {
-	return pattern.ScanT(db.fti, p, t)
+	return pattern.ScanTPool(context.Background(), db.fti, p, t, db.pool)
 }
 
-// ScanAll implements plan.Engine.
+// ScanAll implements plan.Engine. The per-document join runs on the
+// shared worker pool.
 func (db *DB) ScanAll(p *pattern.PNode) ([]pattern.Match, error) {
-	return pattern.ScanAll(db.fti, p)
+	return pattern.ScanAllPool(context.Background(), db.fti, p, db.pool)
 }
 
-// ScanCurrent implements plan.Engine.
+// ScanCurrent implements plan.Engine. The per-document join runs on the
+// shared worker pool.
 func (db *DB) ScanCurrent(p *pattern.PNode) ([]pattern.Match, error) {
-	return pattern.ScanCurrent(db.fti, p)
+	return pattern.ScanCurrentPool(context.Background(), db.fti, p, db.pool)
 }
 
 // DocHistory returns all versions of the document valid in [from, to),
-// most recent first. With the version cache enabled the materialized
-// trees are offered to it (oldest first, so the most recent version ends
-// up most recently used), converting the walk into future cache hits.
+// most recent first. With more than one worker and bounded chunk heads
+// (interspersed snapshots or the version cache) the walk is split into
+// contiguous chunks reconstructed concurrently; otherwise — and whenever
+// a chunk fails — it runs the sequential backward walk. With the version
+// cache enabled the materialized trees are offered to it (oldest first,
+// so the most recent version ends up most recently used), converting the
+// walk into future cache hits.
 func (db *DB) DocHistory(id model.DocID, iv model.Interval) ([]store.VersionTree, error) {
-	out, err := db.store.DocHistory(id, iv)
-	if err == nil && db.vcache != nil {
+	out, ok := db.parallelDocHistory(id, iv)
+	if !ok {
+		var err error
+		out, err = db.store.DocHistory(id, iv)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if db.vcache != nil {
 		for i := len(out) - 1; i >= 0; i-- {
 			db.vcache.Add(id, out[i])
 		}
 	}
-	return out, err
+	return out, nil
 }
 
 // ElementHistory returns all versions of the element valid in [from, to),
@@ -483,17 +507,17 @@ func (db *DB) CurrentTS(eid model.EID) (store.VersionInfo, error) {
 
 // Diff computes the edit script between two element versions, returned as
 // an XML tree (<txdelta>): edit scripts are XML, keeping queries closed
-// under the data model (Section 6.1).
+// under the data model (Section 6.1). The two version materializations are
+// independent reads, so they run as one pair on the shared worker pool.
 func (db *DB) Diff(a, b model.TEID) (*xmltree.Node, error) {
-	an, err := db.Reconstruct(a)
+	pair := [2]model.TEID{a, b}
+	nodes, err := parallel.Map(context.Background(), db.pool, "diff", 2, func(i int) (*xmltree.Node, error) {
+		return db.Reconstruct(pair[i])
+	})
 	if err != nil {
 		return nil, err
 	}
-	bn, err := db.Reconstruct(b)
-	if err != nil {
-		return nil, err
-	}
-	return db.DiffNodes(an, bn)
+	return db.DiffNodes(nodes[0], nodes[1])
 }
 
 // DiffNodes implements plan.Engine: the edit script between two trees.

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"txmldb/internal/model"
+	"txmldb/internal/pattern"
+	"txmldb/internal/store"
+	"txmldb/internal/xmltree"
+)
+
+// guideTree builds a deterministic guide document: doc seed d, version v.
+func guideTree(d, v int) *xmltree.Node {
+	g := xmltree.NewElement("guide")
+	for r := 0; r < 3; r++ {
+		g.AppendChild(xmltree.Elem("restaurant",
+			xmltree.ElemText("name", fmt.Sprintf("place-%d-%d", d, r)),
+			xmltree.ElemText("price", fmt.Sprint(10+v+r))))
+	}
+	return g
+}
+
+// parallelCorpusDB loads the same small multi-doc, multi-version corpus
+// into a fresh DB with the given worker count.
+func parallelCorpusDB(t *testing.T, workers int) (*DB, []model.DocID) {
+	t.Helper()
+	db := Open(Config{
+		Workers: workers,
+		Store:   store.Config{SnapshotEvery: 4},
+		Clock:   func() model.Time { return 1_000_000 },
+	})
+	const docs, versions = 6, 9
+	ids := make([]model.DocID, docs)
+	for d := 0; d < docs; d++ {
+		id, err := db.Put(fmt.Sprintf("http://doc%d.example.com/x.xml", d), guideTree(d, 1), model.Time(1000+d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[d] = id
+		for v := 2; v <= versions; v++ {
+			if _, _, err := db.Update(id, guideTree(d, v), model.Time(1000+d+v*100)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db, ids
+}
+
+func guidePattern() *pattern.PNode {
+	r := &pattern.PNode{Name: "restaurant", Rel: pattern.Child, Project: true}
+	return &pattern.PNode{Name: "guide", Rel: pattern.Child, Children: []*pattern.PNode{r}}
+}
+
+// renderHistory flattens a history result for byte-comparison.
+func renderHistory(vts []store.VersionTree) string {
+	var b strings.Builder
+	for _, vt := range vts {
+		fmt.Fprintf(&b, "v%d [%s,%s) %s\n", vt.Info.Ver, vt.Info.Stamp, vt.Info.End, vt.Root.String())
+	}
+	return b.String()
+}
+
+// TestParallelOperatorsMatchSequential checks every pooled operator
+// produces byte-identical output at 1, 2, 4 and 8 workers: the
+// Workers=1 sequential path is the reference the parallel fan-outs must
+// reproduce exactly.
+func TestParallelOperatorsMatchSequential(t *testing.T) {
+	type snapshot struct {
+		scan, history, elemHist, diff, query string
+	}
+	var want snapshot
+	for _, w := range []int{1, 2, 4, 8} {
+		db, ids := parallelCorpusDB(t, w)
+		var got snapshot
+
+		teids, err := db.TPatternScanAll(guidePattern())
+		if err != nil {
+			t.Fatalf("workers=%d: scan: %v", w, err)
+		}
+		trees, err := db.ReconstructBatch(context.Background(), teids)
+		if err != nil {
+			t.Fatalf("workers=%d: reconstruct batch: %v", w, err)
+		}
+		var sb strings.Builder
+		for i, n := range trees {
+			fmt.Fprintf(&sb, "%s=%s\n", teids[i], n.String())
+		}
+		got.scan = sb.String()
+
+		for _, id := range ids {
+			h, err := db.DocHistory(id, model.Always)
+			if err != nil {
+				t.Fatalf("workers=%d: history doc %d: %v", w, id, err)
+			}
+			got.history += renderHistory(h)
+		}
+
+		cur, _, err := db.Current(ids[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		eid := model.EID{Doc: ids[0], X: cur.ChildElements("restaurant")[0].XID}
+		eh, err := db.ElementHistory(eid, model.Always)
+		if err != nil {
+			t.Fatalf("workers=%d: element history: %v", w, err)
+		}
+		got.elemHist = renderHistory(eh)
+
+		versions, err := db.Versions(ids[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := model.TEID{E: model.EID{Doc: ids[1], X: 1}, T: versions[0].Stamp}
+		bTEID := model.TEID{E: model.EID{Doc: ids[1], X: 1}, T: versions[len(versions)-1].Stamp}
+		dn, err := db.Diff(a, bTEID)
+		if err != nil {
+			t.Fatalf("workers=%d: diff: %v", w, err)
+		}
+		got.diff = dn.String()
+
+		res, err := db.Query(`SELECT TIME(R), R/price FROM doc("http://doc2.example.com/x.xml")[EVERY]/restaurant R`)
+		if err != nil {
+			t.Fatalf("workers=%d: query: %v", w, err)
+		}
+		got.query = fmt.Sprintf("%v/%+v", res.Rows, res.Metrics)
+
+		if w == 1 {
+			want = got
+			continue
+		}
+		if got.scan != want.scan {
+			t.Errorf("workers=%d: scan+batch output diverges from sequential", w)
+		}
+		if got.history != want.history {
+			t.Errorf("workers=%d: DocHistory output diverges from sequential", w)
+		}
+		if got.elemHist != want.elemHist {
+			t.Errorf("workers=%d: ElementHistory output diverges from sequential", w)
+		}
+		if got.diff != want.diff {
+			t.Errorf("workers=%d: Diff output diverges from sequential", w)
+		}
+		if got.query != want.query {
+			t.Errorf("workers=%d: [EVERY] query output (rows+metrics) diverges from sequential:\n got %s\nwant %s", w, got.query, want.query)
+		}
+		st := db.PoolStats()
+		if st.Submitted == 0 {
+			t.Errorf("workers=%d: pool never used", w)
+		}
+		if st.Submitted != st.Completed+st.Cancelled+st.Panicked {
+			t.Errorf("workers=%d: pool imbalance: %+v", w, st)
+		}
+	}
+}
+
+// TestParallelScanStress interleaves parallel TPatternScanAll readers and
+// chunked DocHistory walks with Update/Delete writers under -race. Every
+// returned TEID must stay reconstructible (versions are append-only), and
+// every history result must be a consistent snapshot: contiguous version
+// numbers, adjacent validity intervals — no torn version lists. After the
+// run the pool's accounting must balance.
+func TestParallelScanStress(t *testing.T) {
+	db, ids := parallelCorpusDB(t, 4)
+	pat := guidePattern()
+
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+	report := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	var wg sync.WaitGroup
+
+	// Writer: keeps appending versions to half the corpus.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		stamp := model.Time(500_000)
+		for v := 100; ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := ids[v%3]
+			stamp += 10
+			if _, _, err := db.Update(id, guideTree(int(id), v), stamp); err != nil {
+				report(fmt.Errorf("update doc %d: %w", id, err))
+				return
+			}
+		}
+	}()
+
+	// Writer: delete / re-put cycle on a sacrificial document.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		stamp := model.Time(600_000)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			stamp += 10
+			if err := db.Delete(ids[5], stamp); err != nil {
+				report(fmt.Errorf("delete: %w", err))
+				return
+			}
+			stamp += 10
+			id, err := db.Put("http://doc5.example.com/x.xml", guideTree(5, i), stamp)
+			if err != nil {
+				report(fmt.Errorf("re-put: %w", err))
+				return
+			}
+			ids[5] = id
+		}
+	}()
+
+	// Readers: parallel scans whose results must stay reconstructible.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				teids, err := db.TPatternScanAll(pat)
+				if err != nil {
+					report(fmt.Errorf("scan: %w", err))
+					return
+				}
+				if _, err := db.ReconstructBatch(context.Background(), teids); err != nil {
+					report(fmt.Errorf("reconstruct scanned teids: %w", err))
+					return
+				}
+			}
+		}()
+	}
+
+	// Readers: chunked history walks checked for torn version lists.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := ids[r] // only stable (never-deleted) documents
+				h, err := db.DocHistory(id, model.Always)
+				if err != nil {
+					report(fmt.Errorf("history doc %d: %w", id, err))
+					return
+				}
+				for i := range h {
+					if h[i].Root == nil {
+						report(fmt.Errorf("doc %d history entry %d has nil tree", id, i))
+						return
+					}
+					if i == 0 {
+						continue
+					}
+					if h[i-1].Info.Ver != h[i].Info.Ver+1 {
+						report(fmt.Errorf("doc %d torn history: v%d followed by v%d", id, h[i-1].Info.Ver, h[i].Info.Ver))
+						return
+					}
+					if h[i].Info.End != h[i-1].Info.Stamp {
+						report(fmt.Errorf("doc %d torn intervals: [%s,%s) then [%s,%s)", id,
+							h[i].Info.Stamp, h[i].Info.End, h[i-1].Info.Stamp, h[i-1].Info.End))
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	time.Sleep(800 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := db.PoolStats()
+	if st.Submitted != st.Completed+st.Cancelled+st.Panicked {
+		t.Errorf("pool imbalance after stress: submitted=%d completed=%d cancelled=%d panicked=%d",
+			st.Submitted, st.Completed, st.Cancelled, st.Panicked)
+	}
+	if st.Active != 0 || st.Queued != 0 {
+		t.Errorf("idle pool reports active=%d queued=%d", st.Active, st.Queued)
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"txmldb/internal/core"
+	"txmldb/internal/pagestore"
+	"txmldb/internal/store"
+)
+
+// ParallelCorpus is the corpus P1 and BenchmarkC1ParallelScan share: wide
+// enough (64 documents) that the per-document fan-out has real work to
+// overlap.
+var ParallelCorpus = CorpusConfig{Docs: 64, Elems: 8, Versions: 3, Ops: 1, Seed: 11}
+
+// ParallelPages is the simulated-device latency model of P1: it turns the
+// cost model of IOStats.CostMs (seeks dominate) into wall-clock time paid
+// outside the pagestore mutex, so concurrent readers overlap their waits.
+// No buffer pool — every read pays the device.
+var ParallelPages = pagestore.Config{
+	SeekLatency: 300 * time.Microsecond,
+	PageLatency: 10 * time.Microsecond,
+}
+
+// ParallelDB loads the parallel corpus with the given worker count over
+// the latency-modelled device.
+func ParallelDB(workers int) (*core.DB, error) {
+	db, _, err := NativeDB(ParallelCorpus, core.Config{
+		Workers: workers,
+		Store:   store.Config{Pages: ParallelPages},
+	})
+	return db, err
+}
+
+// P1 measures the parallel execution tier: the scan→materialize pipeline
+// (TPatternScanAll followed by ReconstructBatch over every matched
+// element version) at increasing worker counts on the 64-document corpus
+// with simulated device latency. The pipeline's device waits are
+// independent per document, so the pool overlaps them; the pattern join
+// itself is compute and does not scale on one core, which is why speedup
+// flattens below the worker count.
+func P1(workers []int) (Table, error) {
+	t := Table{
+		ID:    "P1",
+		Title: "parallel scan+materialize scaling with worker count",
+		Claim: "multi-document operators are dominated by independent per-document I/O, so a bounded worker pool overlaps the device waits; results are identical at every worker count",
+		Columns: []string{"workers", "ms_per_op", "speedup_vs_w1", "pool_speedup_proxy",
+			"tasks", "queue_wait_ms"},
+	}
+	const reps = 5
+	var baseMs float64
+	var baseline string
+	for _, w := range workers {
+		db, err := ParallelDB(w)
+		if err != nil {
+			return t, err
+		}
+		pat := RestaurantPattern()
+		run := func() (string, error) {
+			teids, err := db.TPatternScanAll(pat)
+			if err != nil {
+				return "", err
+			}
+			trees, err := db.ReconstructBatch(context.Background(), teids)
+			if err != nil {
+				return "", err
+			}
+			var sig string
+			for i, n := range trees {
+				sig += teids[i].String() + "=" + n.String() + "\n"
+			}
+			return sig, nil
+		}
+		// One untimed pass doubles as the determinism check: every worker
+		// count must produce byte-identical output.
+		sig, err := run()
+		if err != nil {
+			return t, err
+		}
+		if baseline == "" {
+			baseline = sig
+		} else if sig != baseline {
+			return t, fmt.Errorf("P1: workers=%d output diverges from workers=%d", w, workers[0])
+		}
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := run(); err != nil {
+				return t, err
+			}
+		}
+		ms := float64(time.Since(t0).Microseconds()) / 1000.0 / reps
+		if baseMs == 0 {
+			baseMs = ms
+		}
+		st := db.PoolStats()
+		var proxy float64
+		if sc, ok := st.Scopes["reconstruct"]; ok {
+			proxy = sc.Speedup()
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(w),
+			fmt.Sprintf("%.2f", ms),
+			fmt.Sprintf("%.2fx", baseMs/ms),
+			fmt.Sprintf("%.2fx", proxy),
+			itoa(st.Submitted),
+			fmt.Sprintf("%.1f", float64(st.QueueWait.Microseconds())/1000.0),
+		})
+	}
+	t.Verdict = "wall time drops near-linearly while the device waits dominate and flattens once the single core's compute share is the bottleneck; outputs are byte-identical at every width"
+	return t, nil
+}

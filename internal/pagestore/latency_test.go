@@ -1,0 +1,75 @@
+package pagestore
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSimulatedLatencyChargedOutsideMutex checks that SeekLatency turns
+// seeks into wall-clock time and that concurrent readers overlap their
+// waits instead of serializing on the store mutex.
+func TestSimulatedLatencyChargedOutsideMutex(t *testing.T) {
+	const lat = 5 * time.Millisecond
+	s := New(Config{PageSize: 64, SeekLatency: lat})
+	refs := make([]Ref, 8)
+	for i := range refs {
+		r, err := s.Write(i, []byte("payload payload payload payload payload payload payload payload payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = r
+	}
+
+	// Sequential: reading the extents in reverse order never continues at
+	// the head position, so every read seeks and 8 reads cost at least
+	// ~8x the seek latency.
+	t0 := time.Now()
+	for i := len(refs) - 1; i >= 0; i-- {
+		if _, err := s.Read(refs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq := time.Since(t0)
+	if seq < 8*lat {
+		t.Fatalf("sequential reads took %v, want >= %v", seq, 8*lat)
+	}
+
+	// Concurrent: the waits must overlap — 8 parallel reads should finish
+	// in well under the sequential time even on one CPU.
+	t0 = time.Now()
+	var wg sync.WaitGroup
+	for _, r := range refs {
+		wg.Add(1)
+		go func(r Ref) {
+			defer wg.Done()
+			if _, err := s.Read(r); err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	par := time.Since(t0)
+	if par >= seq/2 {
+		t.Fatalf("concurrent reads took %v vs sequential %v: latency appears to serialize under the mutex", par, seq)
+	}
+}
+
+// TestZeroLatencyIsInstantaneous guards the default: no configured latency
+// means no sleeping on the read path.
+func TestZeroLatencyIsInstantaneous(t *testing.T) {
+	s := New(Config{PageSize: 64})
+	r, err := s.Write(1, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	for i := 0; i < 1000; i++ {
+		if _, err := s.Read(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := time.Since(t0); d > time.Second {
+		t.Fatalf("1000 zero-latency reads took %v", d)
+	}
+}

@@ -30,6 +30,7 @@ package pagestore
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Placement selects how extents are laid out on the simulated disk.
@@ -73,6 +74,17 @@ type Config struct {
 	// in-memory backend. Pass a WAL backend (OpenWAL) for durability, or a
 	// fault injector (NewInjector) for failure testing.
 	Backend Backend
+	// SeekLatency and PageLatency turn the cost model of IOStats.CostMs
+	// into physical time: a read that misses the buffer pool sleeps
+	// SeekLatency once per seek plus PageLatency per page transferred.
+	// The sleep happens after the store's mutex is released, so concurrent
+	// readers overlap their device waits the way requests overlap on a
+	// real multi-queue disk — this is what the parallel execution tier's
+	// speedup experiments (P1) measure. Zero (the default) keeps reads
+	// instantaneous, as all earlier experiments assume.
+	SeekLatency time.Duration
+	// PageLatency is the simulated transfer time per page; see SeekLatency.
+	PageLatency time.Duration
 }
 
 // IOStats are the accumulated counters of a Store.
@@ -247,6 +259,19 @@ func (s *Store) Read(ref Ref) ([]byte, error) {
 	if ref.Zero() {
 		return nil, ErrZeroRef
 	}
+	data, wait, err := s.readLocked(ref)
+	if wait > 0 {
+		// Simulated device time is paid outside the mutex: concurrent
+		// readers overlap their waits, exactly what the parallel tier's
+		// multi-document fan-out exploits.
+		time.Sleep(wait)
+	}
+	return data, err
+}
+
+// readLocked performs the read under the store mutex and returns the
+// simulated device latency the caller must pay after release.
+func (s *Store) readLocked(ref Ref) ([]byte, time.Duration, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cache != nil {
@@ -257,28 +282,31 @@ func (s *Store) Read(ref Ref) ([]byte, error) {
 				s.cache.drop(ref.Start)
 			} else {
 				s.stats.CacheHits++
-				return ext.Data, nil
+				return ext.Data, 0, nil
 			}
 		}
 		s.stats.CacheMisses++
 	}
 	ext, err := s.backend.Get(ref.Start)
 	if err != nil {
-		return nil, fmt.Errorf("pagestore: read of extent at page %d: %w", ref.Start, err)
+		return nil, 0, fmt.Errorf("pagestore: read of extent at page %d: %w", ref.Start, err)
 	}
 	if err := verify(ref, ext); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	var wait time.Duration
 	if dist := ref.Start - s.lastPos; dist < -s.cfg.NearDistance || dist > s.cfg.NearDistance {
 		s.stats.Seeks++
+		wait += s.cfg.SeekLatency
 	}
 	s.stats.PageReads += int64(ref.Pages)
 	s.stats.ExtentRead++
+	wait += time.Duration(ref.Pages) * s.cfg.PageLatency
 	s.lastPos = ref.Start + int64(ref.Pages)
 	if s.cache != nil {
 		s.stats.CacheEvictions += int64(s.cache.put(ref.Start, ext, int(ref.Pages)))
 	}
-	return ext.Data, nil
+	return ext.Data, wait, nil
 }
 
 // verify checks the extent's payload against its write-time checksum.

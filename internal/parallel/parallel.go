@@ -1,0 +1,374 @@
+// Package parallel is the shared execution tier beneath the multi-document
+// temporal operators. The paper's cost arguments for TPatternScan /
+// TPatternScanAll, DocHistory and Diff (Sections 6.2, 7.1–7.3) are stated
+// per document, which makes the multi-document read path embarrassingly
+// parallel: a Pool bounds how many of those per-document (or per-version)
+// units run at once, merges their results in deterministic order, converts
+// worker panics into errors, and cancels the remaining units on the first
+// error.
+//
+// One Pool is shared by the whole database (core.DB owns it), so operator
+// fan-out from many concurrent queries competes for the same bounded set
+// of execution slots: a single wide query cannot monopolize the machine,
+// because every task acquires one slot at a time and slot handoff
+// interleaves fairly across callers. This is what lets the pool compose
+// with the query server's admission control — admission bounds the number
+// of in-flight queries, the pool bounds the number of in-flight per-query
+// work units, and neither bound multiplies the other.
+//
+// With Workers <= 1 every call degenerates to an inline sequential loop on
+// the caller's goroutine — same results, same order, no goroutines — which
+// keeps the sequential path byte-identical and benchmarkable.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a Pool.
+type Config struct {
+	// Workers bounds concurrently executing tasks. 0 means GOMAXPROCS;
+	// 1 (or less) selects the inline sequential path.
+	Workers int
+}
+
+// PanicError wraps a panic recovered in a pool worker so the failure
+// surfaces as an ordinary error on the submitting goroutine instead of
+// crashing the process from an anonymous worker.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task panicked: %v", e.Value)
+}
+
+// scopeStats accumulates per-operator counters; see Stats.Scopes.
+type scopeStats struct {
+	calls     atomic.Int64
+	tasks     atomic.Int64
+	taskNanos atomic.Int64
+	wallNanos atomic.Int64
+}
+
+// ScopeStats describe one operator family's use of the pool. The ratio
+// TaskTime/WallTime is the live parallel-speedup proxy: how much summed
+// task work the pool retired per unit of caller wall-clock time.
+type ScopeStats struct {
+	// Calls counts Run/Map invocations under this scope.
+	Calls int64
+	// Tasks counts tasks submitted under this scope.
+	Tasks int64
+	// TaskTime is the summed execution time of those tasks.
+	TaskTime time.Duration
+	// WallTime is the summed caller-observed duration of the calls.
+	WallTime time.Duration
+}
+
+// Speedup returns TaskTime/WallTime, the effective parallelism achieved
+// (1.0 on the sequential path); 0 before any call completed.
+func (s ScopeStats) Speedup() float64 {
+	if s.WallTime <= 0 {
+		return 0
+	}
+	return float64(s.TaskTime) / float64(s.WallTime)
+}
+
+// Stats is a snapshot of a Pool's counters. The balance invariant is
+//
+//	Submitted == Completed + Cancelled + Panicked
+//
+// once no call is in flight: every task the pool accounted for either ran
+// to its end, was skipped or aborted by cancellation, or panicked.
+type Stats struct {
+	// Workers is the configured concurrency bound.
+	Workers int
+	// Submitted counts tasks handed to the pool (including tasks accounted
+	// and immediately cancelled by first-error cancellation).
+	Submitted int64
+	// Completed counts tasks that ran to completion (returning nil or an
+	// error).
+	Completed int64
+	// Cancelled counts tasks that never ran, or were skipped, because the
+	// context was cancelled or an earlier task failed.
+	Cancelled int64
+	// Panicked counts tasks that panicked (the panic is returned to the
+	// caller as a *PanicError).
+	Panicked int64
+	// Active is the number of tasks executing right now.
+	Active int64
+	// Queued is the number of tasks waiting for an execution slot right now.
+	Queued int64
+	// QueueWait is the cumulative time tasks spent waiting for a slot.
+	QueueWait time.Duration
+	// Scopes breaks the usage down per operator family.
+	Scopes map[string]ScopeStats
+}
+
+// Pool is a bounded, context-aware worker pool. The zero value and the nil
+// pool are valid and run everything inline sequentially. A Pool has no
+// background goroutines and nothing to close: workers are spawned per call
+// and bounded by a shared slot channel, so an idle pool costs nothing.
+type Pool struct {
+	workers int
+	slots   chan struct{}
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	cancelled atomic.Int64
+	panicked  atomic.Int64
+	active    atomic.Int64
+	queued    atomic.Int64
+	waitNanos atomic.Int64
+
+	mu     sync.Mutex
+	scopes map[string]*scopeStats
+}
+
+// New builds a pool. Workers = 0 defaults to GOMAXPROCS.
+func New(cfg Config) *Pool {
+	w := cfg.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	p := &Pool{workers: w, scopes: make(map[string]*scopeStats)}
+	if w > 1 {
+		p.slots = make(chan struct{}, w)
+	}
+	return p
+}
+
+// Workers returns the concurrency bound (1 for nil pools).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Stats returns a snapshot of the pool's counters; zero for nil pools.
+func (p *Pool) Stats() Stats {
+	if p == nil {
+		return Stats{Workers: 1}
+	}
+	st := Stats{
+		Workers:   p.Workers(),
+		Submitted: p.submitted.Load(),
+		Completed: p.completed.Load(),
+		Cancelled: p.cancelled.Load(),
+		Panicked:  p.panicked.Load(),
+		Active:    p.active.Load(),
+		Queued:    p.queued.Load(),
+		QueueWait: time.Duration(p.waitNanos.Load()),
+		Scopes:    make(map[string]ScopeStats),
+	}
+	p.mu.Lock()
+	for name, sc := range p.scopes {
+		st.Scopes[name] = ScopeStats{
+			Calls:    sc.calls.Load(),
+			Tasks:    sc.tasks.Load(),
+			TaskTime: time.Duration(sc.taskNanos.Load()),
+			WallTime: time.Duration(sc.wallNanos.Load()),
+		}
+	}
+	p.mu.Unlock()
+	return st
+}
+
+// scope returns (creating on first use) the named scope's counters.
+func (p *Pool) scope(name string) *scopeStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sc := p.scopes[name]
+	if sc == nil {
+		sc = &scopeStats{}
+		if p.scopes == nil {
+			p.scopes = make(map[string]*scopeStats)
+		}
+		p.scopes[name] = sc
+	}
+	return sc
+}
+
+// Run executes fn(0) … fn(n-1) under the pool's concurrency bound and
+// returns the first error (all later tasks are cancelled). A panicking
+// task is returned as *PanicError. ctx cancellation aborts unstarted
+// tasks; started tasks observe it through their own ctx plumbing. scope
+// names the operator family for the per-scope stats.
+//
+// On pools with Workers <= 1 (including nil pools) the tasks run inline on
+// the calling goroutine in index order, so results and side effects are
+// identical to a plain sequential loop.
+func (p *Pool) Run(ctx context.Context, scope string, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if p == nil {
+		return runSeq(ctx, nil, nil, n, fn)
+	}
+	sc := p.scope(scope)
+	sc.calls.Add(1)
+	start := time.Now()
+	defer func() { sc.wallNanos.Add(int64(time.Since(start))) }()
+	if p.workers <= 1 || n == 1 {
+		return runSeq(ctx, p, sc, n, fn)
+	}
+	return p.runParallel(ctx, sc, n, fn)
+}
+
+// runSeq is the inline sequential path; pool and scope may be nil (nil
+// pool). Accounting keeps the same balance invariant as the parallel path.
+func runSeq(ctx context.Context, p *Pool, sc *scopeStats, n int, fn func(int) error) error {
+	account := func(f func()) {
+		if p != nil {
+			f()
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			account(func() {
+				p.submitted.Add(int64(n - i))
+				p.cancelled.Add(int64(n - i))
+			})
+			return err
+		}
+		account(func() {
+			p.submitted.Add(1)
+			sc.tasks.Add(1)
+		})
+		err, pv := runTask(p, sc, i, fn)
+		if pv != nil {
+			account(func() {
+				p.panicked.Add(1)
+				p.submitted.Add(int64(n - 1 - i))
+				p.cancelled.Add(int64(n - 1 - i))
+			})
+			return pv
+		}
+		account(func() { p.completed.Add(1) })
+		if err != nil {
+			account(func() {
+				p.submitted.Add(int64(n - 1 - i))
+				p.cancelled.Add(int64(n - 1 - i))
+			})
+			return err
+		}
+	}
+	return nil
+}
+
+// runTask runs one task with panic capture and task-time accounting.
+func runTask(p *Pool, sc *scopeStats, i int, fn func(int) error) (err error, panicErr error) {
+	t0 := time.Now()
+	defer func() {
+		if sc != nil {
+			sc.taskNanos.Add(int64(time.Since(t0)))
+		}
+		if r := recover(); r != nil {
+			panicErr = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i), nil
+}
+
+func (p *Pool) runParallel(ctx context.Context, sc *scopeStats, n int, fn func(int) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			p.submitted.Add(int64(n - i))
+			p.cancelled.Add(int64(n - i))
+			break
+		}
+		// Acquire one execution slot; tasks from concurrent calls
+		// interleave here, which is the pool's fairness point.
+		p.queued.Add(1)
+		tw := time.Now()
+		var acquired bool
+		select {
+		case p.slots <- struct{}{}:
+			acquired = true
+		case <-ctx.Done():
+		}
+		p.queued.Add(-1)
+		p.waitNanos.Add(int64(time.Since(tw)))
+		if !acquired {
+			p.submitted.Add(int64(n - i))
+			p.cancelled.Add(int64(n - i))
+			break
+		}
+		p.submitted.Add(1)
+		sc.tasks.Add(1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-p.slots }()
+			p.active.Add(1)
+			defer p.active.Add(-1)
+			if ctx.Err() != nil {
+				p.cancelled.Add(1)
+				return
+			}
+			err, pv := runTask(p, sc, i, fn)
+			if pv != nil {
+				p.panicked.Add(1)
+				fail(pv)
+				return
+			}
+			p.completed.Add(1)
+			if err != nil {
+				fail(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Map runs fn(0) … fn(n-1) under the pool's bound and returns the results
+// merged in index order — the ordered-merge primitive the operators build
+// on: output order never depends on worker scheduling.
+func Map[T any](ctx context.Context, p *Pool, scope string, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.Run(ctx, scope, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// balance asserts the pool's accounting invariant after all calls drained.
+func balance(t *testing.T, p *Pool) {
+	t.Helper()
+	st := p.Stats()
+	if st.Submitted != st.Completed+st.Cancelled+st.Panicked {
+		t.Fatalf("metrics imbalance: submitted=%d completed=%d cancelled=%d panicked=%d",
+			st.Submitted, st.Completed, st.Cancelled, st.Panicked)
+	}
+	if st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("idle pool has active=%d queued=%d", st.Active, st.Queued)
+	}
+}
+
+func TestMapOrderedAcrossWorkerCounts(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		p := New(Config{Workers: w})
+		got, err := Map(context.Background(), p, "test", 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+		balance(t, p)
+	}
+}
+
+func TestNilPoolRunsSequentially(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", p.Workers())
+	}
+	var order []int
+	err := p.Run(context.Background(), "test", 5, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool ran out of order: %v", order)
+		}
+	}
+}
+
+func TestFirstErrorCancelsRest(t *testing.T) {
+	boom := errors.New("boom")
+	for _, w := range []int{1, 4} {
+		p := New(Config{Workers: w})
+		var ran atomic.Int64
+		err := p.Run(context.Background(), "test", 64, func(i int) error {
+			ran.Add(1)
+			if i == 3 {
+				return boom
+			}
+			// Give the failing task a chance to cancel the rest.
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", w, err)
+		}
+		if n := ran.Load(); n == 64 && w > 1 {
+			t.Logf("workers=%d: all 64 tasks ran despite error (legal but unexpected)", w)
+		}
+		balance(t, p)
+		st := p.Stats()
+		if st.Cancelled == 0 && w > 1 {
+			t.Logf("workers=%d: no tasks cancelled (timing-dependent)", w)
+		}
+	}
+}
+
+func TestPanicSurfacesAsError(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		p := New(Config{Workers: w})
+		err := p.Run(context.Background(), "test", 8, func(i int) error {
+			if i == 2 {
+				panic(fmt.Sprintf("kaboom %d", i))
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", w, err)
+		}
+		if pe.Value != "kaboom 2" {
+			t.Fatalf("workers=%d: panic value = %v", w, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic stack not captured", w)
+		}
+		balance(t, p)
+		if st := p.Stats(); st.Panicked != 1 {
+			t.Fatalf("workers=%d: panicked = %d, want 1", w, st.Panicked)
+		}
+	}
+}
+
+func TestContextCancellationAbortsUnstartedTasks(t *testing.T) {
+	p := New(Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := p.Run(ctx, "test", 100, func(i int) error {
+		if ran.Add(1) == 2 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n == 100 {
+		t.Fatalf("cancellation did not stop submissions (all 100 ran)")
+	}
+	balance(t, p)
+}
+
+func TestConcurrencyNeverExceedsWorkers(t *testing.T) {
+	const workers = 3
+	p := New(Config{Workers: workers})
+	var active, peak atomic.Int64
+	err := p.Run(context.Background(), "test", 50, func(i int) error {
+		n := active.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		time.Sleep(500 * time.Microsecond)
+		active.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk := peak.Load(); pk > workers {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", pk, workers)
+	}
+	balance(t, p)
+}
+
+func TestScopeStatsAndSpeedupProxy(t *testing.T) {
+	p := New(Config{Workers: 4})
+	err := p.Run(context.Background(), "scanall", 16, func(i int) error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	sc, ok := st.Scopes["scanall"]
+	if !ok {
+		t.Fatalf("scope scanall missing: %v", st.Scopes)
+	}
+	if sc.Calls != 1 || sc.Tasks != 16 {
+		t.Fatalf("scope stats = %+v", sc)
+	}
+	if sc.TaskTime < 16*2*time.Millisecond {
+		t.Fatalf("task time %v < 32ms", sc.TaskTime)
+	}
+	// Sleeps overlap even on one CPU: the speedup proxy must beat 1.5x.
+	if s := sc.Speedup(); s < 1.5 {
+		t.Fatalf("speedup proxy = %.2f, want >= 1.5 (task %v wall %v)", s, sc.TaskTime, sc.WallTime)
+	}
+}
+
+func TestSharedPoolBoundsAcrossConcurrentCalls(t *testing.T) {
+	const workers = 4
+	p := New(Config{Workers: workers})
+	var active, peak atomic.Int64
+	done := make(chan error, 3)
+	for c := 0; c < 3; c++ {
+		go func() {
+			done <- p.Run(context.Background(), "caller", 20, func(i int) error {
+				n := active.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				active.Add(-1)
+				return nil
+			})
+		}()
+	}
+	for c := 0; c < 3; c++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pk := peak.Load(); pk > workers {
+		t.Fatalf("3 concurrent calls reached %d concurrent tasks, shared bound is %d", pk, workers)
+	}
+	balance(t, p)
+}
+
+func TestDefaultWorkersIsGOMAXPROCS(t *testing.T) {
+	p := New(Config{})
+	if p.Workers() < 1 {
+		t.Fatalf("default workers = %d", p.Workers())
+	}
+}

@@ -12,11 +12,14 @@
 package pattern
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"txmldb/internal/fti"
 	"txmldb/internal/model"
+	"txmldb/internal/parallel"
 )
 
 // Rel is the structural relationship between a pattern node and its parent
@@ -172,13 +175,25 @@ func (p *PNode) Projected() []*PNode {
 // snapshot of all documents valid at time t. Every returned match has a
 // span containing t.
 func ScanT(ix fti.Index, p *PNode, t model.Time) ([]Match, error) {
-	return scan(ix, p, func(word string) []fti.Posting { return ix.LookupT(word, t) })
+	return ScanTPool(context.Background(), ix, p, t, nil)
+}
+
+// ScanTPool is ScanT with the per-document join fanned out on the pool
+// (nil pool = sequential).
+func ScanTPool(ctx context.Context, ix fti.Index, p *PNode, t model.Time, pool *parallel.Pool) ([]Match, error) {
+	return scan(ctx, p, func(word string) []fti.Posting { return ix.LookupT(word, t) }, pool)
 }
 
 // ScanCurrent is the non-temporal PatternScan: match against the current
 // database state.
 func ScanCurrent(ix fti.Index, p *PNode) ([]Match, error) {
-	return scan(ix, p, func(word string) []fti.Posting { return ix.Lookup(word) })
+	return ScanCurrentPool(context.Background(), ix, p, nil)
+}
+
+// ScanCurrentPool is ScanCurrent with the per-document join fanned out on
+// the pool (nil pool = sequential).
+func ScanCurrentPool(ctx context.Context, ix fti.Index, p *PNode, pool *parallel.Pool) ([]Match, error) {
+	return scan(ctx, p, func(word string) []fti.Posting { return ix.Lookup(word) }, pool)
 }
 
 // ScanAll is the TPatternScanAll operator: match against all versions of
@@ -186,13 +201,21 @@ func ScanCurrent(ix fti.Index, p *PNode) ([]Match, error) {
 // structural join conditions of PatternScan plus interval overlap
 // (Section 7.3.2); each match's span is the overlap interval.
 func ScanAll(ix fti.Index, p *PNode) ([]Match, error) {
-	return scan(ix, p, ix.LookupH)
+	return ScanAllPool(context.Background(), ix, p, nil)
+}
+
+// ScanAllPool is ScanAll with the per-document join fanned out on the
+// pool (nil pool = sequential). The paper's cost argument is per document
+// (Section 7.3.2), so documents are independent join subproblems; results
+// merge in ascending-DocID order regardless of worker scheduling.
+func ScanAllPool(ctx context.Context, ix fti.Index, p *PNode, pool *parallel.Pool) ([]Match, error) {
+	return scan(ctx, p, ix.LookupH, pool)
 }
 
 // lookupFn fetches the posting list of one word.
 type lookupFn func(word string) []fti.Posting
 
-func scan(ix fti.Index, p *PNode, lookup lookupFn) ([]Match, error) {
+func scan(ctx context.Context, p *PNode, lookup lookupFn, pool *parallel.Pool) ([]Match, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -219,36 +242,71 @@ func scan(ix fti.Index, p *PNode, lookup lookupFn) ([]Match, error) {
 			}
 		}
 	}
-	// Group candidates by document: the join's first attribute.
+	// Group candidates by document: the join's first attribute. Each
+	// per-document list is put into canonical (XID, span, source) order —
+	// FTI implementations hand postings back in map order, and the scan
+	// promises identical output for every worker count (and every call).
 	type docKey = model.DocID
-	nameByDoc := make(map[string]map[docKey][]fti.Posting)
-	for w, ps := range names {
+	group := func(ps []fti.Posting) map[docKey][]fti.Posting {
 		m := make(map[docKey][]fti.Posting)
 		for _, post := range ps {
 			m[post.Doc] = append(m[post.Doc], post)
 		}
-		nameByDoc[w] = m
+		for _, list := range m {
+			sort.Slice(list, func(i, j int) bool {
+				a, b := list[i], list[j]
+				if a.X != b.X {
+					return a.X < b.X
+				}
+				if a.Span.Start != b.Span.Start {
+					return a.Span.Start < b.Span.Start
+				}
+				if a.Span.End != b.Span.End {
+					return a.Span.End < b.Span.End
+				}
+				return a.Src < b.Src
+			})
+		}
+		return m
+	}
+	nameByDoc := make(map[string]map[docKey][]fti.Posting)
+	for w, ps := range names {
+		nameByDoc[w] = group(ps)
 	}
 	valueByDoc := make(map[string]map[docKey][]fti.Posting)
 	for w, ps := range values {
-		m := make(map[docKey][]fti.Posting)
-		for _, post := range ps {
-			m[post.Doc] = append(m[post.Doc], post)
-		}
-		valueByDoc[w] = m
+		valueByDoc[w] = group(ps)
 	}
 
-	// Step 2: join on document, structural relationship and time.
-	var out []Match
+	// Step 2: join on document, structural relationship and time. Each
+	// document is an independent join subproblem over read-only posting
+	// maps, so the per-document loop fans out on the pool; merging in
+	// ascending-DocID order keeps the result deterministic for every
+	// worker count (including the sequential path).
+	docs := make([]model.DocID, 0, len(nameByDoc[p.Name]))
 	for doc := range nameByDoc[p.Name] {
+		docs = append(docs, doc)
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+	perDoc, err := parallel.Map(ctx, pool, "scan", len(docs), func(i int) ([]Match, error) {
+		doc := docs[i]
 		partials := matchNode(p, doc, fti.Posting{}, true, nameByDoc, valueByDoc)
+		matches := make([]Match, 0, len(partials))
 		for _, pm := range partials {
 			m := Match{Doc: doc, Bindings: make(map[*PNode]fti.Posting, len(pm.bound)), Span: pm.span}
 			for i, n := range pm.nodes {
 				m.Bindings[n] = pm.bound[i]
 			}
-			out = append(out, m)
+			matches = append(matches, m)
 		}
+		return matches, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Match
+	for _, ms := range perDoc {
+		out = append(out, ms...)
 	}
 	return out, nil
 }

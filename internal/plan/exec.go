@@ -231,6 +231,38 @@ func (ex *executor) bindFromItem(q *query.Query, f query.FromItem) ([]*binding, 
 		return nil, err
 	}
 	var out []*binding
+	if f.Kind == query.AtEvery || f.Kind == query.AtRange {
+		// Clip all match spans first so the needed document versions are
+		// known up front, prefetch them in one batch (parallel when the
+		// engine has workers), then run the expansion over warm trees.
+		var clipped []pattern.Match
+		for _, m := range matches {
+			if m.Doc != doc {
+				continue
+			}
+			ex.metrics.PatternMatches++
+			if err := ex.checkCtx(); err != nil {
+				return nil, err
+			}
+			span, ok := m.Span.Intersect(clip)
+			if !ok {
+				continue
+			}
+			m.Span = span
+			clipped = append(clipped, m)
+		}
+		if err := ex.prefetchEvery(doc, clipped, versions); err != nil {
+			return nil, err
+		}
+		for _, m := range clipped {
+			bs, err := ex.expandEvery(doc, m, varNode, versions)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, bs...)
+		}
+		return out, nil
+	}
 	for _, m := range matches {
 		if m.Doc != doc {
 			continue
@@ -239,26 +271,53 @@ func (ex *executor) bindFromItem(q *query.Query, f query.FromItem) ([]*binding, 
 		if err := ex.checkCtx(); err != nil {
 			return nil, err
 		}
-		if f.Kind == query.AtEvery || f.Kind == query.AtRange {
-			clipped, ok := m.Span.Intersect(clip)
-			if !ok {
-				continue
-			}
-			m.Span = clipped
-			bs, err := ex.expandEvery(doc, m, varNode, versions)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, bs...)
-		} else {
-			vi, found := versionAt(versions, snapAt)
-			if !found {
-				continue
-			}
-			out = append(out, &binding{doc: doc, match: m, varNode: varNode, docVer: vi})
+		vi, found := versionAt(versions, snapAt)
+		if !found {
+			continue
 		}
+		out = append(out, &binding{doc: doc, match: m, varNode: varNode, docVer: vi})
 	}
 	return out, nil
+}
+
+// prefetchEvery batch-materializes the document versions the expansion of
+// the clipped matches will reconstruct, through the engine's optional
+// Prefetcher. Each prefetched key is exactly one reconstruction the
+// sequential pass would have performed (a distinct tree-cache miss), so
+// the Reconstructions metric is credited identically.
+func (ex *executor) prefetchEvery(doc model.DocID, matches []pattern.Match, versions []store.VersionInfo) error {
+	pf, ok := ex.engine.(Prefetcher)
+	if !ok {
+		return nil
+	}
+	seen := make(map[treeKey]bool)
+	var keys []VersionKey
+	for _, m := range matches {
+		for _, vi := range versions {
+			if !vi.Interval().Overlaps(m.Span) {
+				continue
+			}
+			k := treeKey{doc, vi.Ver}
+			if seen[k] || ex.treeCache[k] != nil {
+				continue
+			}
+			seen[k] = true
+			keys = append(keys, VersionKey{Doc: doc, Ver: vi.Ver})
+		}
+	}
+	if len(keys) < 2 {
+		return nil
+	}
+	ran, err := pf.PrefetchVersions(ex.ctx, keys, func(k VersionKey, vt store.VersionTree) {
+		t := vt
+		ex.treeCache[treeKey{k.Doc, k.Ver}] = &t
+	})
+	if ran {
+		// Count even on error: the sink installed the trees that did
+		// materialize before the failure aborted the batch.
+		ex.metrics.Reconstructions += len(keys)
+	}
+	return err
 }
 
 // expandEvery turns one TPatternScanAll match into one binding per element

@@ -49,6 +49,25 @@ type Engine interface {
 	DiffNodes(a, b *xmltree.Node) (*xmltree.Node, error)
 }
 
+// VersionKey names one document version for batch prefetch.
+type VersionKey struct {
+	Doc model.DocID
+	Ver model.VersionNo
+}
+
+// Prefetcher is an optional Engine extension: a batch — typically parallel
+// — materialization of document versions. The executor uses it to warm
+// its per-query tree cache before expanding [EVERY] and [t1 TO t2] FROM
+// items, overlapping the independent reconstructions while the expansion
+// itself stays sequential (results and reconstruction counts are
+// identical either way). sink is called once per materialized key, from
+// arbitrary goroutines but never concurrently. ran reports whether the
+// prefetch actually executed; when false (e.g. a single-worker engine)
+// the executor reconstructs on demand.
+type Prefetcher interface {
+	PrefetchVersions(ctx context.Context, keys []VersionKey, sink func(VersionKey, store.VersionTree)) (ran bool, err error)
+}
+
 // Metrics counts the work a query performed.
 type Metrics struct {
 	// PatternMatches is the number of raw pattern-scan matches.

@@ -63,6 +63,15 @@ type cacheStatser interface {
 	CacheStats() (txmldb.CacheStats, bool)
 }
 
+// poolStatser is optionally implemented by engines (txmldb.DB is one) to
+// expose the shared worker pool's counters on /metrics. Per-request
+// concurrency composes with admission control: the gate bounds in-flight
+// queries, the pool bounds the total worker goroutines those queries fan
+// out to.
+type poolStatser interface {
+	PoolStats() txmldb.PoolStats
+}
+
 // Config parameterizes a Server. Zero values select the defaults noted
 // on each field.
 type Config struct {
@@ -121,6 +130,7 @@ type Server struct {
 	mRows      *metrics.Counter
 	mParseErrs *metrics.Counter
 	mTimeouts  *metrics.Counter
+	mCanceled  *metrics.Counter
 	mRejected  *metrics.Counter
 	mInternal  *metrics.Counter
 	mPanics    *metrics.Counter
@@ -146,6 +156,7 @@ func New(engine Engine, cfg Config) *Server {
 		mRows:      reg.Counter("txserved_result_rows_total", "result rows returned"),
 		mParseErrs: reg.Counter("txserved_errors_parse_total", "requests rejected with a query syntax error"),
 		mTimeouts:  reg.Counter("txserved_errors_timeout_total", "queries aborted by deadline expiry"),
+		mCanceled:  reg.Counter("txserved_errors_canceled_total", "queries aborted because the client disconnected (499)"),
 		mRejected:  reg.Counter("txserved_rejected_total", "requests rejected by admission control (429)"),
 		mInternal:  reg.Counter("txserved_errors_internal_total", "queries failed with an internal error"),
 		mPanics:    reg.Counter("txserved_panics_total", "request handlers recovered from a panic"),
@@ -183,6 +194,49 @@ func (s *Server) registerEngineMetrics() {
 		s.reg.CounterFunc("txserved_pagestore_extent_reads_total",
 			"extent reads that touched the simulated disk",
 			func() int64 { return es.IOStats().ExtentRead })
+	}
+	if ps, ok := s.engine.(poolStatser); ok {
+		pool := func(f func(txmldb.PoolStats) int64) func() int64 {
+			return func() int64 { return f(ps.PoolStats()) }
+		}
+		s.reg.GaugeFunc("txserved_pool_workers",
+			"worker-pool concurrency bound",
+			pool(func(st txmldb.PoolStats) int64 { return int64(st.Workers) }))
+		s.reg.CounterFunc("txserved_pool_tasks_submitted_total",
+			"tasks handed to the worker pool",
+			pool(func(st txmldb.PoolStats) int64 { return st.Submitted }))
+		s.reg.CounterFunc("txserved_pool_tasks_completed_total",
+			"worker-pool tasks that ran to completion",
+			pool(func(st txmldb.PoolStats) int64 { return st.Completed }))
+		s.reg.CounterFunc("txserved_pool_tasks_cancelled_total",
+			"worker-pool tasks abandoned by cancellation or an earlier error",
+			pool(func(st txmldb.PoolStats) int64 { return st.Cancelled }))
+		s.reg.CounterFunc("txserved_pool_tasks_panicked_total",
+			"worker-pool tasks that panicked (captured and returned as errors)",
+			pool(func(st txmldb.PoolStats) int64 { return st.Panicked }))
+		s.reg.GaugeFunc("txserved_pool_active_tasks",
+			"worker-pool tasks executing now (pool depth)",
+			pool(func(st txmldb.PoolStats) int64 { return st.Active }))
+		s.reg.GaugeFunc("txserved_pool_queued_tasks",
+			"tasks waiting for a worker slot now",
+			pool(func(st txmldb.PoolStats) int64 { return st.Queued }))
+		s.reg.CounterFunc("txserved_pool_queue_wait_ms_total",
+			"total time tasks spent waiting for a worker slot",
+			pool(func(st txmldb.PoolStats) int64 { return st.QueueWait.Milliseconds() }))
+		// Per-operator speedup proxy (task-time / wall-time), scaled by
+		// 1000 because the registry is integer-valued.
+		for _, scope := range []string{"scan", "history", "diff", "reconstruct", "plan"} {
+			scope := scope
+			s.reg.GaugeFunc("txserved_pool_speedup_milli_"+scope,
+				"per-operator parallel speedup proxy x1000 (task time / wall time) for scope "+scope,
+				func() int64 {
+					sc, ok := ps.PoolStats().Scopes[scope]
+					if !ok {
+						return 0
+					}
+					return int64(sc.Speedup() * 1000)
+				})
+		}
 	}
 	cs, ok := s.engine.(cacheStatser)
 	if !ok {
@@ -374,6 +428,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// Client went away while queued.
+		s.mCanceled.Inc()
 		writeError(w, statusClientClosedRequest, errorBody{Kind: "canceled", Message: "client closed request"})
 		return
 	}
@@ -424,6 +479,7 @@ func (s *Server) writeQueryError(w http.ResponseWriter, r *http.Request, err err
 		s.mTimeouts.Inc()
 		writeError(w, http.StatusGatewayTimeout, errorBody{Kind: "timeout", Message: "query exceeded its deadline"})
 	case errors.Is(err, context.Canceled):
+		s.mCanceled.Inc()
 		writeError(w, statusClientClosedRequest, errorBody{Kind: "canceled", Message: "client closed request"})
 	default:
 		s.mInternal.Inc()

@@ -569,3 +569,92 @@ func TestConcurrentQueriesAgainstWriter(t *testing.T) {
 }
 
 func discardLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// TestClientDisconnect499 checks that a client hanging up mid-execution is
+// mapped to the 499-style close (kind "canceled"), counted, and recorded
+// with status 499 in the access log — not reported as a timeout or an
+// internal error.
+func TestClientDisconnect499(t *testing.T) {
+	eng := &blockingEngine{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	var logMu sync.Mutex
+	var logBuf strings.Builder
+	s := New(eng, Config{
+		SlowQuery: -1,
+		ErrorLog:  discardLogger(),
+		AccessLog: log.New(&lockedWriter{mu: &logMu, w: &logBuf}, "", 0),
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/query?q=x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	<-eng.entered
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("request succeeded despite client cancellation")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.mCanceled.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("canceled counter never incremented: disconnect not classified")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.mTimeouts.Value(); got != 0 {
+		t.Errorf("timeout counter = %d, want 0 (disconnect is not a timeout)", got)
+	}
+	if got := s.mInternal.Value(); got != 0 {
+		t.Errorf("internal counter = %d, want 0 (disconnect is not an internal error)", got)
+	}
+	waitLog := time.Now().Add(5 * time.Second)
+	for {
+		logMu.Lock()
+		line := logBuf.String()
+		logMu.Unlock()
+		if strings.Contains(line, "status=499") {
+			break
+		}
+		if time.Now().After(waitLog) {
+			t.Fatalf("access log lacks status=499: %q", line)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The execution slot was released: a fresh query completes normally.
+	close(eng.release)
+	resp, err := http.Get(ts.URL + "/query?q=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-disconnect query status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// lockedWriter serializes log writes so the test can read the buffer while
+// the handler goroutine is still logging.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}

@@ -39,6 +39,7 @@ import (
 	"txmldb/internal/fti"
 	"txmldb/internal/model"
 	"txmldb/internal/pagestore"
+	"txmldb/internal/parallel"
 	"txmldb/internal/pattern"
 	"txmldb/internal/plan"
 	"txmldb/internal/query"
@@ -170,6 +171,12 @@ type (
 	CacheStats = vcache.Stats
 	// IOStats are simulated-disk counters.
 	IOStats = pagestore.IOStats
+	// PoolStats are the shared worker pool's counters, from
+	// (*DB).PoolStats (sized by Config.Workers).
+	PoolStats = parallel.Stats
+	// PoolScopeStats are the pool's per-operator counters, including the
+	// task-time/wall-time speedup proxy.
+	PoolScopeStats = parallel.ScopeStats
 	// VersionInfo is one entry of a document's delta index.
 	VersionInfo = store.VersionInfo
 	// VersionTree is a reconstructed document version.
