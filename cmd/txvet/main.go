@@ -1,0 +1,133 @@
+// Command txvet is the multichecker driver for txmldb's project-specific
+// static analyzers. It loads the named packages (default ./...),
+// runs the suite, prints findings in the canonical file:line:col form,
+// and exits nonzero if any live finding remains. See DESIGN.md §3f for
+// the invariants each analyzer guards.
+//
+// Usage:
+//
+//	go run ./cmd/txvet [-run a,b] [-summary file] [-v] [packages...]
+//
+// Suppressions use //txvet:ignore <analyzer> <reason> on the offending
+// line or the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"txmldb/internal/analysis/driver"
+	"txmldb/internal/analysis/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("txvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	summary := fs.String("summary", "", "append a per-analyzer markdown summary to this file (e.g. $GITHUB_STEP_SUMMARY)")
+	verbose := fs.Bool("v", false, "also list suppressed findings with their justifications")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var names []string
+	if *runList != "" {
+		names = strings.Split(*runList, ",")
+	}
+	analyzers, err := driver.Select(names)
+	if err != nil {
+		fmt.Fprintln(stderr, "txvet:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "txvet:", err)
+		return 2
+	}
+
+	res, err := driver.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "txvet:", err)
+		return 2
+	}
+
+	for _, f := range res.Findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if *verbose {
+		for _, f := range res.Suppressed {
+			fmt.Fprintf(stdout, "%s: suppressed (%s) [%s]\n", f.Pos, f.SuppressedBy, f.Analyzer)
+		}
+	}
+	fmt.Fprint(stderr, countsText(res))
+
+	if *summary != "" {
+		if err := appendSummary(*summary, res); err != nil {
+			fmt.Fprintln(stderr, "txvet: writing summary:", err)
+			return 2
+		}
+	}
+	if len(res.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// countsText renders per-analyzer live/suppressed counts for the terminal.
+func countsText(res *driver.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "txvet: %d finding(s), %d suppressed\n", len(res.Findings), len(res.Suppressed))
+	for _, name := range analyzerNames(res) {
+		fmt.Fprintf(&b, "  %-12s %3d live %3d suppressed\n", name, res.Counts[name], res.SuppressedCounts[name])
+	}
+	return b.String()
+}
+
+// appendSummary writes the counts as a markdown table, the format GitHub
+// renders in the job summary pane.
+func appendSummary(path string, res *driver.Result) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "### txvet: %d finding(s), %d suppressed\n\n", len(res.Findings), len(res.Suppressed))
+	fmt.Fprintln(f, "| analyzer | live | suppressed |")
+	fmt.Fprintln(f, "|---|---|---|")
+	for _, name := range analyzerNames(res) {
+		fmt.Fprintf(f, "| %s | %d | %d |\n", name, res.Counts[name], res.SuppressedCounts[name])
+	}
+	fmt.Fprintln(f)
+	return nil
+}
+
+// analyzerNames returns every analyzer name appearing in the result,
+// sorted (includes the reserved "txvet" name if directives were bad).
+func analyzerNames(res *driver.Result) []string {
+	seen := make(map[string]bool)
+	for name := range res.Counts {
+		seen[name] = true
+	}
+	for name := range res.SuppressedCounts {
+		seen[name] = true
+	}
+	var names []string
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

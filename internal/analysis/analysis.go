@@ -1,0 +1,138 @@
+// Package analysis is a small, stdlib-only static-analysis framework
+// modelled on golang.org/x/tools/go/analysis. The x/tools module is not a
+// dependency of this repo (the module graph is intentionally empty), so
+// txvet carries its own minimal Analyzer/Pass contract: an Analyzer is a
+// named check, a Pass hands it one type-checked package, and diagnostics
+// flow back through Report. Loading (go list -export + go/types) lives in
+// the sibling load package; orchestration, suppression, and exit-code
+// policy live in driver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -run filters, and
+	// //txvet:ignore directives. Lower-case identifier.
+	Name string
+	// Doc is a one-paragraph description: the invariant guarded and why.
+	Doc string
+	// Run applies the check to one package. Diagnostics are delivered via
+	// pass.Report / pass.Reportf; the error return is for operational
+	// failures (not findings).
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// --- shared type/AST helpers used by several analyzers ---
+
+// PkgFunc reports whether the call expression invokes the package-level
+// function pkgPath.name (e.g. "context".Background), resolving through
+// import aliases via the type information.
+func (p *Pass) PkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// PathBase returns the last slash-separated segment of an import path.
+func PathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// ErrorType is the universe error interface.
+var ErrorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// sentinelName matches the naming convention for package-level sentinel
+// error variables in this repo (ErrCorrupt, errNotCached, ...).
+var sentinelName = regexp.MustCompile(`^(Err|err)[A-Z0-9]`)
+
+// SentinelError reports whether expr denotes a sentinel error value that
+// must be compared with errors.Is: a package-level error variable whose
+// name matches ^(Err|err)[A-Z0-9], or one of the well-known stdlib
+// sentinels context.Canceled, context.DeadlineExceeded, io.EOF.
+// It returns a display name for diagnostics.
+func (p *Pass) SentinelError(expr ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := p.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return "", false
+	}
+	// Package-level only: locals named err... are not sentinels.
+	if v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !types.Implements(v.Type(), ErrorType) {
+		return "", false
+	}
+	display := v.Pkg().Name() + "." + v.Name()
+	switch v.Pkg().Path() {
+	case "context":
+		if v.Name() == "Canceled" || v.Name() == "DeadlineExceeded" {
+			return display, true
+		}
+		return "", false
+	case "io":
+		if v.Name() == "EOF" || v.Name() == "ErrUnexpectedEOF" || v.Name() == "ErrClosedPipe" {
+			return display, true
+		}
+		return "", false
+	}
+	return display, sentinelName.MatchString(v.Name())
+}

@@ -1,0 +1,156 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest. A fixture line that should
+// trigger a diagnostic carries a comment:
+//
+//	bad() // want "regexp matching the message"
+//
+// Multiple expectations on one line are written as separate quoted
+// regexps: // want "first" "second". Every diagnostic must be wanted and
+// every want must be matched, so a neutered analyzer (reporting nothing)
+// fails the fixture test — this is what makes the fixtures a guard on the
+// analyzers themselves, not just documentation.
+//
+// Fixture packages live under <analyzer>/testdata/src/<pkg>. The go tool
+// skips testdata directories when expanding ./... wildcards, so fixtures
+// may contain deliberate invariant violations without tripping the repo
+// sweep; the loader reaches them by explicit directory path, and because
+// they sit inside the txmldb module they may import real repo packages
+// (vcache, metrics, ...) so analyzers are tested against the actual types
+// they gate on.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"txmldb/internal/analysis"
+	"txmldb/internal/analysis/load"
+)
+
+// expectation is one // want regexp at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at dir (a path relative to the test's
+// working directory, e.g. "testdata/src/a"), applies the analyzer, and
+// reports mismatches between diagnostics and // want expectations as test
+// errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := load.Load(".", "./"+strings.TrimPrefix(dir, "./"))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	for _, pkg := range pkgs {
+		wants := collectWants(t, pkg)
+
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if !claim(wants, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation at (file, line) whose regexp
+// matches msg.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts // want expectations from the fixture sources.
+func collectWants(t *testing.T, pkg *load.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parseWant(text)
+				if err != nil {
+					t.Fatalf("%s: %v", pos, err)
+				}
+				for _, re := range res {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant parses a sequence of quoted regexps: "a" "b" ...
+func parseWant(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("malformed // want: expected quoted regexp at %q", s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("malformed // want: unterminated quote in %q", s)
+		}
+		lit, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("malformed // want quote %q: %v", s[:end+1], err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad // want regexp %q: %v", lit, err)
+		}
+		out = append(out, re)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty // want")
+	}
+	return out, nil
+}

@@ -1,0 +1,12 @@
+package cachealias_test
+
+import (
+	"testing"
+
+	"txmldb/internal/analysis/analysistest"
+	"txmldb/internal/analysis/cachealias"
+)
+
+func TestCachealias(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", cachealias.Analyzer)
+}

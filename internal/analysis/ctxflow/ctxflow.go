@@ -1,0 +1,153 @@
+// Package ctxflow enforces context propagation in the request path.
+//
+// PR 2 threaded context deadlines from the HTTP server through the plan
+// executor, and PR 4's parallel tier relies on that same context for
+// first-error cancellation. A context.Background() (or context.TODO())
+// materialized inside internal/core, internal/plan, internal/server, or
+// internal/parallel severs that chain: the query keeps running after the
+// client is gone. Likewise, calling the context-free variant of an API
+// (Run, Query, ...) from a function that already holds a ctx drops the
+// deadline on the floor when a *Context sibling (RunContext,
+// QueryContext, ...) exists.
+//
+// The analyzer gates on the package's last path segment (core, plan,
+// server, parallel) so fixture packages named the same way exercise it.
+// Package main and _test.go files are exempt: entry points and tests are
+// where fresh root contexts belong.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"txmldb/internal/analysis"
+)
+
+// Analyzer flags severed context chains in the query path.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "in core/plan/server/parallel: flag context.Background()/TODO() in " +
+		"library code, and calls that drop an in-scope ctx when a *Context " +
+		"sibling of the callee exists",
+	Run: run,
+}
+
+// targetSegments are the last path segments of the gated packages.
+var targetSegments = map[string]bool{
+	"core": true, "plan": true, "server": true, "parallel": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !targetSegments[analysis.PathBase(pass.Pkg.Path())] || pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		// Rule 1: no fresh root contexts in library code.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range []string{"Background", "TODO"} {
+				if pass.PkgFunc(call, "context", name) {
+					pass.Reportf(call.Pos(), "context.%s() in library code severs cancellation; accept and propagate a ctx", name)
+				}
+			}
+			return true
+		})
+		// Rule 2: a function holding a ctx must not call the context-free
+		// variant of an API whose *Context sibling exists.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasCtxParam(pass, fd) {
+				continue
+			}
+			checkDroppedCtx(pass, fd)
+		}
+	}
+	return nil
+}
+
+// hasCtxParam reports whether the function declares a context.Context
+// parameter.
+func hasCtxParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if t := pass.TypesInfo.TypeOf(field.Type); t != nil && analysis.IsContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkDroppedCtx(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil || takesContext(callee) {
+			return true
+		}
+		sibling := contextSibling(pass, call, callee)
+		if sibling == nil {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s drops the in-scope ctx; call %s with it", callee.Name(), sibling.Name())
+		return true
+	})
+}
+
+// calleeFunc resolves the called function or method, or nil for calls of
+// function-typed values, conversions, and builtins.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// takesContext reports whether the function's first parameter is a
+// context.Context.
+func takesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return analysis.IsContextType(sig.Params().At(0).Type())
+}
+
+// contextSibling finds a callable named <callee>Context that accepts a
+// context: a method on the same receiver, or a function in the same
+// package scope for package-level callees.
+func contextSibling(pass *analysis.Pass, call *ast.CallExpr, callee *types.Func) *types.Func {
+	name := callee.Name() + "Context"
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if s := pass.TypesInfo.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+			obj, _, _ := types.LookupFieldOrMethod(s.Recv(), true, pass.Pkg, name)
+			if fn, ok := obj.(*types.Func); ok && takesContext(fn) {
+				return fn
+			}
+			return nil
+		}
+	}
+	if callee.Pkg() == nil {
+		return nil
+	}
+	if fn, ok := callee.Pkg().Scope().Lookup(name).(*types.Func); ok && takesContext(fn) {
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"txmldb/internal/analysis/analysistest"
+	"txmldb/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	// The fixture's last path segment is "core", one of the gated names.
+	analysistest.Run(t, "testdata/src/core", ctxflow.Analyzer)
+}
+
+func TestCtxflowSkipsUngatedPackages(t *testing.T) {
+	// Same violations in a package named outside the gate: no diagnostics
+	// expected, and the fixture has no // want comments, so any report
+	// fails the test.
+	analysistest.Run(t, "testdata/src/util", ctxflow.Analyzer)
+}

@@ -1,0 +1,54 @@
+// Package core is the ctxflow fixture; its path segment "core" puts it
+// inside the analyzer's gate.
+package core
+
+import "context"
+
+// Store has both context-free and context-aware variants of Query.
+type Store struct{}
+
+func (s *Store) Query(q string) error                             { _ = q; return nil }
+func (s *Store) QueryContext(ctx context.Context, q string) error { _ = ctx; _ = q; return nil }
+
+// Exec has no *Context sibling, so calling it with a ctx in scope is fine.
+func (s *Store) Exec(q string) error { _ = q; return nil }
+
+// Run is a package-level pair.
+func Run(q string) error { return nil }
+
+// RunContext is Run's context-aware sibling.
+func RunContext(ctx context.Context, q string) error { _ = ctx; return nil }
+
+func freshRoot() context.Context {
+	return context.Background() // want "context.Background\\(\\) in library code"
+}
+
+func todoRoot() context.Context {
+	return context.TODO() // want "context.TODO\\(\\) in library code"
+}
+
+func droppedMethodCtx(ctx context.Context, s *Store) error {
+	return s.Query("q") // want "Query drops the in-scope ctx; call QueryContext"
+}
+
+func droppedPkgCtx(ctx context.Context) error {
+	return Run("q") // want "Run drops the in-scope ctx; call RunContext"
+}
+
+func negatives(ctx context.Context, s *Store) error {
+	// Passing the ctx through is the required form.
+	if err := s.QueryContext(ctx, "q"); err != nil {
+		return err
+	}
+	if err := RunContext(ctx, "q"); err != nil {
+		return err
+	}
+	// No *Context sibling exists: nothing to propagate into.
+	return s.Exec("q")
+}
+
+// noCtxInScope has no ctx parameter, so the context-free variant is the
+// only option and is not flagged.
+func noCtxInScope(s *Store) error {
+	return s.Query("q")
+}

@@ -1,0 +1,11 @@
+// Package util is outside ctxflow's package gate: the same patterns that
+// are violations in core/plan/server/parallel are permitted here, and the
+// test asserts zero diagnostics.
+package util
+
+import "context"
+
+// Helper may build a root context: util is not on the request path.
+func Helper() context.Context {
+	return context.Background()
+}

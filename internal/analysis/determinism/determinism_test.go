@@ -1,0 +1,13 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"txmldb/internal/analysis/analysistest"
+	"txmldb/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	// The fixture's path segment "model" is inside the analyzer gate.
+	analysistest.Run(t, "testdata/src/model", determinism.Analyzer)
+}

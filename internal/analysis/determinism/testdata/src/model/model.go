@@ -1,0 +1,64 @@
+// Package model is the determinism fixture; its path segment matches a
+// gated operator package.
+package model
+
+import (
+	"fmt"
+	"io"
+	"math/rand" // want "import of math/rand in a deterministic operator package"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in a deterministic operator package"
+}
+
+func randomized() int {
+	return rand.Int()
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside range over map without a later sort"
+	}
+	return out
+}
+
+func streamedValues(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "write to an io.Writer inside range over map"
+	}
+}
+
+// sortedKeys is the canonical collect-then-sort idiom: allowed.
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// aggregate ranges over a map into an order-free sink: allowed.
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// localCollect appends to a slice declared inside the loop body: each
+// iteration owns its slice, no cross-iteration ordering leaks out.
+func localCollect(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}

@@ -1,0 +1,237 @@
+// Package driver orchestrates the txvet analyzers: it runs each analyzer
+// over each loaded package, applies //txvet:ignore suppression directives,
+// and aggregates per-analyzer finding counts for the CLI and the CI job
+// summary.
+//
+// Suppression: a comment of the form
+//
+//	//txvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the same line as a diagnostic, or on the line immediately above it,
+// suppresses that diagnostic. The reason is mandatory — a suppression
+// without a justification is itself reported as a finding (analyzer name
+// "txvet"), as is a directive naming an analyzer that does not exist.
+// Suppressed findings are retained (and counted) so the CI summary shows
+// how much is being waived, not just how much is clean.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"txmldb/internal/analysis"
+	"txmldb/internal/analysis/load"
+)
+
+// Finding is one diagnostic, resolved to a file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// SuppressedBy is the justification from the //txvet:ignore directive
+	// that waived this finding, empty if the finding is live.
+	SuppressedBy string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// Result is the outcome of one driver run.
+type Result struct {
+	// Findings are live (unsuppressed) diagnostics, sorted by position.
+	Findings []Finding
+	// Suppressed are diagnostics waived by //txvet:ignore directives.
+	Suppressed []Finding
+	// Counts maps analyzer name to live finding count; every analyzer that
+	// ran has an entry, so zeros are visible in summaries.
+	Counts map[string]int
+	// SuppressedCounts maps analyzer name to suppressed finding count.
+	SuppressedCounts map[string]int
+}
+
+// Select resolves analyzer names to analyzers from the registry. Empty
+// names selects all. Unknown names are an error, so a typo in -run (or a
+// CI config) cannot silently run nothing.
+func Select(names []string) ([]*analysis.Analyzer, error) {
+	all := All()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("driver: unknown analyzer %q (known: %s)", n, strings.Join(Names(), ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("driver: no analyzers selected")
+	}
+	return out, nil
+}
+
+// Names returns the registered analyzer names, sorted.
+func Names() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ignoreDirective is one parsed //txvet:ignore comment.
+type ignoreDirective struct {
+	names  map[string]bool
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+// Run applies analyzers to packages and resolves suppressions.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) (*Result, error) {
+	res := &Result{
+		Counts:           make(map[string]int),
+		SuppressedCounts: make(map[string]int),
+	}
+	for _, a := range analyzers {
+		res.Counts[a.Name] = 0
+	}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+
+	for _, pkg := range pkgs {
+		directives, bad := collectDirectives(pkg, known)
+		res.Findings = append(res.Findings, bad...)
+
+		var diags []Finding
+		for _, a := range analyzers {
+			a := a
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+				Report: func(d analysis.Diagnostic) {
+					diags = append(diags, Finding{
+						Analyzer: a.Name,
+						Pos:      pkg.Fset.Position(d.Pos),
+						Message:  d.Message,
+					})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("driver: analyzer %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+		for _, d := range diags {
+			if dir := matchDirective(directives, d); dir != nil {
+				dir.used = true
+				d.SuppressedBy = dir.reason
+				res.Suppressed = append(res.Suppressed, d)
+				res.SuppressedCounts[d.Analyzer]++
+			} else {
+				res.Findings = append(res.Findings, d)
+				res.Counts[d.Analyzer]++
+			}
+		}
+	}
+	sortFindings(res.Findings)
+	sortFindings(res.Suppressed)
+	return res, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// collectDirectives parses //txvet:ignore comments in a package. Malformed
+// directives (missing reason, unknown analyzer name) are returned as
+// findings under the reserved analyzer name "txvet".
+func collectDirectives(pkg *load.Package, known map[string]bool) (map[string][]*ignoreDirective, []Finding) {
+	byFile := make(map[string][]*ignoreDirective)
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//txvet:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				namesPart, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+				reason = strings.TrimSpace(reason)
+				if namesPart == "" || reason == "" {
+					bad = append(bad, Finding{
+						Analyzer: "txvet",
+						Pos:      pos,
+						Message:  "malformed //txvet:ignore: want \"//txvet:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				names := make(map[string]bool)
+				valid := true
+				for _, n := range strings.Split(namesPart, ",") {
+					if !known[n] {
+						bad = append(bad, Finding{
+							Analyzer: "txvet",
+							Pos:      pos,
+							Message:  fmt.Sprintf("//txvet:ignore names unknown analyzer %q", n),
+						})
+						valid = false
+						break
+					}
+					names[n] = true
+				}
+				if !valid {
+					continue
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename], &ignoreDirective{
+					names: names, reason: reason, pos: pos,
+				})
+			}
+		}
+	}
+	return byFile, bad
+}
+
+// matchDirective finds a directive covering the diagnostic: same file,
+// naming its analyzer, on the same line or the line immediately above.
+func matchDirective(directives map[string][]*ignoreDirective, d Finding) *ignoreDirective {
+	for _, dir := range directives[d.Pos.Filename] {
+		if !dir.names[d.Analyzer] {
+			continue
+		}
+		if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+			return dir
+		}
+	}
+	return nil
+}

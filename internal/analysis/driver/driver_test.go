@@ -1,0 +1,93 @@
+package driver_test
+
+import (
+	"strings"
+	"testing"
+
+	"txmldb/internal/analysis/driver"
+	"txmldb/internal/analysis/load"
+)
+
+// TestSuppression runs the full suite over a fixture containing one
+// errcmp violation with a valid //txvet:ignore, one without, and one
+// malformed directive, and checks the driver's live/suppressed split.
+func TestSuppression(t *testing.T) {
+	pkgs, err := load.Load(".", "./testdata/src/suppress")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	analyzers, err := driver.Select(nil)
+	if err != nil {
+		t.Fatalf("Select(all): %v", err)
+	}
+	res, err := driver.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	if n := len(res.Suppressed); n != 2 {
+		t.Errorf("suppressed findings = %d, want 2 (same-line and line-above directives): %v", n, res.Suppressed)
+	}
+	for _, s := range res.Suppressed {
+		if s.Analyzer != "errcmp" {
+			t.Errorf("suppressed finding from %s, want errcmp", s.Analyzer)
+		}
+		if s.SuppressedBy == "" {
+			t.Errorf("suppressed finding lost its justification: %+v", s)
+		}
+	}
+	if res.SuppressedCounts["errcmp"] != 2 {
+		t.Errorf("SuppressedCounts[errcmp] = %d, want 2", res.SuppressedCounts["errcmp"])
+	}
+
+	// Live findings: the unsuppressed comparison, the malformed directive,
+	// and the directive naming an unknown analyzer.
+	var live, badDirective, unknownName int
+	for _, f := range res.Findings {
+		switch {
+		case f.Analyzer == "errcmp":
+			live++
+		case f.Analyzer == "txvet" && strings.Contains(f.Message, "malformed"):
+			badDirective++
+		case f.Analyzer == "txvet" && strings.Contains(f.Message, "unknown analyzer"):
+			unknownName++
+		default:
+			t.Errorf("unexpected live finding: %s", f)
+		}
+	}
+	if live != 1 || badDirective != 1 || unknownName != 1 {
+		t.Errorf("live=%d badDirective=%d unknownName=%d, want 1 each; findings: %v",
+			live, badDirective, unknownName, res.Findings)
+	}
+	if res.Counts["errcmp"] != 1 {
+		t.Errorf("Counts[errcmp] = %d, want 1", res.Counts["errcmp"])
+	}
+	// Analyzers that found nothing still report a zero, so CI summaries
+	// show the full suite ran.
+	if n, ok := res.Counts["determinism"]; !ok || n != 0 {
+		t.Errorf("Counts[determinism] = %d,%v; want explicit 0", n, ok)
+	}
+}
+
+// TestSelectUnknownAnalyzer asserts a typo in -run is an error, not a
+// silently empty run.
+func TestSelectUnknownAnalyzer(t *testing.T) {
+	_, err := driver.Select([]string{"errcmp", "nosuchcheck"})
+	if err == nil {
+		t.Fatal("Select with unknown analyzer name succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "nosuchcheck") {
+		t.Errorf("error %q does not name the unknown analyzer", err)
+	}
+}
+
+// TestSelectSubset checks -run style selection by name.
+func TestSelectSubset(t *testing.T) {
+	as, err := driver.Select([]string{"errcmp"})
+	if err != nil {
+		t.Fatalf("Select(errcmp): %v", err)
+	}
+	if len(as) != 1 || as[0].Name != "errcmp" {
+		t.Errorf("Select(errcmp) = %v", as)
+	}
+}

@@ -1,0 +1,23 @@
+package driver
+
+import (
+	"txmldb/internal/analysis"
+	"txmldb/internal/analysis/cachealias"
+	"txmldb/internal/analysis/ctxflow"
+	"txmldb/internal/analysis/determinism"
+	"txmldb/internal/analysis/errcmp"
+	"txmldb/internal/analysis/lockhold"
+	"txmldb/internal/analysis/metricname"
+)
+
+// All returns every registered analyzer, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		cachealias.Analyzer,
+		ctxflow.Analyzer,
+		determinism.Analyzer,
+		errcmp.Analyzer,
+		lockhold.Analyzer,
+		metricname.Analyzer,
+	}
+}

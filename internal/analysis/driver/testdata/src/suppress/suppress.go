@@ -1,0 +1,25 @@
+// Package suppress is the driver fixture for //txvet:ignore handling.
+package suppress
+
+import "io"
+
+func sameLine(err error) bool {
+	return err == io.EOF //txvet:ignore errcmp fixture: same-line suppression form
+}
+
+func lineAbove(err error) bool {
+	//txvet:ignore errcmp fixture: line-above suppression form
+	return err == io.EOF
+}
+
+func unsuppressed(err error) bool {
+	return err == io.EOF // live finding: no directive
+}
+
+func missingReason(err error) bool {
+	return err != nil //txvet:ignore errcmp
+}
+
+func unknownAnalyzer(err error) bool {
+	return err != nil //txvet:ignore nosuchcheck this analyzer does not exist
+}

@@ -1,0 +1,63 @@
+// Package errcmp flags ==/!= comparisons against sentinel error values.
+//
+// PR 1 introduced wrapped errors throughout the storage layer
+// (pagestore.ErrCorrupt and friends arrive wrapped in "%w" chains), and
+// PR 2/4 route context.Canceled / DeadlineExceeded through the plan
+// executor and server the same way. A direct == against any of these
+// sentinels silently stops matching the moment a layer adds wrapping, so
+// the repo convention is errors.Is everywhere; this analyzer makes the
+// convention mechanical.
+package errcmp
+
+import (
+	"go/ast"
+	"go/token"
+
+	"txmldb/internal/analysis"
+)
+
+// Analyzer flags direct comparisons with sentinel error values.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc: "flag ==/!= comparisons against sentinel errors (repo Err* vars, " +
+		"context.Canceled/DeadlineExceeded, io.EOF); require errors.Is so " +
+		"wrapped errors keep matching",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, e := range []ast.Expr{n.X, n.Y} {
+					if name, ok := pass.SentinelError(e); ok {
+						pass.Reportf(n.Pos(), "comparison %s %s: use errors.Is so wrapped errors match", n.Op, name)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				// switch err { case io.EOF: } is == in disguise.
+				if n.Tag == nil {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name, ok := pass.SentinelError(e); ok {
+							pass.Reportf(e.Pos(), "switch case compares %s with ==: use errors.Is so wrapped errors match", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

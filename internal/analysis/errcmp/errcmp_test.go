@@ -1,0 +1,12 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"txmldb/internal/analysis/analysistest"
+	"txmldb/internal/analysis/errcmp"
+)
+
+func TestErrcmp(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", errcmp.Analyzer)
+}

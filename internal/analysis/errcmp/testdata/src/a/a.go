@@ -1,0 +1,57 @@
+// Package a is the errcmp fixture: sentinel comparisons that must be
+// flagged, and errors.Is / nil-comparison forms that must not.
+package a
+
+import (
+	"context"
+	"errors"
+	"io"
+
+	"txmldb/internal/pagestore"
+)
+
+// ErrLocal is a package-level sentinel in the fixture itself.
+var ErrLocal = errors.New("local sentinel")
+
+// errHidden is an unexported sentinel; the convention covers it too.
+var errHidden = errors.New("hidden sentinel")
+
+func positives(err error) bool {
+	if err == io.EOF { // want "comparison == io.EOF"
+		return true
+	}
+	if err != context.Canceled { // want "comparison != context.Canceled"
+		return false
+	}
+	if err == context.DeadlineExceeded { // want "comparison == context.DeadlineExceeded"
+		return true
+	}
+	if err == pagestore.ErrCorrupt { // want "comparison == pagestore.ErrCorrupt"
+		return true
+	}
+	if ErrLocal == err { // want "comparison == a.ErrLocal"
+		return true
+	}
+	if err == errHidden { // want "comparison == a.errHidden"
+		return true
+	}
+	switch err {
+	case io.EOF: // want "switch case compares io.EOF"
+		return true
+	}
+	return false
+}
+
+func negatives(err error) bool {
+	// errors.Is is the required form.
+	if errors.Is(err, io.EOF) || errors.Is(err, pagestore.ErrCorrupt) {
+		return true
+	}
+	// nil comparisons are fine: nil is not a sentinel.
+	if err == nil {
+		return false
+	}
+	// Comparing two plain local error variables is not a sentinel compare.
+	var other error
+	return err == other
+}

@@ -1,0 +1,261 @@
+// Package lockhold flags slow or re-entrant work done while holding a
+// storage-layer mutex.
+//
+// PR 4 moved the pagestore's simulated device latency outside the store
+// mutex precisely so concurrent readers overlap their waits; a
+// time.Sleep, a Backend I/O call, or an arbitrary user callback executed
+// between mu.Lock() and the matching Unlock serializes every reader
+// behind one straggler (and a callback that re-enters the store
+// deadlocks). The analyzer walks each function in internal/pagestore,
+// internal/vcache, and internal/store tracking which sync.Mutex /
+// sync.RWMutex receivers are held — including `defer mu.Unlock()`, which
+// holds to function end — and reports:
+//
+//   - time.Sleep calls,
+//   - method calls on values whose type is a named interface ending in
+//     "Backend" (the pluggable I/O surface),
+//   - calls through function-typed struct fields (stored user callbacks).
+//
+// The check is intraprocedural and does not follow calls into other
+// functions or function literals; branch-level lock state is approximated
+// by scanning statements in source order.
+package lockhold
+
+import (
+	"go/ast"
+	"go/types"
+
+	"txmldb/internal/analysis"
+)
+
+// Analyzer flags blocking work under storage-layer mutexes.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc: "in pagestore/vcache/store: flag time.Sleep, Backend I/O, or stored " +
+		"callback invocation while a sync.Mutex/RWMutex is held (defer-aware)",
+	Run: run,
+}
+
+var targetSegments = map[string]bool{
+	"pagestore": true, "vcache": true, "store": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !targetSegments[analysis.PathBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass, held: map[string]bool{}}
+			w.stmts(fd.Body.List)
+		}
+	}
+	return nil
+}
+
+// walker tracks the set of held mutexes (keyed by the printed receiver
+// expression, e.g. "s.mu") through one function body.
+type walker struct {
+	pass *analysis.Pass
+	held map[string]bool
+}
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, locked, ok := w.lockOp(s.X); ok {
+			if locked {
+				w.held[key] = true
+			} else {
+				delete(w.held, key)
+			}
+			return
+		}
+		w.checkExpr(s.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the rest of the
+		// function; deferred non-lock calls run after release, skip them.
+		return
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.checkExpr(rhs)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkExpr(r)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.checkExpr(s.Cond)
+		w.stmts(s.Body.List)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond)
+		}
+		w.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		w.checkExpr(s.X)
+		w.stmts(s.Body.List)
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.stmts(s.Body.List)
+	case *ast.TypeSwitchStmt:
+		w.stmts(s.Body.List)
+	case *ast.SelectStmt:
+		w.stmts(s.Body.List)
+	case *ast.CaseClause:
+		w.stmts(s.Body)
+	case *ast.CommClause:
+		w.stmts(s.Body)
+	case *ast.GoStmt:
+		// A spawned goroutine does not run under the caller's lock.
+		return
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt,
+		*ast.LabeledStmt, *ast.SendStmt:
+		// No lock-relevant calls, or handled conservatively.
+	}
+}
+
+// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock on sync mutexes and
+// returns the receiver key and whether it acquires.
+func (w *walker) lockOp(e ast.Expr) (key string, locked, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return "", false, false
+	}
+	if !isSyncMutex(w.pass.TypesInfo.TypeOf(sel.X)) {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), acquire, true
+}
+
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkExpr reports forbidden calls inside e while any lock is held.
+func (w *walker) checkExpr(e ast.Expr) {
+	if e == nil || len(w.held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Literal bodies run when invoked, typically after release
+			// (deferred cleanup, pool tasks); out of intraprocedural scope.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		w.checkCall(call)
+		return true
+	})
+}
+
+func (w *walker) checkCall(call *ast.CallExpr) {
+	lock := w.anyHeld()
+	if w.pass.PkgFunc(call, "time", "Sleep") {
+		w.pass.Reportf(call.Pos(), "time.Sleep while holding %s: latency must be paid outside the mutex", lock)
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if s := w.pass.TypesInfo.Selections[sel]; s != nil {
+		switch s.Kind() {
+		case types.MethodVal:
+			if name, ok := backendType(s.Recv()); ok {
+				w.pass.Reportf(call.Pos(), "%s.%s I/O while holding %s: move device access outside the mutex",
+					name, sel.Sel.Name, lock)
+			}
+		case types.FieldVal:
+			if _, ok := s.Obj().Type().Underlying().(*types.Signature); ok {
+				w.pass.Reportf(call.Pos(), "callback %s invoked while holding %s: user code must not run under the store mutex",
+					types.ExprString(sel), lock)
+			}
+		}
+	}
+}
+
+// backendType reports whether t (or *t) is a named interface whose name
+// ends in "Backend", returning the type name.
+func backendType(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	if _, ok := named.Underlying().(*types.Interface); !ok {
+		return "", false
+	}
+	name := named.Obj().Name()
+	if len(name) >= len("Backend") && name[len(name)-len("Backend"):] == "Backend" {
+		return name, true
+	}
+	return "", false
+}
+
+// anyHeld returns one held lock key for diagnostics (the smallest, so
+// messages are stable when several locks are held).
+func (w *walker) anyHeld() string {
+	best := ""
+	for k := range w.held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}

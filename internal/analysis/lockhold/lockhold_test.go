@@ -1,0 +1,13 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"txmldb/internal/analysis/analysistest"
+	"txmldb/internal/analysis/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	// The fixture's path segment "pagestore" is inside the analyzer gate.
+	analysistest.Run(t, "testdata/src/pagestore", lockhold.Analyzer)
+}

@@ -1,0 +1,84 @@
+// Package pagestore is the lockhold fixture; its path segment matches the
+// real storage package so the analyzer gate admits it.
+package pagestore
+
+import (
+	"sync"
+	"time"
+)
+
+// FixtureBackend mimics the pluggable I/O surface: a named interface
+// ending in "Backend".
+type FixtureBackend interface {
+	Get(page int64) ([]byte, error)
+	Put(page int64, data []byte) error
+}
+
+// Store mirrors the real store shape: a mutex, a backend, a stored
+// callback.
+type Store struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	backend FixtureBackend
+	onEvict func(page int64)
+	lastPos int64
+}
+
+func (s *Store) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *Store) sleepUnderDeferredUnlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastPos++
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding s.mu"
+}
+
+func (s *Store) backendUnderLock(page int64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.backend.Get(page) // want "FixtureBackend.Get I/O while holding s.mu"
+}
+
+func (s *Store) backendUnderRLock(page int64) ([]byte, error) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	data, err := s.backend.Get(page) // want "FixtureBackend.Get I/O while holding s.rw"
+	return data, err
+}
+
+func (s *Store) callbackUnderLock(page int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onEvict(page) // want "callback s.onEvict invoked while holding s.mu"
+}
+
+// sleepAfterUnlock releases before sleeping: the PR 4 pattern, allowed.
+func (s *Store) sleepAfterUnlock() {
+	s.mu.Lock()
+	s.lastPos++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// backendOutsideLock computes under the lock, does I/O after release.
+func (s *Store) backendOutsideLock(page int64) ([]byte, error) {
+	s.mu.Lock()
+	pos := s.lastPos
+	s.mu.Unlock()
+	return s.backend.Get(pos + page)
+}
+
+// callbackAfterUnlock snapshots the callback under the lock and invokes
+// it after release, the required discipline for user code.
+func (s *Store) callbackAfterUnlock(page int64) {
+	s.mu.Lock()
+	cb := s.onEvict
+	s.mu.Unlock()
+	if cb != nil {
+		cb(page)
+	}
+}

@@ -1,0 +1,89 @@
+// Package metricname keeps the /metrics exposition stable and greppable.
+//
+// Every metric the server exports is registered through
+// internal/metrics.Registry (Counter, Gauge, Histogram, CounterFunc,
+// GaugeFunc). Dashboards, the EXPERIMENTS harness, and the serving docs
+// all address metrics by name, so names must be (a) string literals — a
+// computed name cannot be audited or grepped — and (b) in the txserved
+// namespace: ^txserved_[a-z0-9_]+(_total|_seconds)?$.
+package metricname
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"txmldb/internal/analysis"
+)
+
+// Analyzer checks metric registration names.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "metric registration names must be string literals matching " +
+		"^txserved_[a-z0-9_]+(_total|_seconds)?$",
+	Run: run,
+}
+
+// namePattern is the required shape of an exported metric name.
+var namePattern = regexp.MustCompile(`^txserved_[a-z0-9_]+(_total|_seconds)?$`)
+
+// registrars are the Registry methods whose first argument is a metric
+// name.
+var registrars = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterFunc": true, "GaugeFunc": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isRegistration(pass, call) {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(), "metric name must be a string literal so the exposition is greppable; got %s",
+					types.ExprString(call.Args[0]))
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !namePattern.MatchString(name) {
+				pass.Reportf(lit.Pos(), "metric name %q does not match %s", name, namePattern)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRegistration reports calls to the metrics.Registry registration
+// methods.
+func isRegistration(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registrars[sel.Sel.Name] {
+		return false
+	}
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/metrics") &&
+		named.Obj().Name() == "Registry"
+}

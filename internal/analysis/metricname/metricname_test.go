@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"txmldb/internal/analysis/analysistest"
+	"txmldb/internal/analysis/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", metricname.Analyzer)
+}

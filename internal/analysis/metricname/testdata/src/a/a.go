@@ -1,0 +1,29 @@
+// Package a is the metricname fixture, registered against the real
+// metrics.Registry type.
+package a
+
+import "txmldb/internal/metrics"
+
+func register(reg *metrics.Registry, suffix string) {
+	// Conforming literal names: allowed.
+	reg.Counter("txserved_queries_total", "queries executed")
+	reg.Gauge("txserved_inflight_queries", "in flight")
+	reg.Histogram("txserved_query_latency_ms", "latency", nil)
+	reg.CounterFunc("txserved_vcache_hits_total", "hits", func() int64 { return 0 })
+
+	// Wrong namespace.
+	reg.Counter("queries_total", "queries") // want "does not match"
+	// Upper case is outside the charset.
+	reg.Gauge("txserved_InFlight", "bad case") // want "does not match"
+	// Computed names cannot be audited.
+	reg.Counter("txserved_"+suffix, "computed") // want "metric name must be a string literal"
+}
+
+// lookalike has the same method names on a different type: not gated.
+type lookalike struct{}
+
+func (lookalike) Counter(name, help string) {}
+
+func negatives(l lookalike) {
+	l.Counter("anything goes here", "not a metrics.Registry")
+}

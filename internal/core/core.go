@@ -305,22 +305,40 @@ func teidsOf(ms []pattern.Match, p *pattern.PNode, stamp func(pattern.Match) mod
 	return out
 }
 
-// ScanT implements plan.Engine. The per-document join runs on the shared
-// worker pool.
+// ScanTContext implements plan.ContextScanner: TPatternScan with the
+// per-document join on the shared worker pool, under the caller's context.
+func (db *DB) ScanTContext(ctx context.Context, p *pattern.PNode, t model.Time) ([]pattern.Match, error) {
+	return pattern.ScanTPool(ctx, db.fti, p, t, db.pool)
+}
+
+// ScanT implements plan.Engine by delegating to ScanTContext.
 func (db *DB) ScanT(p *pattern.PNode, t model.Time) ([]pattern.Match, error) {
-	return pattern.ScanTPool(context.Background(), db.fti, p, t, db.pool)
+	//txvet:ignore ctxflow context-free plan.Engine compatibility shim; executors use ScanTContext
+	return db.ScanTContext(context.Background(), p, t)
 }
 
-// ScanAll implements plan.Engine. The per-document join runs on the
-// shared worker pool.
+// ScanAllContext implements plan.ContextScanner: TPatternScanAll under the
+// caller's context.
+func (db *DB) ScanAllContext(ctx context.Context, p *pattern.PNode) ([]pattern.Match, error) {
+	return pattern.ScanAllPool(ctx, db.fti, p, db.pool)
+}
+
+// ScanAll implements plan.Engine by delegating to ScanAllContext.
 func (db *DB) ScanAll(p *pattern.PNode) ([]pattern.Match, error) {
-	return pattern.ScanAllPool(context.Background(), db.fti, p, db.pool)
+	//txvet:ignore ctxflow context-free plan.Engine compatibility shim; executors use ScanAllContext
+	return db.ScanAllContext(context.Background(), p)
 }
 
-// ScanCurrent implements plan.Engine. The per-document join runs on the
-// shared worker pool.
+// ScanCurrentContext implements plan.ContextScanner: the non-temporal
+// PatternScan under the caller's context.
+func (db *DB) ScanCurrentContext(ctx context.Context, p *pattern.PNode) ([]pattern.Match, error) {
+	return pattern.ScanCurrentPool(ctx, db.fti, p, db.pool)
+}
+
+// ScanCurrent implements plan.Engine by delegating to ScanCurrentContext.
 func (db *DB) ScanCurrent(p *pattern.PNode) ([]pattern.Match, error) {
-	return pattern.ScanCurrentPool(context.Background(), db.fti, p, db.pool)
+	//txvet:ignore ctxflow context-free plan.Engine compatibility shim; executors use ScanCurrentContext
+	return db.ScanCurrentContext(context.Background(), p)
 }
 
 // DocHistory returns all versions of the document valid in [from, to),
@@ -332,8 +350,18 @@ func (db *DB) ScanCurrent(p *pattern.PNode) ([]pattern.Match, error) {
 // so the most recent version ends up most recently used), converting the
 // walk into future cache hits.
 func (db *DB) DocHistory(id model.DocID, iv model.Interval) ([]store.VersionTree, error) {
-	out, ok := db.parallelDocHistory(id, iv)
+	//txvet:ignore ctxflow context-free operator API shim; DocHistoryContext is the canonical path
+	return db.DocHistoryContext(context.Background(), id, iv)
+}
+
+// DocHistoryContext is DocHistory under a caller context: cancellation
+// aborts the chunked parallel walk between chunk reconstructions.
+func (db *DB) DocHistoryContext(ctx context.Context, id model.DocID, iv model.Interval) ([]store.VersionTree, error) {
+	out, ok := db.parallelDocHistory(ctx, id, iv)
 	if !ok {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var err error
 		out, err = db.store.DocHistory(id, iv)
 		if err != nil {
@@ -353,10 +381,19 @@ func (db *DB) DocHistory(id model.DocID, iv model.Interval) ([]store.VersionTree
 // document versions and filters the subtree rooted at the element
 // (Section 7.3.5), but it goes through the cache-filling DocHistory.
 func (db *DB) ElementHistory(eid model.EID, iv model.Interval) ([]store.VersionTree, error) {
+	//txvet:ignore ctxflow context-free operator API shim; ElementHistoryContext is the canonical path
+	return db.ElementHistoryContext(context.Background(), eid, iv)
+}
+
+// ElementHistoryContext is ElementHistory under a caller context.
+func (db *DB) ElementHistoryContext(ctx context.Context, eid model.EID, iv model.Interval) ([]store.VersionTree, error) {
 	if db.vcache == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return db.store.ElementHistory(eid, iv)
 	}
-	docVersions, err := db.DocHistory(eid.Doc, iv)
+	docVersions, err := db.DocHistoryContext(ctx, eid.Doc, iv)
 	if err != nil {
 		return nil, err
 	}
@@ -510,8 +547,15 @@ func (db *DB) CurrentTS(eid model.EID) (store.VersionInfo, error) {
 // under the data model (Section 6.1). The two version materializations are
 // independent reads, so they run as one pair on the shared worker pool.
 func (db *DB) Diff(a, b model.TEID) (*xmltree.Node, error) {
+	//txvet:ignore ctxflow context-free operator API shim; DiffContext is the canonical path
+	return db.DiffContext(context.Background(), a, b)
+}
+
+// DiffContext is Diff under a caller context: cancellation aborts the
+// paired reconstruction.
+func (db *DB) DiffContext(ctx context.Context, a, b model.TEID) (*xmltree.Node, error) {
 	pair := [2]model.TEID{a, b}
-	nodes, err := parallel.Map(context.Background(), db.pool, "diff", 2, func(i int) (*xmltree.Node, error) {
+	nodes, err := parallel.Map(ctx, db.pool, "diff", 2, func(i int) (*xmltree.Node, error) {
 		return db.Reconstruct(pair[i])
 	})
 	if err != nil {

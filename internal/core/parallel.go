@@ -56,7 +56,7 @@ const minHistoryChunk = 2
 // ok is false when the parallel path does not apply (single worker, no
 // snapshots or cache to bound chunk heads, too few versions) or failed;
 // the caller then runs the sequential path.
-func (db *DB) parallelDocHistory(id model.DocID, iv model.Interval) ([]store.VersionTree, bool) {
+func (db *DB) parallelDocHistory(ctx context.Context, id model.DocID, iv model.Interval) ([]store.VersionTree, bool) {
 	workers := db.pool.Workers()
 	if workers <= 1 {
 		return nil, false
@@ -98,7 +98,7 @@ func (db *DB) parallelDocHistory(id model.DocID, iv model.Interval) ([]store.Ver
 		return nil, false
 	}
 	// Chunk c covers indices [first+c*n/chunks, first+(c+1)*n/chunks).
-	parts, err := parallel.Map(context.Background(), db.pool, "history", chunks,
+	parts, err := parallel.Map(ctx, db.pool, "history", chunks,
 		func(c int) ([]store.VersionTree, error) {
 			lo := first + c*n/chunks
 			hi := first + (c+1)*n/chunks - 1

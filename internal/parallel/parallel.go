@@ -211,6 +211,7 @@ func (p *Pool) scope(name string) *scopeStats {
 // identical to a plain sequential loop.
 func (p *Pool) Run(ctx context.Context, scope string, n int, fn func(i int) error) error {
 	if ctx == nil {
+		//txvet:ignore ctxflow defensive default for nil-ctx callers; real contexts flow through unchanged
 		ctx = context.Background()
 	}
 	if n <= 0 {

@@ -194,7 +194,7 @@ func (ex *executor) bindFromItem(q *query.Query, f query.FromItem) ([]*binding, 
 	clip := model.Always
 	switch f.Kind {
 	case query.AtCurrent:
-		matches, err = ex.engine.ScanCurrent(pat)
+		matches, err = ex.scanCurrent(pat)
 		snapAt = ex.engine.Now()
 	case query.AtTime:
 		at, err2 := ex.evalTime(f.At)
@@ -202,9 +202,9 @@ func (ex *executor) bindFromItem(q *query.Query, f query.FromItem) ([]*binding, 
 			return nil, err2
 		}
 		snapAt = at
-		matches, err = ex.engine.ScanT(pat, at)
+		matches, err = ex.scanT(pat, at)
 	case query.AtEvery:
-		matches, err = ex.engine.ScanAll(pat)
+		matches, err = ex.scanAll(pat)
 	case query.AtRange:
 		// [t1 TO t2]: the versions valid in the interval — the language
 		// face of the DocHistory/ElementHistory operators. A ScanAll whose
@@ -221,7 +221,7 @@ func (ex *executor) bindFromItem(q *query.Query, f query.FromItem) ([]*binding, 
 			return nil, fmt.Errorf("plan: empty time range [%s TO %s]", from, until)
 		}
 		clip = model.Interval{Start: from, End: until}
-		matches, err = ex.engine.ScanAll(pat)
+		matches, err = ex.scanAll(pat)
 	}
 	if err != nil {
 		return nil, err
@@ -696,4 +696,29 @@ func (ex *executor) orderRows(q *query.Query, rows []env, res *Result) error {
 		res.Rows[i] = ks[i].row
 	}
 	return nil
+}
+
+// scanT dispatches the TPatternScan operator, preferring the engine's
+// context-aware variant so cancellation reaches the per-document join.
+func (ex *executor) scanT(p *pattern.PNode, t model.Time) ([]pattern.Match, error) {
+	if cs, ok := ex.engine.(ContextScanner); ok {
+		return cs.ScanTContext(ex.ctx, p, t)
+	}
+	return ex.engine.ScanT(p, t)
+}
+
+// scanAll dispatches TPatternScanAll, preferring the context-aware variant.
+func (ex *executor) scanAll(p *pattern.PNode) ([]pattern.Match, error) {
+	if cs, ok := ex.engine.(ContextScanner); ok {
+		return cs.ScanAllContext(ex.ctx, p)
+	}
+	return ex.engine.ScanAll(p)
+}
+
+// scanCurrent dispatches PatternScan, preferring the context-aware variant.
+func (ex *executor) scanCurrent(p *pattern.PNode) ([]pattern.Match, error) {
+	if cs, ok := ex.engine.(ContextScanner); ok {
+		return cs.ScanCurrentContext(ex.ctx, p)
+	}
+	return ex.engine.ScanCurrent(p)
 }

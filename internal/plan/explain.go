@@ -100,15 +100,24 @@ func pushedPredicates(q *query.Query) []string {
 				out = append(out, conj.String())
 			}
 		case query.Call:
-			for v := range vars {
-				if _, _, ok := containsArgs(e, v); ok {
-					out = append(out, conj.String())
-					break
-				}
+			if callMentionsVar(e, vars) {
+				out = append(out, conj.String())
 			}
 		}
 	}
 	return out
+}
+
+// callMentionsVar reports whether the call references any of the FROM
+// variables. Order-independent over the var set, so the surrounding
+// conjunct listing stays deterministic.
+func callMentionsVar(e query.Call, vars map[string]bool) bool {
+	for v := range vars {
+		if _, _, ok := containsArgs(e, v); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // ExplainString parses and explains a query text.

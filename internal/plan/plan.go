@@ -68,6 +68,18 @@ type Prefetcher interface {
 	PrefetchVersions(ctx context.Context, keys []VersionKey, sink func(VersionKey, store.VersionTree)) (ran bool, err error)
 }
 
+// ContextScanner is an optional Engine extension: context-aware variants
+// of the pattern-scan operators. The executor prefers these, passing the
+// query's context, so cancellation and deadline expiry reach the
+// per-document join inside a scan instead of waiting for the next
+// reconstruction checkpoint. Engines without it fall back to the
+// context-free Engine methods.
+type ContextScanner interface {
+	ScanTContext(ctx context.Context, p *pattern.PNode, t model.Time) ([]pattern.Match, error)
+	ScanAllContext(ctx context.Context, p *pattern.PNode) ([]pattern.Match, error)
+	ScanCurrentContext(ctx context.Context, p *pattern.PNode) ([]pattern.Match, error)
+}
+
 // Metrics counts the work a query performed.
 type Metrics struct {
 	// PatternMatches is the number of raw pattern-scan matches.
@@ -87,6 +99,7 @@ type Result struct {
 
 // Run executes a parsed query.
 func Run(e Engine, q *query.Query) (*Result, error) {
+	//txvet:ignore ctxflow context-free convenience wrapper; RunContext is the canonical path
 	return RunContext(context.Background(), e, q)
 }
 
@@ -106,6 +119,7 @@ func RunContext(ctx context.Context, e Engine, q *query.Query) (*Result, error) 
 
 // RunString parses and executes a query text.
 func RunString(e Engine, src string) (*Result, error) {
+	//txvet:ignore ctxflow context-free convenience wrapper; RunStringContext is the canonical path
 	return RunStringContext(context.Background(), e, src)
 }
 

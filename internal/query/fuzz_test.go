@@ -1,0 +1,66 @@
+package query
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseQuery feeds arbitrary text to the parser. The invariants:
+// Parse never panics, every syntax error is a *ParseError whose Offset
+// lies within the input and whose Line/Col are consistent with it, and
+// a successfully parsed query renders back to text that parses again.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		``,
+		`SELECT R FROM doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant R`,
+		`SELECT SUM(R) FROM doc("u")[26/01/2001]/restaurant R`,
+		`SELECT TIME(R), R/price FROM doc("u")[EVERY]/restaurant R WHERE R/name="Napoli"`,
+		`SELECT R FROM doc("u")/r R WHERE CREATE TIME(R) >= 11/01/2001`,
+		`SELECT R FROM doc("u")[NOW - 14 DAYS]/r R`,
+		`SELECT DISTINCT R FROM doc("u")[11/01/2001 TO 26/01/2001]/a/b R ORDER BY R/x DESC LIMIT 3`,
+		`SELECT R, "Napoli" 15 26/01/2001 <= == // ~`,
+		`SELECT`,
+		`SELECT R FROM doc(`,
+		"SELECT R\nFROM doc(\"u\")/r R\nWHERE R/name = \"café\"",
+		`select r from doc("u")/r r where contains(r/name, "x")`,
+		"\x00\xff\xfe",
+		strings.Repeat("(", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse(%q) error is %T, want *ParseError: %v", src, err, err)
+			}
+			if pe.Offset < 0 || pe.Offset > len(src) {
+				t.Fatalf("Parse(%q): offset %d outside [0,%d]", src, pe.Offset, len(src))
+			}
+			if pe.Line < 1 || pe.Col < 1 {
+				t.Fatalf("Parse(%q): non-positive position line=%d col=%d", src, pe.Line, pe.Col)
+			}
+			wantLine := 1 + strings.Count(src[:pe.Offset], "\n")
+			if pe.Line != wantLine {
+				t.Fatalf("Parse(%q): line %d inconsistent with offset %d (want %d)", src, pe.Line, pe.Offset, wantLine)
+			}
+			if pe.Msg == "" {
+				t.Fatalf("Parse(%q): empty error message", src)
+			}
+			return
+		}
+		// Accepted input: the rendered form must parse again. Skip the
+		// round trip for inputs the lexer normalized away from valid
+		// UTF-8, where String() output is not guaranteed stable.
+		if !utf8.ValidString(src) {
+			return
+		}
+		if _, err := Parse(q.String()); err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", q.String(), src, err)
+		}
+	})
+}

@@ -227,6 +227,7 @@ func (s *Server) registerEngineMetrics() {
 		// 1000 because the registry is integer-valued.
 		for _, scope := range []string{"scan", "history", "diff", "reconstruct", "plan"} {
 			scope := scope
+			//txvet:ignore metricname per-scope gauge family: prefix is literal and the suffixes are the compile-time scope constants above
 			s.reg.GaugeFunc("txserved_pool_speedup_milli_"+scope,
 				"per-operator parallel speedup proxy x1000 (task time / wall time) for scope "+scope,
 				func() int64 {
@@ -312,6 +313,7 @@ func (s *Server) Run(ctx context.Context, l net.Listener, drainTimeout time.Dura
 		return err
 	case <-ctx.Done():
 	}
+	//txvet:ignore ctxflow deliberate fresh root: the serve ctx is already done when the drain deadline starts
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	return hs.Shutdown(dctx)
