@@ -1,7 +1,9 @@
 // Command txbench regenerates the reproduction experiments of
-// EXPERIMENTS.md: F1 (the paper's Figure 1 data and queries Q1–Q3) and
-// C1–C9, one quantitative experiment per analytical performance claim of
-// the paper. It prints one table per experiment.
+// EXPERIMENTS.md: F1 (the paper's Figure 1 data and queries Q1–Q3),
+// C1–C11, one quantitative experiment per analytical performance claim of
+// the paper, plus the infrastructure experiments (W1 durability, S1/S2
+// serving, P1 parallelism, R1 chaos/resilience). It prints one table per
+// experiment.
 //
 // Usage:
 //
@@ -52,6 +54,7 @@ func main() {
 		{"S1", func() (experiments.Table, error) { return experiments.S1([]int{1, 8, 64}, 200) }},
 		{"S2", func() (experiments.Table, error) { return experiments.S2([]int{1, 8, 64}, 200) }},
 		{"P1", func() (experiments.Table, error) { return experiments.P1([]int{1, 2, 4, 8}) }},
+		{"R1", func() (experiments.Table, error) { return experiments.R1([]int64{42, 7}) }},
 	}
 
 	failed := false

@@ -16,8 +16,8 @@
 // reporting damaged extents and the versions they make unreachable; it
 // exits non-zero if corruption is found.
 //
-// In the REPL, each line is one query; ".docs" lists documents, ".quit"
-// exits.
+// In the REPL, each line is one query; ".docs" lists documents, ".health"
+// prints the resilience tier's state (see -resilience), ".quit" exits.
 package main
 
 import (
@@ -58,10 +58,11 @@ func main() {
 	dataDir := flag.String("datadir", "", "durable mode: keep the database in a write-ahead log under this directory")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "byte budget of the shared version-reconstruction cache (0 disables)")
 	workers := flag.Int("workers", 0, "worker-pool size for parallel operators (0 = GOMAXPROCS, 1 = sequential)")
+	resil := flag.Bool("resilience", true, "enable the health state machine and circuit breaker (\".health\" shows the state)")
 	flag.Var(&loads, "load", "load a document version: url=FILE@dd/mm/yyyy (repeatable)")
 	flag.Parse()
 
-	db, err := openDB(*dataDir, *demo, *cacheBytes, *workers)
+	db, err := openDB(*dataDir, *demo, *cacheBytes, *workers, *resil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -113,8 +114,12 @@ func main() {
 // openDB opens the database: in memory, or durably under dataDir. The demo
 // pins the clock to the paper's "today" (February 10, 2001) so NOW-relative
 // queries match the text.
-func openDB(dataDir string, demo bool, cacheBytes int64, workers int) (*txmldb.DB, error) {
-	cfg := txmldb.Config{Cache: txmldb.CacheConfig{MaxBytes: cacheBytes}, Workers: workers}
+func openDB(dataDir string, demo bool, cacheBytes int64, workers int, resil bool) (*txmldb.DB, error) {
+	cfg := txmldb.Config{
+		Cache:      txmldb.CacheConfig{MaxBytes: cacheBytes},
+		Workers:    workers,
+		Resilience: txmldb.ResilienceConfig{Enabled: resil},
+	}
 	if demo {
 		cfg.Clock = func() txmldb.Time { return txmldb.Date(2001, time.February, 10) }
 	}
@@ -259,7 +264,7 @@ func runQuery(db *txmldb.DB, src string) error {
 }
 
 func repl(db *txmldb.DB) {
-	fmt.Fprintln(os.Stderr, `txmldb shell — one query per line; ".docs" lists documents, ".explain <query>" shows the plan, ".quit" exits`)
+	fmt.Fprintln(os.Stderr, `txmldb shell — one query per line; ".docs" lists documents, ".explain <query>" shows the plan, ".health" shows the resilience tier, ".quit" exits`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -281,6 +286,18 @@ func repl(db *txmldb.DB) {
 				continue
 			}
 			fmt.Print(out)
+		case line == ".health":
+			snap, ok := db.Health()
+			if !ok {
+				fmt.Fprintln(os.Stderr, "resilience tier disabled (run with -resilience)")
+				continue
+			}
+			fmt.Printf("  state    %s (backend %s, data %s)\n",
+				snap.State, snap.Backend.State, snap.Data.State)
+			fmt.Printf("  breaker  %s (%d opens, %d fast-fails, %d probes)\n",
+				snap.Breaker.State, snap.Breaker.Opens, snap.Breaker.FastFails, snap.Breaker.Probes)
+			fmt.Printf("  degraded %d reads served, %d operations rejected\n",
+				snap.DegradedServes, snap.DegradedRejects)
 		case line == ".docs":
 			for _, id := range db.Docs() {
 				info, err := db.Info(id)

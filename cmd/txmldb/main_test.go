@@ -78,7 +78,7 @@ func TestRunQuery(t *testing.T) {
 // reopen, query, and fsck it clean.
 func TestDurableCLIRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	db, err := openDB(dir, true, 64<<20, 0)
+	db, err := openDB(dir, true, 64<<20, 0, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestDurableCLIRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	r, err := openDB(dir, true, 64<<20, 0)
+	r, err := openDB(dir, true, 64<<20, 0, true)
 	if err != nil {
 		t.Fatal(err)
 	}

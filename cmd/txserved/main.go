@@ -1,6 +1,13 @@
 // Command txserved serves the temporal XML database over HTTP/JSON: the
-// query language on /query, plans on /explain, liveness on /healthz and
-// a Prometheus-style exposition on /metrics.
+// query language on /query, plans on /explain, liveness on /healthz,
+// readiness (drain and degraded state) on /readyz and a Prometheus-style
+// exposition on /metrics.
+//
+// The resilience tier (on by default, see -resilience) wraps backend
+// reads in a circuit breaker and serves cache-resident reads while the
+// backend is down: those answers carry "degraded":true in the envelope,
+// writes and cache-miss reads fail fast with 503 + Retry-After, and
+// half-open probes recover the tier automatically once the fault heals.
 //
 // Usage:
 //
@@ -48,13 +55,27 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-query execution deadline")
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold (negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight queries")
+	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "window between flipping /readyz and closing the listener, so load balancers stop routing first")
+	resil := flag.Bool("resilience", true, "enable the health state machine, circuit breaker and degraded cache-first serving")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive backend read failures that open the circuit breaker")
+	breakerOpen := flag.Duration("breaker-open", 5*time.Second, "how long an open breaker fails fast before probing the backend again")
 	quiet := flag.Bool("quiet", false, "disable the per-request access log")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "byte budget of the shared version-reconstruction cache (0 disables)")
 	cacheReplay := flag.Int("cache-replay", 128, "max deltas replayed forward from a cached ancestor version")
 	workers := flag.Int("workers", 0, "worker-pool size for parallel operators (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	db, err := openDB(*dataDir, *demo, txmldb.CacheConfig{MaxBytes: *cacheBytes, MaxReplay: *cacheReplay}, *workers)
+	res := txmldb.ResilienceConfig{}
+	if *resil {
+		res = txmldb.ResilienceConfig{
+			Enabled: true,
+			Breaker: txmldb.BreakerConfig{
+				FailureThreshold: *breakerThreshold,
+				OpenFor:          *breakerOpen,
+			},
+		}
+	}
+	db, err := openDB(*dataDir, *demo, txmldb.CacheConfig{MaxBytes: *cacheBytes, MaxReplay: *cacheReplay}, *workers, res)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,6 +104,7 @@ func main() {
 		QueueWait:    *queueWait,
 		QueryTimeout: *queryTimeout,
 		SlowQuery:    *slowQuery,
+		DrainGrace:   *drainGrace,
 		ErrorLog:     log.New(os.Stderr, "txserved: ", log.LstdFlags),
 	}
 	if !*quiet {
@@ -113,8 +135,8 @@ func main() {
 // openDB opens the database in memory or durably under dataDir. The demo
 // pins the clock to the paper's "today" (February 10, 2001) so
 // NOW-relative queries match the text.
-func openDB(dataDir string, demo bool, cache txmldb.CacheConfig, workers int) (*txmldb.DB, error) {
-	cfg := txmldb.Config{Cache: cache, Workers: workers}
+func openDB(dataDir string, demo bool, cache txmldb.CacheConfig, workers int, res txmldb.ResilienceConfig) (*txmldb.DB, error) {
+	cfg := txmldb.Config{Cache: cache, Workers: workers, Resilience: res}
 	if demo {
 		cfg.Clock = func() txmldb.Time { return txmldb.Date(2001, time.February, 10) }
 	}

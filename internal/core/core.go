@@ -7,6 +7,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"txmldb/internal/parallel"
 	"txmldb/internal/pattern"
 	"txmldb/internal/plan"
+	"txmldb/internal/resilience"
 	"txmldb/internal/store"
 	"txmldb/internal/tidx"
 	"txmldb/internal/vcache"
@@ -81,26 +83,47 @@ type Config struct {
 	// whose results every parallel run is guaranteed to reproduce
 	// byte-for-byte.
 	Workers int
+	// Resilience configures the health tier (internal/resilience): a
+	// circuit breaker around backend reads plus per-component health state
+	// machines driving degraded cache-first serving. Enabled=false (the
+	// default) leaves it off, preserving raw fault behaviour.
+	Resilience resilience.Config
 }
 
 // DB is a temporal XML database.
 type DB struct {
 	store    *store.Store
 	fti      fti.Index
-	times    *tidx.Index    // nil when disabled
-	docTimes *doctime.Index // nil unless DocTimePaths configured
-	vcache   *vcache.Cache  // nil when disabled
-	pool     *parallel.Pool // shared worker pool of the parallel tier
+	times    *tidx.Index      // nil when disabled
+	docTimes *doctime.Index   // nil unless DocTimePaths configured
+	vcache   *vcache.Cache    // nil when disabled
+	pool     *parallel.Pool   // shared worker pool of the parallel tier
+	res      *resilience.Tier // nil when disabled
 	clock    func() model.Time
 }
 
 // Open creates an empty database.
-func Open(cfg Config) *DB { return assemble(cfg, store.New(cfg.Store)) }
+func Open(cfg Config) *DB {
+	attachTier(&cfg)
+	return assemble(cfg, store.New(cfg.Store))
+}
+
+// attachTier builds the resilience tier (when enabled) and injects it into
+// the store configuration, so the store's read path and the DB's serving
+// policy share one breaker and one set of health machines. A tier already
+// present in cfg.Store.Resilience is reused.
+func attachTier(cfg *Config) *resilience.Tier {
+	if cfg.Store.Resilience == nil {
+		cfg.Store.Resilience = resilience.New(cfg.Resilience)
+	}
+	return cfg.Store.Resilience
+}
 
 // assemble builds a DB around an existing version store.
 func assemble(cfg Config, st *store.Store) *DB {
 	db := &DB{
 		store: st,
+		res:   st.Resilience(),
 		clock: cfg.Clock,
 	}
 	switch cfg.Index {
@@ -149,10 +172,47 @@ func (db *DB) DocTimeRange(iv model.Interval) ([]doctime.Entry, error) {
 // Now implements plan.Engine.
 func (db *DB) Now() model.Time { return db.clock() }
 
+// Resilience exposes the health tier, nil when disabled.
+func (db *DB) Resilience() *resilience.Tier { return db.res }
+
+// Health returns a snapshot of the resilience tier; ok is false when the
+// tier is disabled. The serving layer maps it onto /readyz and /metrics.
+func (db *DB) Health() (resilience.Snapshot, bool) {
+	if db.res == nil {
+		return resilience.Snapshot{}, false
+	}
+	return db.res.Snapshot(), true
+}
+
+// DegradedMode implements plan.DegradedReporter: true while the tier is
+// serving cache-first with writes rejected.
+func (db *DB) DegradedMode() bool { return db.res.Degraded() }
+
+// RetryAfter suggests how long a caller rejected by the resilience tier
+// should wait before retrying — the breaker's remaining open window,
+// never under a second. The serving layer turns it into a Retry-After
+// header.
+func (db *DB) RetryAfter() time.Duration { return db.res.RetryAfter() }
+
+// checkWritable rejects writes while the tier is degraded: a mutation
+// would have to touch the sick backend (and, for corruption, could graft
+// new versions onto a damaged chain), so the DB is read-only until the
+// tier recovers. The error wraps resilience.ErrDegraded.
+func (db *DB) checkWritable(op string) error {
+	if db.res.Degraded() {
+		db.res.NoteDegradedReject()
+		return fmt.Errorf("core: %s rejected, %s: %w", op, db.res.State(), resilience.ErrDegraded)
+	}
+	return nil
+}
+
 // --- document lifecycle ---
 
 // Put stores the first version of a document at time t.
 func (db *DB) Put(url string, root *xmltree.Node, t model.Time) (model.DocID, error) {
+	if err := db.checkWritable("put"); err != nil {
+		return 0, err
+	}
 	id, err := db.store.Put(url, root, t)
 	if err != nil {
 		return 0, err
@@ -186,6 +246,9 @@ func (db *DB) PutXML(url string, r io.Reader, t model.Time) (model.DocID, error)
 // indexes from the completed delta. It returns the new version number and
 // the delta script.
 func (db *DB) Update(id model.DocID, root *xmltree.Node, t model.Time) (model.VersionNo, *diff.Script, error) {
+	if err := db.checkWritable("update"); err != nil {
+		return 0, nil, err
+	}
 	ver, script, err := db.store.Update(id, root, t)
 	if err != nil {
 		return 0, nil, err
@@ -223,6 +286,9 @@ func (db *DB) UpdateXML(id model.DocID, r io.Reader, t model.Time) (model.Versio
 
 // Delete removes the document at time t; its history stays queryable.
 func (db *DB) Delete(id model.DocID, t model.Time) error {
+	if err := db.checkWritable("delete"); err != nil {
+		return err
+	}
 	cur, _, err := db.store.Current(id)
 	if err != nil {
 		return err
@@ -363,7 +429,7 @@ func (db *DB) DocHistoryContext(ctx context.Context, id model.DocID, iv model.In
 			return nil, err
 		}
 		var err error
-		out, err = db.store.DocHistory(id, iv)
+		out, err = db.store.DocHistoryContext(ctx, id, iv)
 		if err != nil {
 			return nil, err
 		}
@@ -391,7 +457,7 @@ func (db *DB) ElementHistoryContext(ctx context.Context, eid model.EID, iv model
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return db.store.ElementHistory(eid, iv)
+		return db.store.ElementHistoryContext(ctx, eid, iv)
 	}
 	docVersions, err := db.DocHistoryContext(ctx, eid.Doc, iv)
 	if err != nil {
@@ -409,11 +475,17 @@ func (db *DB) ElementHistoryContext(ctx context.Context, eid model.EID, iv model
 // Reconstruct rebuilds the element version identified by the TEID: the
 // Reconstruct operator of Section 7.3.3 followed by subtree extraction.
 func (db *DB) Reconstruct(teid model.TEID) (*xmltree.Node, error) {
+	//txvet:ignore ctxflow context-free operator API shim; ReconstructContext is the canonical path
+	return db.ReconstructContext(context.Background(), teid)
+}
+
+// ReconstructContext is Reconstruct under a caller context.
+func (db *DB) ReconstructContext(ctx context.Context, teid model.TEID) (*xmltree.Node, error) {
 	v, err := db.store.VersionAt(teid.E.Doc, teid.T)
 	if err != nil {
 		return nil, err
 	}
-	vt, err := db.ReconstructVersion(teid.E.Doc, v.Ver)
+	vt, err := db.ReconstructVersionContext(ctx, teid.E.Doc, v.Ver)
 	if err != nil {
 		return nil, err
 	}
@@ -429,10 +501,32 @@ func (db *DB) Reconstruct(teid model.TEID) (*xmltree.Node, error) {
 // operators exact hits, nearest-ancestor replays and singleflight
 // collapse transparently.
 func (db *DB) ReconstructVersion(id model.DocID, ver model.VersionNo) (store.VersionTree, error) {
+	//txvet:ignore ctxflow context-free plan.Engine compatibility shim; executors use ReconstructVersionContext
+	return db.ReconstructVersionContext(context.Background(), id, ver)
+}
+
+// ReconstructVersionContext implements plan.ContextReconstructor. Exact
+// cache hits never touch the backend, so cache-resident versions are
+// served even while the circuit breaker is open; a breaker-rejected
+// reconstruction of the *current* version falls back to the in-memory
+// current snapshot, which is complete by construction (Section 7.1 keeps
+// the current version whole). Anything else propagates the typed failure
+// fast.
+func (db *DB) ReconstructVersionContext(ctx context.Context, id model.DocID, ver model.VersionNo) (store.VersionTree, error) {
+	var vt store.VersionTree
+	var err error
 	if db.vcache != nil {
-		return db.vcache.Get(id, ver)
+		vt, err = db.vcache.GetContext(ctx, id, ver)
+	} else {
+		vt, err = db.store.ReconstructVersionContext(ctx, id, ver)
 	}
-	return db.store.ReconstructVersion(id, ver)
+	if err != nil && errors.Is(err, resilience.ErrCircuitOpen) {
+		if cur, info, cerr := db.store.Current(id); cerr == nil && info.Ver == ver {
+			db.res.NoteDegradedServe()
+			return store.VersionTree{Info: info, Root: cur}, nil
+		}
+	}
+	return vt, err
 }
 
 // CacheStats returns the version-cache counters; ok is false when the
@@ -556,7 +650,7 @@ func (db *DB) Diff(a, b model.TEID) (*xmltree.Node, error) {
 func (db *DB) DiffContext(ctx context.Context, a, b model.TEID) (*xmltree.Node, error) {
 	pair := [2]model.TEID{a, b}
 	nodes, err := parallel.Map(ctx, db.pool, "diff", 2, func(i int) (*xmltree.Node, error) {
-		return db.Reconstruct(pair[i])
+		return db.ReconstructContext(ctx, pair[i])
 	})
 	if err != nil {
 		return nil, err
@@ -603,9 +697,22 @@ func (db *DB) Query(src string) (*plan.Result, error) {
 // QueryContext parses and executes a temporal query under a context:
 // cancellation and deadline expiry abort execution between reconstructions
 // and rows, returning the context's error. The request-scoped entry point
-// the query server uses.
+// the query server uses. While the resilience tier is degraded, queries
+// that complete from cache-resident versions or the in-memory current
+// snapshot succeed flagged Result.Degraded; queries needing the sick
+// backend fail fast with an error wrapping resilience.ErrCircuitOpen.
 func (db *DB) QueryContext(ctx context.Context, src string) (*plan.Result, error) {
-	return plan.RunStringContext(ctx, db, src)
+	res, err := plan.RunStringContext(ctx, db, src)
+	if err != nil {
+		if errors.Is(err, resilience.ErrCircuitOpen) {
+			db.res.NoteDegradedReject()
+		}
+		return nil, err
+	}
+	if res.Degraded {
+		db.res.NoteDegradedServe()
+	}
+	return res, nil
 }
 
 // Explain returns the operator plan of a query without executing it.

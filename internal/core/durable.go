@@ -31,6 +31,7 @@ func OpenDurable(cfg Config, dir string) (*DB, error) {
 		return nil, fmt.Errorf("core: open durable: %w", err)
 	}
 	cfg.Store.Pages.Backend = wal
+	attachTier(&cfg)
 	st, err := store.Open(cfg.Store)
 	if err != nil {
 		wal.Close()
@@ -54,8 +55,14 @@ func (db *DB) WALStats() (pagestore.WALStats, bool) {
 }
 
 // Fsck verifies every extent referenced by the delta indexes and reports
-// structured corruption findings (see store.FsckReport).
-func (db *DB) Fsck() store.FsckReport { return db.store.Fsck() }
+// structured corruption findings (see store.FsckReport). The verdict is
+// fed into the resilience tier: corruption degrades the data component
+// (sticky — only a later clean Fsck clears it), a clean walk heals it.
+func (db *DB) Fsck() store.FsckReport {
+	rep := db.store.Fsck()
+	db.res.RecordFsck(rep.Clean())
+	return rep
+}
 
 // Close releases the storage backend (fsynced WAL file handles). The
 // database is unusable afterwards.

@@ -29,7 +29,7 @@ func (db *DB) PoolStats() parallel.Stats { return db.pool.Stats() }
 // collapse into one flight.
 func (db *DB) ReconstructBatch(ctx context.Context, teids []model.TEID) ([]*xmltree.Node, error) {
 	return parallel.Map(ctx, db.pool, "reconstruct", len(teids), func(i int) (*xmltree.Node, error) {
-		return db.Reconstruct(teids[i])
+		return db.ReconstructContext(ctx, teids[i])
 	})
 }
 
@@ -102,7 +102,7 @@ func (db *DB) parallelDocHistory(ctx context.Context, id model.DocID, iv model.I
 		func(c int) ([]store.VersionTree, error) {
 			lo := first + c*n/chunks
 			hi := first + (c+1)*n/chunks - 1
-			return db.historyChunk(id, versions, lo, hi)
+			return db.historyChunk(ctx, id, versions, lo, hi)
 		})
 	if err != nil {
 		return nil, false
@@ -117,17 +117,17 @@ func (db *DB) parallelDocHistory(ctx context.Context, id model.DocID, iv model.I
 
 // historyChunk reconstructs versions[lo..hi] (indices into the snapshotted
 // metadata), most recent first.
-func (db *DB) historyChunk(id model.DocID, versions []store.VersionInfo, lo, hi int) ([]store.VersionTree, error) {
-	vt, err := db.ReconstructVersion(id, versions[hi].Ver)
+func (db *DB) historyChunk(ctx context.Context, id model.DocID, versions []store.VersionInfo, lo, hi int) ([]store.VersionTree, error) {
+	vt, err := db.ReconstructVersionContext(ctx, id, versions[hi].Ver)
 	if err != nil {
 		return nil, err
 	}
-	tree := vt.Root // owned: ReconstructVersion returns a private tree
+	tree := vt.Root // owned: ReconstructVersionContext returns a private tree
 	out := make([]store.VersionTree, 0, hi-lo+1)
 	for i := hi; i >= lo; i-- {
 		out = append(out, store.VersionTree{Info: versions[i], Root: tree.Clone()})
 		if i > lo {
-			script, err := db.store.ReadDelta(id, versions[i-1].Ver)
+			script, err := db.store.ReadDeltaContext(ctx, id, versions[i-1].Ver)
 			if err != nil {
 				return nil, err
 			}
@@ -153,7 +153,7 @@ func (db *DB) PrefetchVersions(ctx context.Context, keys []plan.VersionKey, sink
 	}
 	var mu sync.Mutex
 	err := db.pool.Run(ctx, "plan", len(keys), func(i int) error {
-		vt, err := db.ReconstructVersion(keys[i].Doc, keys[i].Ver)
+		vt, err := db.ReconstructVersionContext(ctx, keys[i].Doc, keys[i].Ver)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"txmldb/internal/chaos"
+)
+
+// R1 runs the seeded chaos campaigns and the crash-and-reopen torture
+// loop (internal/chaos) and tabulates their invariant counters. Unlike
+// C1–C11 this experiment measures correctness under fault, not speed:
+// every succeeding query must be byte-identical to a fault-free oracle,
+// every failing one must carry a typed error, the resilience tier must
+// degrade and recover on its own, and a log truncated at a random crash
+// point must reopen to exactly the last whole commit.
+func R1(seeds []int64) (Table, error) {
+	t := Table{
+		ID:    "R1",
+		Title: "chaos campaign and crash torture (resilience tier)",
+		Claim: "under injected backend faults no query returns a wrong answer — each one is oracle-identical or fails typed — the tier degrades and heals automatically, and crash-truncated logs reopen to the last whole commit",
+		Columns: []string{"scenario", "seed", "queries", "ok", "identical",
+			"typed_fails", "degraded_serves", "breaker_opens", "states", "result"},
+	}
+	var failures []string
+	row := func(scenario string, rep *chaos.Report) {
+		result := "pass"
+		if !rep.Passed() {
+			result = fmt.Sprintf("FAIL(%d)", len(rep.Violations))
+			failures = append(failures, fmt.Sprintf("%s seed=%d:\n  %s",
+				scenario, rep.Seed, strings.Join(rep.Violations, "\n  ")))
+		}
+		states := strings.Join(rep.StatesSeen, "→")
+		if states == "" {
+			states = "-"
+		}
+		t.Rows = append(t.Rows, []string{
+			scenario, itoa(rep.Seed), itoa(rep.Queries), itoa(rep.Succeeded),
+			itoa(rep.Matched), itoa(rep.TypedFailures), itoa(rep.DegradedServes),
+			itoa(rep.BreakerOpens), states, result,
+		})
+	}
+	for _, seed := range seeds {
+		row("campaign", chaos.Run(chaos.Config{Seed: seed}, nil))
+	}
+	dir, err := os.MkdirTemp("", "txmldb-r1-")
+	if err != nil {
+		return t, err
+	}
+	defer os.RemoveAll(dir)
+	row("crash-torture", chaos.CrashAndReopen(dir, seeds[0], 6))
+	if len(failures) > 0 {
+		return t, fmt.Errorf("R1: invariant violations:\n%s", strings.Join(failures, "\n"))
+	}
+	t.Verdict = fmt.Sprintf("all invariants held across %d campaign seed(s) and 6 crash rounds: oracle identity on every success, typed errors on every failure, healthy→degraded→healthy visible, reopened logs clean", len(seeds))
+	return t, nil
+}

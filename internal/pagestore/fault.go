@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // The fault injector is a Backend decorator that scripts storage failures
@@ -57,6 +58,9 @@ const (
 	// payload while keeping the full-payload checksum — the classic torn
 	// page, detected as ErrCorrupt on read.
 	FaultTornWrite
+	// FaultLatency delays the operation by the rule's Delay before letting
+	// it through (a slow spindle / overloaded volume), without failing it.
+	FaultLatency
 )
 
 func (k FaultKind) String() string {
@@ -69,6 +73,8 @@ func (k FaultKind) String() string {
 		return "bitflip"
 	case FaultTornWrite:
 		return "tornwrite"
+	case FaultLatency:
+		return "latency"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -81,6 +87,9 @@ type FaultRule struct {
 	Kind  FaultKind
 	At    int64
 	Count int64
+	// Delay is how long a FaultLatency rule stalls the operation; other
+	// kinds ignore it.
+	Delay time.Duration
 }
 
 func (r FaultRule) covers(n int64) bool {
@@ -101,6 +110,7 @@ type Injector struct {
 	inner  Backend
 	rnd    *rand.Rand
 	rules  []FaultRule
+	outage bool // every Get/Put/Commit fails transient while set
 	reads  int64
 	writes int64
 	commit int64
@@ -119,6 +129,23 @@ func (in *Injector) Script(rules ...FaultRule) *Injector {
 	defer in.mu.Unlock()
 	in.rules = append(in.rules, rules...)
 	return in
+}
+
+// SetOutage toggles a whole-device outage: while set, every Get, Put and
+// Commit fails with an error wrapping ErrTransient, independent of the
+// scheduled rules. Chaos campaigns use it for fail-then-heal windows whose
+// boundaries are decided by the campaign, not by operation counts.
+func (in *Injector) SetOutage(down bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.outage = down
+}
+
+// Outage reports whether a whole-device outage is in effect.
+func (in *Injector) Outage() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.outage
 }
 
 // Fired returns how many faults have been injected so far.
@@ -183,11 +210,15 @@ func (in *Injector) Get(start int64) (Extent, error) {
 	in.mu.Lock()
 	in.reads++
 	n := in.reads
+	down := in.outage
 	r, hit := in.match(FaultRead, n)
-	if hit {
+	if hit || down {
 		in.fired++
 	}
 	in.mu.Unlock()
+	if down {
+		return Extent{}, fmt.Errorf("injected outage read fault (read #%d): %w", n, ErrTransient)
+	}
 	if hit {
 		switch r.Kind {
 		case FaultTransient:
@@ -198,6 +229,8 @@ func (in *Injector) Get(start int64) (Extent, error) {
 			if err := in.corruptLocked(start); err != nil {
 				return Extent{}, err
 			}
+		case FaultLatency:
+			time.Sleep(r.Delay)
 		}
 	}
 	return in.inner.Get(start)
@@ -228,8 +261,9 @@ func (in *Injector) Put(start int64, ext Extent) error {
 	in.mu.Lock()
 	in.writes++
 	n := in.writes
+	down := in.outage
 	r, hit := in.match(FaultWrite, n)
-	if hit {
+	if hit || down {
 		in.fired++
 	}
 	var torn Extent
@@ -238,6 +272,9 @@ func (in *Injector) Put(start int64, ext Extent) error {
 		torn = Extent{Data: ext.Data[:keep:keep], Pages: ext.Pages, Sum: ext.Sum}
 	}
 	in.mu.Unlock()
+	if down {
+		return fmt.Errorf("injected outage write fault (write #%d): %w", n, ErrTransient)
+	}
 	if hit {
 		switch r.Kind {
 		case FaultTransient:
@@ -253,6 +290,8 @@ func (in *Injector) Put(start int64, ext Extent) error {
 				return err
 			}
 			return in.corruptLocked(start)
+		case FaultLatency:
+			time.Sleep(r.Delay)
 		}
 	}
 	return in.inner.Put(start, ext)
@@ -262,15 +301,21 @@ func (in *Injector) Commit() error {
 	in.mu.Lock()
 	in.commit++
 	n := in.commit
+	down := in.outage
 	r, hit := in.match(FaultCommit, n)
-	if hit {
+	if hit || down {
 		in.fired++
 	}
 	in.mu.Unlock()
+	if down {
+		return fmt.Errorf("injected outage commit fault (commit #%d): %w", n, ErrTransient)
+	}
 	if hit {
 		switch r.Kind {
 		case FaultTransient:
 			return fmt.Errorf("injected transient commit fault (commit #%d): %w", n, ErrTransient)
+		case FaultLatency:
+			time.Sleep(r.Delay)
 		default:
 			return fmt.Errorf("pagestore: injected permanent commit fault (commit #%d)", n)
 		}

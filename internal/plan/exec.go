@@ -67,7 +67,13 @@ func (ex *executor) tree(doc model.DocID, ver model.VersionNo) (*store.VersionTr
 	if err := ex.ctx.Err(); err != nil {
 		return nil, err
 	}
-	vt, err := ex.engine.ReconstructVersion(doc, ver)
+	var vt store.VersionTree
+	var err error
+	if cr, ok := ex.engine.(ContextReconstructor); ok {
+		vt, err = cr.ReconstructVersionContext(ex.ctx, doc, ver)
+	} else {
+		vt, err = ex.engine.ReconstructVersion(doc, ver)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -175,6 +181,12 @@ func (ex *executor) run(q *query.Query) (*Result, error) {
 		res.Rows = res.Rows[:q.Limit]
 	}
 	res.Metrics = ex.metrics
+	if dr, ok := ex.engine.(DegradedReporter); ok && dr.DegradedMode() {
+		// The engine served this query while degraded: the rows that made
+		// it here are correct, but the caller should know coverage was
+		// cache-first.
+		res.Degraded = true
+	}
 	return res, nil
 }
 

@@ -68,6 +68,22 @@ type Prefetcher interface {
 	PrefetchVersions(ctx context.Context, keys []VersionKey, sink func(VersionKey, store.VersionTree)) (ran bool, err error)
 }
 
+// ContextReconstructor is an optional Engine extension: a context-aware
+// Reconstruct operator. The executor prefers it for row materialization,
+// so cancellation (and, when the engine carries a resilience tier, the
+// circuit breaker's fast-fail) reaches the version store's retry loop.
+type ContextReconstructor interface {
+	ReconstructVersionContext(ctx context.Context, doc model.DocID, ver model.VersionNo) (store.VersionTree, error)
+}
+
+// DegradedReporter is an optional Engine extension: engines carrying a
+// resilience tier report whether they are serving in degraded mode so the
+// executor can flag results (Result.Degraded, the envelope's
+// "degraded":true).
+type DegradedReporter interface {
+	DegradedMode() bool
+}
+
 // ContextScanner is an optional Engine extension: context-aware variants
 // of the pattern-scan operators. The executor prefers these, passing the
 // query's context, so cancellation and deadline expiry reach the
@@ -95,6 +111,11 @@ type Result struct {
 	Columns []string
 	Rows    [][]any
 	Metrics Metrics
+	// Degraded reports that the engine answered while its resilience tier
+	// was in degraded mode: the rows are correct (served from the version
+	// cache or the in-memory current snapshot — committed versions are
+	// immutable) but coverage-limited operations may have been rejected.
+	Degraded bool
 }
 
 // Run executes a parsed query.

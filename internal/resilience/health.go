@@ -1,0 +1,135 @@
+package resilience
+
+import (
+	"sync"
+)
+
+// HealthConfig parameterizes a Health state machine. Zero fields take the
+// defaults noted on each.
+type HealthConfig struct {
+	// DegradeAfter is how many consecutive failures move healthy →
+	// degraded. Default 3.
+	DegradeAfter int
+	// FailAfter is how many consecutive failures (counted from the last
+	// state change) move degraded → failing. Default 10.
+	FailAfter int
+	// RecoverAfter is how many consecutive successes step the state back
+	// down one level (failing → degraded → healthy). Default 5.
+	RecoverAfter int
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.DegradeAfter <= 0 {
+		c.DegradeAfter = 3
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 10
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 5
+	}
+	return c
+}
+
+// Health is one component's healthy → degraded → failing state machine.
+// Transitions need consecutive runs of observations (hysteresis): a single
+// failed read does not degrade a healthy component, and a single lucky
+// read does not clear an outage. Recovery steps down one state at a time,
+// so a failing component passes back through degraded before it is
+// trusted again. It is safe for concurrent use.
+type Health struct {
+	cfg HealthConfig
+
+	mu          sync.Mutex
+	state       State
+	failRun     int // consecutive failures since the last success/transition
+	okRun       int // consecutive successes since the last failure/transition
+	sticky      bool
+	transitions int64
+}
+
+// NewHealth builds a healthy component.
+func NewHealth(cfg HealthConfig) *Health {
+	return &Health{cfg: cfg.withDefaults()}
+}
+
+// Observe feeds one operation outcome into the machine.
+func (h *Health) Observe(ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ok {
+		h.failRun = 0
+		h.okRun++
+		if h.sticky {
+			// Sticky degradation (corruption) does not heal on reads; only
+			// Reset (a clean Fsck) clears it.
+			return
+		}
+		if h.state > Healthy && h.okRun >= h.cfg.RecoverAfter {
+			h.state--
+			h.okRun = 0
+			h.transitions++
+		}
+		return
+	}
+	h.okRun = 0
+	h.failRun++
+	switch h.state {
+	case Healthy:
+		if h.failRun >= h.cfg.DegradeAfter {
+			h.state = Degraded
+			h.failRun = 0
+			h.transitions++
+		}
+	case Degraded:
+		if h.failRun >= h.cfg.FailAfter {
+			h.state = Failing
+			h.failRun = 0
+			h.transitions++
+		}
+	}
+}
+
+// ObserveSticky degrades the component immediately and pins it there:
+// successful operations no longer step the state down. Corruption uses
+// this — a good read elsewhere does not un-corrupt an extent. Reset
+// clears the pin.
+func (h *Health) ObserveSticky() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sticky = true
+	h.okRun = 0
+	h.failRun = 0
+	if h.state < Degraded {
+		h.state = Degraded
+		h.transitions++
+	}
+}
+
+// Reset returns the component to healthy and clears any sticky pin (a
+// clean storage verification uses it).
+func (h *Health) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sticky = false
+	h.failRun = 0
+	h.okRun = 0
+	if h.state != Healthy {
+		h.state = Healthy
+		h.transitions++
+	}
+}
+
+// State returns the component's current state.
+func (h *Health) State() State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// Stats returns the state together with the transition count.
+func (h *Health) Stats() (State, int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state, h.transitions
+}

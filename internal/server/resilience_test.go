@@ -1,0 +1,275 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"txmldb"
+	"txmldb/internal/core"
+	"txmldb/internal/model"
+	"txmldb/internal/pagestore"
+	"txmldb/internal/resilience"
+	"txmldb/internal/store"
+	"txmldb/internal/vcache"
+	"txmldb/internal/xmltree"
+)
+
+// The server-level acceptance test for the resilience tier: with the
+// circuit breaker open, cache-resident historical queries still succeed
+// (flagged "degraded":true in the envelope) while cache-miss reads fail
+// fast with a typed 503 + Retry-After and writes are rejected with
+// ErrDegraded; /readyz flips while /healthz stays 200; and after the
+// fault heals, half-open probes recover everything automatically.
+
+// testClock is an injectable breaker clock tests advance manually.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// newFaultyEngine builds a cache-enabled, resilience-enabled engine over
+// an injected backend, with one document whose versions are
+// v1@01/01, v2@10/01, v3@20/01 (prices 15/16/17). Retries are disabled so
+// one injected fault is one breaker observation.
+func newFaultyEngine(t *testing.T, clk *testClock) (*core.DB, *pagestore.Injector, model.DocID) {
+	t.Helper()
+	inj := pagestore.NewInjector(pagestore.NewMemory(), 1)
+	db := core.Open(core.Config{
+		Clock: func() model.Time { return model.Date(2001, 2, 10) },
+		Store: store.Config{
+			Pages:       pagestore.Config{Backend: inj},
+			ReadRetries: -1,
+		},
+		Cache: vcache.Config{MaxBytes: 8 << 20},
+		Resilience: resilience.Config{
+			Enabled: true,
+			Breaker: resilience.BreakerConfig{
+				FailureThreshold: 3,
+				OpenFor:          time.Minute,
+				ProbeSuccesses:   1,
+				Clock:            clk.Now,
+			},
+			Health: resilience.HealthConfig{DegradeAfter: 3, FailAfter: 10, RecoverAfter: 2},
+		},
+	})
+	tree := func(price string) *xmltree.Node {
+		return xmltree.Elem("guide", xmltree.Elem("restaurant",
+			xmltree.ElemText("name", "Napoli"), xmltree.ElemText("price", price)))
+	}
+	id, err := db.Put("http://guide.com/restaurants.xml", tree("15"), model.Date(2001, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, price := range []string{"16", "17"} {
+		if _, _, err := db.Update(id, tree(price), model.Date(2001, 1, 10*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, inj, id
+}
+
+func getBody(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+func queryURL(ts *httptest.Server, date string) string {
+	q := `SELECT R FROM doc("http://guide.com/restaurants.xml")[` + date + `]/restaurant R`
+	return ts.URL + "/query?q=" + strings.ReplaceAll(q, " ", "+")
+}
+
+func TestBreakerOpenDegradedServing(t *testing.T) {
+	clk := &testClock{now: time.Unix(0, 0)}
+	db, inj, id := newFaultyEngine(t, clk)
+	s := New(db, Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Warm the cache with version 2 (alive on 15/01); the envelope of a
+	// healthy answer carries no degraded flag.
+	resp, body := getBody(t, queryURL(ts, "15/01/2001"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm query: %d: %s", resp.StatusCode, body)
+	}
+	if strings.Contains(body, `"degraded"`) {
+		t.Fatalf("healthy answer flagged degraded: %s", body)
+	}
+
+	// Fault storm: whole-device outage. Version 1 is not cached, so each
+	// query is a backend read failure; after FailureThreshold of them the
+	// breaker opens and the next answer is a fast 503.
+	inj.SetOutage(true)
+	var last *http.Response
+	var lastBody string
+	for i := 0; i < 10; i++ {
+		last, lastBody = getBody(t, queryURL(ts, "05/01/2001"))
+		if last.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if last.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("storm query %d: unexpected status %d: %s", i, last.StatusCode, lastBody)
+		}
+	}
+	if last.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("breaker never opened: last status %d: %s", last.StatusCode, lastBody)
+	}
+	if !strings.Contains(lastBody, `"kind":"unavailable"`) {
+		t.Fatalf("503 body not typed unavailable: %s", lastBody)
+	}
+	if ra := last.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("503 missing Retry-After (got %q)", ra)
+	}
+	if snap, ok := db.Health(); !ok || snap.Breaker.State != resilience.BreakerOpen {
+		t.Fatalf("breaker not open in snapshot: %+v (ok=%v)", snap, ok)
+	}
+
+	// The cache-resident version still answers — flagged degraded.
+	resp, body = getBody(t, queryURL(ts, "15/01/2001"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached query while degraded: %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `"degraded":true`) {
+		t.Fatalf("degraded answer not flagged: %s", body)
+	}
+	if !strings.Contains(body, "Napoli") {
+		t.Fatalf("degraded answer lost its rows: %s", body)
+	}
+
+	// Writes are rejected fast with the typed degraded error.
+	wantTree := xmltree.Elem("guide", xmltree.Elem("restaurant",
+		xmltree.ElemText("name", "Napoli"), xmltree.ElemText("price", "99")))
+	if _, _, err := db.Update(id, wantTree, model.Date(2001, 2, 1)); !errors.Is(err, txmldb.ErrDegraded) {
+		t.Fatalf("write while degraded = %v, want ErrDegraded", err)
+	}
+
+	// Liveness stays green; readiness flips with the reason in the body.
+	resp, _ = getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while degraded: %d", resp.StatusCode)
+	}
+	resp, body = getBody(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while degraded: %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `"state":"degraded"`) || !strings.Contains(body, `"ready":false`) {
+		t.Fatalf("/readyz body missing state: %s", body)
+	}
+
+	// The transitions are visible on /metrics.
+	_, body = getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"txserved_health_state 1",
+		"txserved_breaker_state 2",
+		"txserved_breaker_opens_total 1",
+		"txserved_degraded_reads_total",
+		"txserved_errors_unavailable_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Heal the device and let the open window elapse: the next read is a
+	// half-open probe, its success closes the breaker, and the following
+	// reads step the backend component back to healthy.
+	inj.SetOutage(false)
+	clk.Advance(2 * time.Minute)
+	resp, body = getBody(t, queryURL(ts, "05/01/2001"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after heal: %d: %s", resp.StatusCode, body)
+	}
+	if snap, _ := db.Health(); snap.State != resilience.Healthy {
+		t.Fatalf("tier did not recover: %+v", snap)
+	}
+	resp, _ = getBody(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after recovery: %d", resp.StatusCode)
+	}
+	// Writes work again.
+	if _, _, err := db.Update(id, wantTree, model.Date(2001, 2, 1)); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+}
+
+// TestDrainFlipsReadinessFirst is the satellite-2 regression test: once
+// shutdown begins, /readyz must report 503 while the listener is still
+// accepting (the drain grace window), and queries admitted in that window
+// must still succeed.
+func TestDrainFlipsReadinessFirst(t *testing.T) {
+	clk := &testClock{now: time.Unix(0, 0)}
+	db, _, _ := newFaultyEngine(t, clk)
+	s := New(db, Config{DrainGrace: 300 * time.Millisecond})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, l, 5*time.Second) }()
+	base := "http://" + l.Addr().String()
+
+	// Healthy and ready before shutdown.
+	resp, body := getBody(t, base+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz before drain: %d: %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Readiness is already down...
+	resp, body = getBody(t, base+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during grace: %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `"draining":true`) {
+		t.Fatalf("/readyz body missing draining: %s", body)
+	}
+	// ...but the listener still accepts and queries still succeed.
+	q := `SELECT R FROM doc("http://guide.com/restaurants.xml")[15/01/2001]/restaurant R`
+	resp, body = getBody(t, base+"/query?q="+strings.ReplaceAll(q, " ", "+"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query during grace: %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains([]byte(body), []byte("Napoli")) {
+		t.Fatalf("query during grace lost rows: %s", body)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -11,12 +11,15 @@
 //
 //	POST /query    {"query": "...", "timeout_ms": 0}  (or GET ?q=...)
 //	GET  /explain  ?q=...                             (or POST, same body)
-//	GET  /healthz  liveness + uptime + doc count
+//	GET  /healthz  liveness + uptime + doc count (always 200 while up)
+//	GET  /readyz   readiness: 503 while draining or while the engine's
+//	               resilience tier reports degraded/failing
 //	GET  /metrics  Prometheus-style text exposition
 //
-// Shutdown ordering is: stop accepting, drain in-flight requests, then
-// (in the caller, cmd/txserved) close the durable store — so a committed
-// response always means a committed write-ahead log.
+// Shutdown ordering is: flip /readyz to 503 (so load balancers stop
+// routing here), wait the drain grace, stop accepting, drain in-flight
+// requests, then (in the caller, cmd/txserved) close the durable store —
+// so a committed response always means a committed write-ahead log.
 package server
 
 import (
@@ -31,6 +34,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"txmldb"
@@ -72,6 +76,15 @@ type poolStatser interface {
 	PoolStats() txmldb.PoolStats
 }
 
+// healthReporter is optionally implemented by engines (txmldb.DB is one)
+// carrying a resilience tier: /readyz and the txserved_health_* /
+// txserved_breaker_* metrics are derived from its snapshots, and 503
+// responses take their Retry-After from RetryAfter.
+type healthReporter interface {
+	Health() (txmldb.HealthSnapshot, bool)
+	RetryAfter() time.Duration
+}
+
 // Config parameterizes a Server. Zero values select the defaults noted
 // on each field.
 type Config struct {
@@ -88,6 +101,11 @@ type Config struct {
 	// SlowQuery is the slow-query log threshold (default 500ms; negative
 	// disables the log).
 	SlowQuery time.Duration
+	// DrainGrace is how long /readyz reports 503 before a shutting-down
+	// server stops accepting connections, giving load balancers a window
+	// to route traffic away while queries still succeed (default 0: flip
+	// readiness and stop accepting immediately).
+	DrainGrace time.Duration
 	// AccessLog receives one structured line per request; nil disables.
 	AccessLog *log.Logger
 	// ErrorLog receives panics and internal errors; nil uses log.Default().
@@ -125,19 +143,25 @@ type Server struct {
 	reg    *metrics.Registry
 	start  time.Time
 
-	mRequests  *metrics.Counter
-	mQueries   *metrics.Counter
-	mRows      *metrics.Counter
-	mParseErrs *metrics.Counter
-	mTimeouts  *metrics.Counter
-	mCanceled  *metrics.Counter
-	mRejected  *metrics.Counter
-	mInternal  *metrics.Counter
-	mPanics    *metrics.Counter
-	mSlow      *metrics.Counter
-	mInFlight  *metrics.Gauge
-	mQueued    *metrics.Gauge
-	mLatency   *metrics.Histogram
+	// draining flips /readyz to 503 before the listener stops accepting,
+	// so load balancers drain traffic while in-flight (and grace-window)
+	// queries still complete.
+	draining atomic.Bool
+
+	mRequests    *metrics.Counter
+	mQueries     *metrics.Counter
+	mRows        *metrics.Counter
+	mParseErrs   *metrics.Counter
+	mTimeouts    *metrics.Counter
+	mCanceled    *metrics.Counter
+	mRejected    *metrics.Counter
+	mInternal    *metrics.Counter
+	mUnavailable *metrics.Counter
+	mPanics      *metrics.Counter
+	mSlow        *metrics.Counter
+	mInFlight    *metrics.Gauge
+	mQueued      *metrics.Gauge
+	mLatency     *metrics.Histogram
 }
 
 // New builds a Server over an engine.
@@ -151,25 +175,27 @@ func New(engine Engine, cfg Config) *Server {
 		reg:    reg,
 		start:  time.Now(),
 
-		mRequests:  reg.Counter("txserved_http_requests_total", "HTTP requests received"),
-		mQueries:   reg.Counter("txserved_queries_total", "queries executed successfully"),
-		mRows:      reg.Counter("txserved_result_rows_total", "result rows returned"),
-		mParseErrs: reg.Counter("txserved_errors_parse_total", "requests rejected with a query syntax error"),
-		mTimeouts:  reg.Counter("txserved_errors_timeout_total", "queries aborted by deadline expiry"),
-		mCanceled:  reg.Counter("txserved_errors_canceled_total", "queries aborted because the client disconnected (499)"),
-		mRejected:  reg.Counter("txserved_rejected_total", "requests rejected by admission control (429)"),
-		mInternal:  reg.Counter("txserved_errors_internal_total", "queries failed with an internal error"),
-		mPanics:    reg.Counter("txserved_panics_total", "request handlers recovered from a panic"),
-		mSlow:      reg.Counter("txserved_slow_queries_total", "queries slower than the slow-query threshold"),
-		mInFlight:  reg.Gauge("txserved_inflight_queries", "queries executing now"),
-		mQueued:    reg.Gauge("txserved_queued_requests", "requests waiting for an execution slot"),
-		mLatency:   reg.Histogram("txserved_query_latency_ms", "query latency in milliseconds", nil),
+		mRequests:    reg.Counter("txserved_http_requests_total", "HTTP requests received"),
+		mQueries:     reg.Counter("txserved_queries_total", "queries executed successfully"),
+		mRows:        reg.Counter("txserved_result_rows_total", "result rows returned"),
+		mParseErrs:   reg.Counter("txserved_errors_parse_total", "requests rejected with a query syntax error"),
+		mTimeouts:    reg.Counter("txserved_errors_timeout_total", "queries aborted by deadline expiry"),
+		mCanceled:    reg.Counter("txserved_errors_canceled_total", "queries aborted because the client disconnected (499)"),
+		mRejected:    reg.Counter("txserved_rejected_total", "requests rejected by admission control (429)"),
+		mInternal:    reg.Counter("txserved_errors_internal_total", "queries failed with an internal error"),
+		mUnavailable: reg.Counter("txserved_errors_unavailable_total", "queries rejected with 503 by the resilience tier (breaker open or degraded mode)"),
+		mPanics:      reg.Counter("txserved_panics_total", "request handlers recovered from a panic"),
+		mSlow:        reg.Counter("txserved_slow_queries_total", "queries slower than the slow-query threshold"),
+		mInFlight:    reg.Gauge("txserved_inflight_queries", "queries executing now"),
+		mQueued:      reg.Gauge("txserved_queued_requests", "requests waiting for an execution slot"),
+		mLatency:     reg.Histogram("txserved_query_latency_ms", "query latency in milliseconds", nil),
 	}
 	s.registerEngineMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
@@ -239,6 +265,40 @@ func (s *Server) registerEngineMetrics() {
 				})
 		}
 	}
+	if hr, ok := s.engine.(healthReporter); ok {
+		if _, enabled := hr.Health(); enabled {
+			hsnap := func(f func(txmldb.HealthSnapshot) int64) func() int64 {
+				return func() int64 { snap, _ := hr.Health(); return f(snap) }
+			}
+			s.reg.GaugeFunc("txserved_health_state",
+				"overall engine health (0 healthy, 1 degraded, 2 failing)",
+				hsnap(func(h txmldb.HealthSnapshot) int64 { return int64(h.State) }))
+			s.reg.GaugeFunc("txserved_health_state_backend",
+				"backend I/O path health (0 healthy, 1 degraded, 2 failing)",
+				hsnap(func(h txmldb.HealthSnapshot) int64 { return int64(h.Backend.State) }))
+			s.reg.GaugeFunc("txserved_health_state_data",
+				"data integrity health (0 healthy, 1 degraded/corrupt, 2 failing)",
+				hsnap(func(h txmldb.HealthSnapshot) int64 { return int64(h.Data.State) }))
+			s.reg.GaugeFunc("txserved_breaker_state",
+				"backend-read circuit breaker position (0 closed, 1 half-open, 2 open)",
+				hsnap(func(h txmldb.HealthSnapshot) int64 { return int64(h.Breaker.State) }))
+			s.reg.CounterFunc("txserved_breaker_opens_total",
+				"times the circuit breaker tripped open",
+				hsnap(func(h txmldb.HealthSnapshot) int64 { return h.Breaker.Opens }))
+			s.reg.CounterFunc("txserved_breaker_fast_fails_total",
+				"backend reads rejected fast while the breaker was open",
+				hsnap(func(h txmldb.HealthSnapshot) int64 { return h.Breaker.FastFails }))
+			s.reg.CounterFunc("txserved_breaker_probes_total",
+				"half-open probe reads admitted by the breaker",
+				hsnap(func(h txmldb.HealthSnapshot) int64 { return h.Breaker.Probes }))
+			s.reg.CounterFunc("txserved_degraded_reads_total",
+				"reads served from cache or the current snapshot while degraded",
+				hsnap(func(h txmldb.HealthSnapshot) int64 { return h.DegradedServes }))
+			s.reg.CounterFunc("txserved_degraded_rejected_total",
+				"writes and cache-miss reads rejected while degraded",
+				hsnap(func(h txmldb.HealthSnapshot) int64 { return h.DegradedRejects }))
+		}
+	}
 	cs, ok := s.engine.(cacheStatser)
 	if !ok {
 		return
@@ -300,10 +360,12 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// Run serves on l until ctx is canceled, then gracefully shuts down:
-// stops accepting connections and waits (up to drainTimeout) for in-flight
-// requests to finish. It returns the serve error, or nil after a clean
-// drain.
+// Run serves on l until ctx is canceled, then gracefully shuts down in
+// readiness-first order: /readyz flips to 503 while the listener still
+// accepts (for Config.DrainGrace, so load balancers route traffic away
+// without failing in-flight or just-arrived requests), then the listener
+// closes and in-flight requests drain (up to drainTimeout). It returns
+// the serve error, or nil after a clean drain.
 func (s *Server) Run(ctx context.Context, l net.Listener, drainTimeout time.Duration) error {
 	hs := &http.Server{Handler: s.Handler(), ErrorLog: s.cfg.ErrorLog}
 	errc := make(chan error, 1)
@@ -313,11 +375,30 @@ func (s *Server) Run(ctx context.Context, l net.Listener, drainTimeout time.Dura
 		return err
 	case <-ctx.Done():
 	}
+	// Readiness goes down BEFORE the listener: a request admitted during
+	// the grace window still succeeds, but health checks steer new traffic
+	// elsewhere. Closing the listener first would hard-fail the requests a
+	// balancer sends before its next /readyz poll.
+	s.draining.Store(true)
+	if s.cfg.DrainGrace > 0 {
+		grace := time.NewTimer(s.cfg.DrainGrace)
+		select {
+		case err := <-errc:
+			grace.Stop()
+			return err
+		case <-grace.C:
+		}
+	}
 	//txvet:ignore ctxflow deliberate fresh root: the serve ctx is already done when the drain deadline starts
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	return hs.Shutdown(dctx)
 }
+
+// Draining reports whether the server has begun shutting down (readiness
+// is already failing; the listener may still be accepting for the grace
+// window).
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // loggingWriter captures status and byte count for the access log, and
 // whether anything was written (panic recovery can only send an error
@@ -362,7 +443,7 @@ type queryRequest struct {
 
 // errorBody is the typed error envelope: {"error": {...}}.
 type errorBody struct {
-	Kind    string `json:"kind"` // parse | timeout | overload | bad_request | internal
+	Kind    string `json:"kind"` // parse | timeout | overload | bad_request | unavailable | canceled | internal
 	Message string `json:"message"`
 	// Position of a parse error in the query text (1-based; present only
 	// for kind "parse").
@@ -483,6 +564,18 @@ func (s *Server) writeQueryError(w http.ResponseWriter, r *http.Request, err err
 	case errors.Is(err, context.Canceled):
 		s.mCanceled.Inc()
 		writeError(w, statusClientClosedRequest, errorBody{Kind: "canceled", Message: "client closed request"})
+	case errors.Is(err, txmldb.ErrCircuitOpen), errors.Is(err, txmldb.ErrDegraded):
+		// The resilience tier rejected the operation: breaker open on a
+		// cache-miss read, or a write while degraded. 503 + Retry-After
+		// (the breaker's remaining open window) tells well-behaved clients
+		// when the half-open probes could have recovered the engine.
+		s.mUnavailable.Inc()
+		retry := time.Second
+		if hr, ok := s.engine.(healthReporter); ok {
+			retry = hr.RetryAfter()
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+		writeError(w, http.StatusServiceUnavailable, errorBody{Kind: "unavailable", Message: err.Error()})
 	default:
 		s.mInternal.Inc()
 		s.cfg.ErrorLog.Printf("query failed: %v (%s %s)", err, r.Method, r.URL.Path)
@@ -511,8 +604,15 @@ func streamResult(w http.ResponseWriter, res *txmldb.Result, elapsed time.Durati
 			flusher.Flush()
 		}
 	}
-	fmt.Fprintf(w, `],"row_count":%d,"metrics":{"pattern_matches":%d,"reconstructions":%d,"rows_examined":%d},"elapsed_ms":%.3f}`,
-		len(res.Rows), res.Metrics.PatternMatches, res.Metrics.Reconstructions, res.Metrics.RowsExamined,
+	degraded := ""
+	if res.Degraded {
+		// Flag answers served while the resilience tier was degraded: the
+		// rows are correct (cache / current-snapshot served), but clients
+		// monitoring freshness or coverage should know the engine's state.
+		degraded = `"degraded":true,`
+	}
+	fmt.Fprintf(w, `],%s"row_count":%d,"metrics":{"pattern_matches":%d,"reconstructions":%d,"rows_examined":%d},"elapsed_ms":%.3f}`,
+		degraded, len(res.Rows), res.Metrics.PatternMatches, res.Metrics.Reconstructions, res.Metrics.RowsExamined,
 		float64(elapsed)/float64(time.Millisecond))
 	io.WriteString(w, "\n")
 }
@@ -563,6 +663,42 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp["docs"] = len(dl.Docs())
 	}
 	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleReadyz is readiness, distinct from /healthz liveness: it answers
+// 503 while the server is draining or while the engine's resilience tier
+// reports degraded/failing, so load balancers stop routing here while the
+// process itself stays alive (and /healthz keeps returning 200). The body
+// always carries the full picture — overall state, per-component states,
+// breaker position — so an operator curling it sees why.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	draining := s.draining.Load()
+	ready := !draining
+	resp := map[string]any{"draining": draining}
+	if hr, ok := s.engine.(healthReporter); ok {
+		if snap, enabled := hr.Health(); enabled {
+			if snap.State != txmldb.StateHealthy {
+				ready = false
+			}
+			resp["state"] = snap.State.String()
+			resp["components"] = map[string]string{
+				"backend": snap.Backend.State.String(),
+				"data":    snap.Data.State.String(),
+			}
+			resp["breaker"] = snap.Breaker.State.String()
+			resp["degraded_reads"] = snap.DegradedServes
+			resp["degraded_rejects"] = snap.DegradedRejects
+		}
+	}
+	resp["ready"] = ready
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		if hr, ok := s.engine.(healthReporter); ok {
+			w.Header().Set("Retry-After", strconv.Itoa(int((hr.RetryAfter()+time.Second-1)/time.Second)))
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
 	json.NewEncoder(w).Encode(resp)
 }
 

@@ -72,9 +72,12 @@ func (r FsckReport) String() string {
 }
 
 // Fsck verifies every extent referenced by the delta indexes. Reads go
-// through the normal retry path, so transient faults do not show up as
-// corruption; checksum mismatches (pagestore.ErrCorrupt), lost extents
-// (pagestore.ErrUnknownExtent) and unrecovered current versions do.
+// through the retry path but bypass the circuit breaker — a diagnostic
+// walk must see the device's true state even mid-outage — so transient
+// faults do not show up as corruption; checksum mismatches
+// (pagestore.ErrCorrupt), lost extents (pagestore.ErrUnknownExtent) and
+// unrecovered current versions do. Feed the report's verdict into the
+// resilience tier with Tier.RecordFsck (core.DB.Fsck does).
 func (s *Store) Fsck() FsckReport {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -95,7 +98,7 @@ func (s *Store) Fsck() FsckReport {
 		for i, v := range d.versions {
 			if !v.DeltaToNext.Zero() {
 				rep.Extents++
-				if _, err := s.readExtent(v.DeltaToNext); err != nil {
+				if _, err := s.readExtentRaw(v.DeltaToNext); err != nil {
 					problems = append(problems, FsckProblem{
 						Doc: id, Name: d.name, Ver: v.Ver,
 						Kind: "delta", Ref: v.DeltaToNext, Err: err,
@@ -106,7 +109,7 @@ func (s *Store) Fsck() FsckReport {
 			}
 			if !v.Snapshot.Zero() {
 				rep.Extents++
-				if _, err := s.readExtent(v.Snapshot); err != nil {
+				if _, err := s.readExtentRaw(v.Snapshot); err != nil {
 					problems = append(problems, FsckProblem{
 						Doc: id, Name: d.name, Ver: v.Ver,
 						Kind: "snapshot", Ref: v.Snapshot, Err: err,

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 
 	"txmldb/internal/diff"
@@ -23,12 +24,12 @@ func (v VersionTree) TEID(doc model.DocID) model.TEID {
 // Transient read faults are retried (bounded backoff); permanent failures
 // name the broken delta so callers can report which part of the chain is
 // damaged.
-func (s *Store) readScript(d *docEntry, fromVer model.VersionNo) (*diff.Script, error) {
+func (s *Store) readScript(ctx context.Context, d *docEntry, fromVer model.VersionNo) (*diff.Script, error) {
 	info := d.versions[fromVer-1]
 	if info.DeltaToNext.Zero() {
 		return nil, fmt.Errorf("store: no delta from version %d of doc %d", fromVer, d.id)
 	}
-	data, err := s.readExtent(info.DeltaToNext)
+	data, err := s.readExtentCtx(ctx, info.DeltaToNext)
 	if err != nil {
 		return nil, fmt.Errorf("store: reading delta %d→%d of doc %d: %w", fromVer, fromVer+1, d.id, err)
 	}
@@ -42,6 +43,11 @@ func (s *Store) readScript(d *docEntry, fromVer model.VersionNo) (*diff.Script, 
 // ReadDelta returns the completed delta script transforming version fromVer
 // into fromVer+1, reading it from disk.
 func (s *Store) ReadDelta(id model.DocID, fromVer model.VersionNo) (*diff.Script, error) {
+	return s.ReadDeltaContext(context.Background(), id, fromVer)
+}
+
+// ReadDeltaContext is ReadDelta honoring ctx in retry backoff.
+func (s *Store) ReadDeltaContext(ctx context.Context, id model.DocID, fromVer model.VersionNo) (*diff.Script, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	d, ok := s.docs[id]
@@ -51,7 +57,7 @@ func (s *Store) ReadDelta(id model.DocID, fromVer model.VersionNo) (*diff.Script
 	if fromVer < 1 || int(fromVer) >= len(d.versions) {
 		return nil, fmt.Errorf("store: doc %d has no delta from version %d", id, fromVer)
 	}
-	return s.readScript(d, fromVer)
+	return s.readScript(ctx, d, fromVer)
 }
 
 // ReconstructVersion rebuilds the given version of the document by reading
@@ -59,16 +65,23 @@ func (s *Store) ReadDelta(id model.DocID, fromVer model.VersionNo) (*diff.Script
 // deltas backwards (Section 7.3.3). The returned tree is owned by the
 // caller.
 func (s *Store) ReconstructVersion(id model.DocID, ver model.VersionNo) (VersionTree, error) {
+	return s.ReconstructVersionContext(context.Background(), id, ver)
+}
+
+// ReconstructVersionContext is ReconstructVersion honoring ctx: retry
+// backoff aborts when ctx is canceled, and the circuit breaker (when a
+// resilience tier is configured) can reject the backend reads fast.
+func (s *Store) ReconstructVersionContext(ctx context.Context, id model.DocID, ver model.VersionNo) (VersionTree, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	d, ok := s.docs[id]
 	if !ok {
 		return VersionTree{}, fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
-	return s.reconstruct(d, ver)
+	return s.reconstruct(ctx, d, ver)
 }
 
-func (s *Store) reconstruct(d *docEntry, ver model.VersionNo) (VersionTree, error) {
+func (s *Store) reconstruct(ctx context.Context, d *docEntry, ver model.VersionNo) (VersionTree, error) {
 	if ver < 1 || int(ver) > len(d.versions) {
 		return VersionTree{}, fmt.Errorf("store: doc %d has no version %d", d.id, ver)
 	}
@@ -85,7 +98,7 @@ func (s *Store) reconstruct(d *docEntry, ver model.VersionNo) (VersionTree, erro
 		if d.versions[cand-1].Snapshot.Zero() {
 			continue
 		}
-		data, err := s.readExtent(d.versions[cand-1].Snapshot)
+		data, err := s.readExtentCtx(ctx, d.versions[cand-1].Snapshot)
 		if err != nil {
 			snapErr = fmt.Errorf("store: reading snapshot of version %d of doc %d: %w", cand, d.id, err)
 			continue
@@ -106,7 +119,7 @@ func (s *Store) reconstruct(d *docEntry, ver model.VersionNo) (VersionTree, erro
 	}
 	// Apply inverted deltas backwards: snapVer-1 → ... → ver.
 	for v := snapVer - 1; v >= ver; v-- {
-		script, err := s.readScript(d, v)
+		script, err := s.readScript(ctx, d, v)
 		if err != nil {
 			return VersionTree{}, fmt.Errorf("%w: version %d of doc %d depends on delta %d→%d: %w",
 				ErrUnreachable, ver, d.id, v, v+1, err)
@@ -129,6 +142,12 @@ func (s *Store) reconstruct(d *docEntry, ver model.VersionNo) (VersionTree, erro
 // misses, and history walks can use it to reuse the previous iteration's
 // tree. base.Info.Ver must be at most `to`.
 func (s *Store) ReconstructFrom(id model.DocID, base VersionTree, to model.VersionNo) (VersionTree, error) {
+	return s.ReconstructFromContext(context.Background(), id, base, to)
+}
+
+// ReconstructFromContext is ReconstructFrom honoring ctx in retry backoff
+// and the circuit breaker.
+func (s *Store) ReconstructFromContext(ctx context.Context, id model.DocID, base VersionTree, to model.VersionNo) (VersionTree, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	d, ok := s.docs[id]
@@ -144,7 +163,7 @@ func (s *Store) ReconstructFrom(id model.DocID, base VersionTree, to model.Versi
 	}
 	tree := base.Root.Clone()
 	for v := from; v < to; v++ {
-		script, err := s.readScript(d, v)
+		script, err := s.readScript(ctx, d, v)
 		if err != nil {
 			return VersionTree{}, fmt.Errorf("%w: version %d of doc %d depends on delta %d→%d: %w",
 				ErrUnreachable, to, d.id, v, v+1, err)
@@ -158,6 +177,11 @@ func (s *Store) ReconstructFrom(id model.DocID, base VersionTree, to model.Versi
 
 // ReconstructAt rebuilds the version of the document valid at time t.
 func (s *Store) ReconstructAt(id model.DocID, t model.Time) (VersionTree, error) {
+	return s.ReconstructAtContext(context.Background(), id, t)
+}
+
+// ReconstructAtContext is ReconstructAt honoring ctx.
+func (s *Store) ReconstructAtContext(ctx context.Context, id model.DocID, t model.Time) (VersionTree, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	d, ok := s.docs[id]
@@ -168,13 +192,19 @@ func (s *Store) ReconstructAt(id model.DocID, t model.Time) (VersionTree, error)
 	if err != nil {
 		return VersionTree{}, err
 	}
-	return s.reconstruct(d, v.Ver)
+	return s.reconstruct(ctx, d, v.Ver)
 }
 
 // DocHistory returns all versions of the document valid in [from, to),
 // most recent first — the output order of the paper's DocHistory algorithm
 // (Section 7.3.4), which falls out of backward reconstruction.
 func (s *Store) DocHistory(id model.DocID, iv model.Interval) ([]VersionTree, error) {
+	return s.DocHistoryContext(context.Background(), id, iv)
+}
+
+// DocHistoryContext is DocHistory honoring ctx in retry backoff and the
+// circuit breaker.
+func (s *Store) DocHistoryContext(ctx context.Context, id model.DocID, iv model.Interval) ([]VersionTree, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	d, ok := s.docs[id]
@@ -195,7 +225,7 @@ func (s *Store) DocHistory(id model.DocID, iv model.Interval) ([]VersionTree, er
 	}
 	// Reconstruct the newest version in range, then walk backwards with
 	// inverted deltas, reusing the intermediate trees.
-	vt, err := s.reconstruct(d, d.versions[last].Ver)
+	vt, err := s.reconstruct(ctx, d, d.versions[last].Ver)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +233,7 @@ func (s *Store) DocHistory(id model.DocID, iv model.Interval) ([]VersionTree, er
 	for i := last; i >= 0 && d.versions[i].Interval().Overlaps(iv); i-- {
 		out = append(out, VersionTree{Info: d.versions[i], Root: tree.Clone()})
 		if i > 0 {
-			script, err := s.readScript(d, d.versions[i-1].Ver)
+			script, err := s.readScript(ctx, d, d.versions[i-1].Ver)
 			if err != nil {
 				return nil, err
 			}
@@ -221,7 +251,12 @@ func (s *Store) DocHistory(id model.DocID, iv model.Interval) ([]VersionTree, er
 // possible to optimize this so that only the desired subtrees are
 // reconstructed, the whole deltas would have to be read anyway".
 func (s *Store) ElementHistory(eid model.EID, iv model.Interval) ([]VersionTree, error) {
-	docVersions, err := s.DocHistory(eid.Doc, iv)
+	return s.ElementHistoryContext(context.Background(), eid, iv)
+}
+
+// ElementHistoryContext is ElementHistory honoring ctx.
+func (s *Store) ElementHistoryContext(ctx context.Context, eid model.EID, iv model.Interval) ([]VersionTree, error) {
+	docVersions, err := s.DocHistoryContext(ctx, eid.Doc, iv)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +302,7 @@ func (s *Store) CreTimeTraverseFromCurrent(eid model.EID) (model.Time, error) {
 
 func (s *Store) creTimeScan(d *docEntry, fromVer model.VersionNo, x model.XID) (model.Time, error) {
 	for ver := fromVer; ver >= 2; ver-- {
-		script, err := s.readScript(d, ver-1)
+		script, err := s.readScript(context.Background(), d, ver-1)
 		if err != nil {
 			return 0, err
 		}
@@ -306,7 +341,7 @@ func (s *Store) DelTimeTraverse(teid model.TEID) (model.Time, error) {
 		return d.deleted, nil // Forever for live documents
 	}
 	for ver := v.Ver + 1; int(ver) <= len(d.versions); ver++ {
-		script, err := s.readScript(d, ver-1)
+		script, err := s.readScript(context.Background(), d, ver-1)
 		if err != nil {
 			return 0, err
 		}

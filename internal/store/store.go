@@ -10,8 +10,10 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"txmldb/internal/diff"
 	"txmldb/internal/model"
 	"txmldb/internal/pagestore"
+	"txmldb/internal/resilience"
 	"txmldb/internal/xmltree"
 )
 
@@ -34,8 +37,16 @@ type Config struct {
 	// default of 3; negative disables retries.
 	ReadRetries int
 	// RetryBackoff is the sleep before the first retry; it doubles per
-	// attempt. Zero means the default of 200µs.
+	// attempt (plus up to 50% seeded jitter). Zero means the default of
+	// 200µs.
 	RetryBackoff time.Duration
+	// RetrySeed seeds the backoff jitter so fault runs replay identically.
+	// Zero means 1.
+	RetrySeed int64
+	// Resilience, when non-nil, wraps backend reads in the tier's circuit
+	// breaker and feeds read outcomes into its health machines. A nil tier
+	// preserves the raw retry behaviour.
+	Resilience *resilience.Tier
 }
 
 // VersionInfo is one entry of a document's delta index.
@@ -94,17 +105,31 @@ type Store struct {
 	docs    map[model.DocID]*docEntry
 	byName  map[string]model.DocID
 	nextDoc model.DocID
+
+	// jmu guards jrnd: retry-backoff jitter is drawn concurrently by
+	// readers that only hold s.mu.RLock.
+	jmu  sync.Mutex
+	jrnd *rand.Rand
 }
 
 // New returns an empty store.
 func New(cfg Config) *Store {
+	seed := cfg.RetrySeed
+	if seed == 0 {
+		seed = 1
+	}
 	return &Store{
 		cfg:    cfg,
 		pages:  pagestore.New(cfg.Pages),
 		docs:   make(map[model.DocID]*docEntry),
 		byName: make(map[string]model.DocID),
+		jrnd:   rand.New(rand.NewSource(seed)),
 	}
 }
+
+// Resilience returns the resilience tier the store feeds, nil when
+// disabled.
+func (s *Store) Resilience() *resilience.Tier { return s.cfg.Resilience }
 
 // Pages exposes the simulated disk, mainly for I/O accounting in benchmarks.
 func (s *Store) Pages() *pagestore.Store { return s.pages }
@@ -145,6 +170,70 @@ var (
 // exponential backoff. Permanent faults (corruption, unknown extents) are
 // returned immediately.
 func (s *Store) readExtent(ref pagestore.Ref) ([]byte, error) {
+	return s.readExtentCtx(context.Background(), ref)
+}
+
+// readExtentCtx is readExtent under a context: the backoff sleeps between
+// retries abort as soon as ctx is canceled, so a caller that gave up (the
+// *Context operator variants) never blocks in a retry sleep. When a
+// resilience tier is configured, the read first consults its circuit
+// breaker — failing fast with ErrCircuitOpen while it is open — and the
+// final outcome (not each attempt) is fed back into the tier.
+func (s *Store) readExtentCtx(ctx context.Context, ref pagestore.Ref) ([]byte, error) {
+	res := s.cfg.Resilience
+	if err := res.AllowRead(); err != nil {
+		return nil, err
+	}
+	retries := s.cfg.ReadRetries
+	switch {
+	case retries == 0:
+		retries = 3
+	case retries < 0:
+		retries = 0
+	}
+	backoff := s.cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = 200 * time.Microsecond
+	}
+	for attempt := 0; ; attempt++ {
+		data, err := s.pages.Read(ref)
+		if err == nil {
+			res.RecordReadOK()
+			return data, nil
+		}
+		if !errors.Is(err, pagestore.ErrTransient) || attempt >= retries {
+			if errors.Is(err, pagestore.ErrCorrupt) || errors.Is(err, pagestore.ErrUnknownExtent) {
+				// The device answered; the bytes are wrong. Integrity
+				// problem, not an I/O-path problem.
+				res.RecordCorruption()
+			} else {
+				res.RecordIOFailure()
+			}
+			return data, err
+		}
+		// Transient: back off exponentially with up to +50% seeded jitter
+		// (decorrelates retry herds without breaking replayability), but
+		// give up immediately if the caller's context dies meanwhile.
+		d := backoff << attempt
+		d += s.jitter(d / 2)
+		timer := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			// Says nothing about device health: release any half-open
+			// probe slot without recording an outcome.
+			res.ReleaseRead()
+			return nil, fmt.Errorf("store: read of page %d canceled in retry backoff: %w", ref.Start, ctx.Err())
+		case <-timer.C:
+		}
+	}
+}
+
+// readExtentRaw reads with transient retries but bypasses the circuit
+// breaker and records nothing in the resilience tier. Fsck uses it: a
+// diagnostic walk must see the device's true state even while the breaker
+// is open, and its verdict enters the tier wholesale via RecordFsck.
+func (s *Store) readExtentRaw(ref pagestore.Ref) ([]byte, error) {
 	retries := s.cfg.ReadRetries
 	switch {
 	case retries == 0:
@@ -161,8 +250,19 @@ func (s *Store) readExtent(ref pagestore.Ref) ([]byte, error) {
 		if err == nil || !errors.Is(err, pagestore.ErrTransient) || attempt >= retries {
 			return data, err
 		}
-		time.Sleep(backoff << attempt)
+		d := backoff << attempt
+		time.Sleep(d + s.jitter(d/2))
 	}
+}
+
+// jitter draws a seeded random duration in [0, max).
+func (s *Store) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	return time.Duration(s.jrnd.Int63n(int64(max)))
 }
 
 // persistLocked snapshots the delta index into the backend's metadata and

@@ -32,6 +32,7 @@ package vcache
 
 import (
 	"container/list"
+	"context"
 	"sync"
 
 	"txmldb/internal/model"
@@ -39,14 +40,17 @@ import (
 )
 
 // Source is the reconstruction backend beneath the cache. *store.Store
-// implements it.
+// implements it. The context bounds the backend reads: retry backoff
+// aborts when it is canceled, and the store's circuit breaker may reject
+// reads fast while open — either way the error propagates to every
+// goroutine collapsed onto the flight and is never cached.
 type Source interface {
-	// ReconstructVersion materializes one version from scratch (backward
-	// replay from the nearest snapshot at or after it).
-	ReconstructVersion(doc model.DocID, ver model.VersionNo) (store.VersionTree, error)
-	// ReconstructFrom materializes version `to` by forward replay from an
-	// already-materialized base version; base is not modified.
-	ReconstructFrom(doc model.DocID, base store.VersionTree, to model.VersionNo) (store.VersionTree, error)
+	// ReconstructVersionContext materializes one version from scratch
+	// (backward replay from the nearest snapshot at or after it).
+	ReconstructVersionContext(ctx context.Context, doc model.DocID, ver model.VersionNo) (store.VersionTree, error)
+	// ReconstructFromContext materializes version `to` by forward replay
+	// from an already-materialized base version; base is not modified.
+	ReconstructFromContext(ctx context.Context, doc model.DocID, base store.VersionTree, to model.VersionNo) (store.VersionTree, error)
 }
 
 // Config parameterizes a Cache.
@@ -143,6 +147,15 @@ func New(src Source, cfg Config) *Cache {
 // caching the result. The returned tree is a private deep copy owned by
 // the caller.
 func (c *Cache) Get(doc model.DocID, ver model.VersionNo) (store.VersionTree, error) {
+	return c.GetContext(context.Background(), doc, ver)
+}
+
+// GetContext is Get honoring ctx: a goroutine waiting on another
+// goroutine's in-flight reconstruction stops waiting when ctx is
+// canceled, and a reconstruction this call leads passes ctx down to the
+// store. Exact hits never touch the backend, so a cache-resident version
+// is served even mid-outage.
+func (c *Cache) GetContext(ctx context.Context, doc model.DocID, ver model.VersionNo) (store.VersionTree, error) {
 	k := key{doc, ver}
 	c.mu.Lock()
 	c.stats.Lookups++
@@ -161,7 +174,11 @@ func (c *Cache) Get(doc model.DocID, ver model.VersionNo) (store.VersionTree, er
 	if f, ok := c.flights[k]; ok {
 		c.stats.CollapsedFlights++
 		c.mu.Unlock()
-		<-f.done
+		select {
+		case <-ctx.Done():
+			return store.VersionTree{}, ctx.Err()
+		case <-f.done:
+		}
 		if f.err != nil {
 			return store.VersionTree{}, f.err
 		}
@@ -180,14 +197,14 @@ func (c *Cache) Get(doc model.DocID, ver model.VersionNo) (store.VersionTree, er
 	var err error
 	usedAncestor := false
 	if haveBase {
-		vt, err = c.src.ReconstructFrom(doc, base, ver)
+		vt, err = c.src.ReconstructFromContext(ctx, doc, base, ver)
 		usedAncestor = err == nil
 		// A broken forward chain (corrupt delta) falls back to the full
 		// backward reconstruction, which may route around the damage via
 		// a later snapshot.
 	}
 	if !usedAncestor {
-		vt, err = c.src.ReconstructVersion(doc, ver)
+		vt, err = c.src.ReconstructVersionContext(ctx, doc, ver)
 	}
 
 	c.mu.Lock()

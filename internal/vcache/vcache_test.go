@@ -1,6 +1,7 @@
 package vcache
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -237,7 +238,7 @@ func (b *blockingSource) tree(ver model.VersionNo) store.VersionTree {
 	}
 }
 
-func (b *blockingSource) ReconstructVersion(doc model.DocID, ver model.VersionNo) (store.VersionTree, error) {
+func (b *blockingSource) ReconstructVersionContext(ctx context.Context, doc model.DocID, ver model.VersionNo) (store.VersionTree, error) {
 	b.calls.Add(1)
 	if b.started != nil {
 		b.started <- struct{}{}
@@ -248,8 +249,8 @@ func (b *blockingSource) ReconstructVersion(doc model.DocID, ver model.VersionNo
 	return b.tree(ver), nil
 }
 
-func (b *blockingSource) ReconstructFrom(doc model.DocID, base store.VersionTree, to model.VersionNo) (store.VersionTree, error) {
-	return b.ReconstructVersion(doc, to)
+func (b *blockingSource) ReconstructFromContext(ctx context.Context, doc model.DocID, base store.VersionTree, to model.VersionNo) (store.VersionTree, error) {
+	return b.ReconstructVersionContext(ctx, doc, to)
 }
 
 func TestSingleflightCollapse(t *testing.T) {

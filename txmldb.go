@@ -43,6 +43,7 @@ import (
 	"txmldb/internal/pattern"
 	"txmldb/internal/plan"
 	"txmldb/internal/query"
+	"txmldb/internal/resilience"
 	"txmldb/internal/similarity"
 	"txmldb/internal/store"
 	"txmldb/internal/tdocgen"
@@ -97,6 +98,47 @@ var (
 	// ErrUnreachable reports a version that cannot be reconstructed
 	// because the chain it depends on is damaged.
 	ErrUnreachable = store.ErrUnreachable
+)
+
+// Resilience tier (Config.Resilience): a circuit breaker around backend
+// reads plus per-component health state machines driving degraded,
+// cache-first serving. (*DB).Health snapshots it; the txserved server maps
+// it onto /readyz and /metrics.
+type (
+	// ResilienceConfig enables and parameterizes the tier (zero value:
+	// disabled).
+	ResilienceConfig = resilience.Config
+	// BreakerConfig parameterizes the circuit breaker around backend reads.
+	BreakerConfig = resilience.BreakerConfig
+	// HealthConfig parameterizes the per-component health hysteresis.
+	HealthConfig = resilience.HealthConfig
+	// HealthSnapshot is a consistent view of the tier, from (*DB).Health.
+	HealthSnapshot = resilience.Snapshot
+	// HealthState is a component's health: healthy, degraded or failing.
+	HealthState = resilience.State
+	// BreakerState is the circuit breaker's position.
+	BreakerState = resilience.BreakerState
+)
+
+// Health states and breaker positions, for matching HealthSnapshot fields.
+const (
+	StateHealthy  = resilience.Healthy
+	StateDegraded = resilience.Degraded
+	StateFailing  = resilience.Failing
+
+	BreakerClosed   = resilience.BreakerClosed
+	BreakerHalfOpen = resilience.BreakerHalfOpen
+	BreakerOpen     = resilience.BreakerOpen
+)
+
+// Typed serving errors of the resilience tier, matched with errors.Is.
+var (
+	// ErrCircuitOpen reports a backend read failed fast because the
+	// circuit breaker is open.
+	ErrCircuitOpen = resilience.ErrCircuitOpen
+	// ErrDegraded reports a write (or other coverage-requiring operation)
+	// rejected while the engine serves in degraded mode.
+	ErrDegraded = resilience.ErrDegraded
 )
 
 // Temporal identity types (Section 3 of the paper).
