@@ -1,6 +1,6 @@
 // Command txbench regenerates the reproduction experiments of
 // EXPERIMENTS.md: F1 (the paper's Figure 1 data and queries Q1–Q3),
-// C1–C11, one quantitative experiment per analytical performance claim of
+// C1–C12, one quantitative experiment per analytical performance claim of
 // the paper, plus the infrastructure experiments (W1 durability, S1/S2
 // serving, P1 parallelism, R1 chaos/resilience). It prints one table per
 // experiment.
@@ -50,6 +50,7 @@ func main() {
 		{"C9", experiments.C9},
 		{"C10", func() (experiments.Table, error) { return experiments.C10([]int{8, 32, 128}) }},
 		{"C11", experiments.C11},
+		{"C12", func() (experiments.Table, error) { return experiments.C12(10000) }},
 		{"W1", experiments.W1},
 		{"S1", func() (experiments.Table, error) { return experiments.S1([]int{1, 8, 64}, 200) }},
 		{"S2", func() (experiments.Table, error) { return experiments.S2([]int{1, 8, 64}, 200) }},

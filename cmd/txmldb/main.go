@@ -9,12 +9,18 @@
 //	txmldb -load url=FILE@dd/mm/yyyy # load version files (repeatable)
 //	txmldb -datadir DIR ...          # durable: store in a WAL under DIR
 //	txmldb fsck -datadir DIR         # verify a durable database's storage
+//	txmldb compact -datadir DIR -keep-last 4   # prune old versions, compact
 //
-// With -datadir the database lives in a write-ahead log under the given
-// directory and survives restarts; without it everything is in memory.
+// With -datadir the database lives in a segmented write-ahead log under
+// the given directory and survives restarts; without it everything is in
+// memory. Durable databases checkpoint periodically (-checkpoint-every)
+// so reopening replays only the log suffix behind the newest checkpoint.
 // The fsck subcommand replays the log and verifies every stored extent,
-// reporting damaged extents and the versions they make unreachable; it
-// exits non-zero if corruption is found.
+// reporting damaged extents (with their log-segment provenance) and the
+// versions they make unreachable; it exits non-zero if corruption is
+// found. The compact subcommand applies a version retention policy
+// (-keep-last K or -keep-since dd/mm/yyyy), checkpoints and drops the log
+// segments the checkpoint covers, and prints the reclaimed disk space.
 //
 // In the REPL, each line is one query; ".docs" lists documents, ".health"
 // prints the resilience tier's state (see -resilience), ".quit" exits.
@@ -48,6 +54,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "fsck" {
 		os.Exit(runFsck(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "compact" {
+		os.Exit(runCompact(os.Args[2:]))
+	}
 
 	var loads loadFlags
 	demo := flag.Bool("demo", false, "load the paper's Figure 1 restaurant history")
@@ -59,10 +68,11 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "byte budget of the shared version-reconstruction cache (0 disables)")
 	workers := flag.Int("workers", 0, "worker-pool size for parallel operators (0 = GOMAXPROCS, 1 = sequential)")
 	resil := flag.Bool("resilience", true, "enable the health state machine and circuit breaker (\".health\" shows the state)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "durable mode: checkpoint after this many commits (0 = manual only)")
 	flag.Var(&loads, "load", "load a document version: url=FILE@dd/mm/yyyy (repeatable)")
 	flag.Parse()
 
-	db, err := openDB(*dataDir, *demo, *cacheBytes, *workers, *resil)
+	db, err := openDB(*dataDir, *demo, *cacheBytes, *workers, *resil, *ckptEvery)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,7 +124,7 @@ func main() {
 // openDB opens the database: in memory, or durably under dataDir. The demo
 // pins the clock to the paper's "today" (February 10, 2001) so NOW-relative
 // queries match the text.
-func openDB(dataDir string, demo bool, cacheBytes int64, workers int, resil bool) (*txmldb.DB, error) {
+func openDB(dataDir string, demo bool, cacheBytes int64, workers int, resil bool, ckptEvery int) (*txmldb.DB, error) {
 	cfg := txmldb.Config{
 		Cache:      txmldb.CacheConfig{MaxBytes: cacheBytes},
 		Workers:    workers,
@@ -126,6 +136,8 @@ func openDB(dataDir string, demo bool, cacheBytes int64, workers int, resil bool
 	if dataDir == "" {
 		return txmldb.Open(cfg), nil
 	}
+	cfg.Checkpoint.EveryCommits = ckptEvery
+	cfg.OpenLogf = log.Printf
 	return txmldb.OpenDurable(cfg, dataDir)
 }
 
@@ -158,6 +170,7 @@ func runFsck(args []string) int {
 	}
 	defer db.Close()
 	if *verbose {
+		fmt.Println(db.OpenReport().String())
 		if st, ok := db.WALStats(); ok {
 			fmt.Printf("wal: %d bytes of committed log replayed, %d bytes of torn tail truncated\n",
 				st.RecoveredBytes, st.TruncatedOnOpen)
@@ -169,6 +182,86 @@ func runFsck(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// runCompact implements the compact subcommand: open the durable database
+// under -datadir, apply the requested retention policy, checkpoint, drop
+// covered log segments and report the reclaimed space. Exit status 0 on
+// success, 2 on bad usage or failure.
+func runCompact(args []string) int {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	dataDir := fs.String("datadir", "", "data directory of the durable database to compact")
+	keepLast := fs.Int("keep-last", 0, "keep only the newest K versions of each document")
+	keepSince := fs.String("keep-since", "", "keep versions alive at or after dd/mm/yyyy")
+	granule := fs.Int("granule", 0, "snapshot-interspersal granule among survivors (0 = store default)")
+	fs.Parse(args)
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "compact: -datadir is required")
+		return 2
+	}
+	ret := txmldb.Retention{Policy: txmldb.KeepAll, Granule: *granule}
+	switch {
+	case *keepLast > 0 && *keepSince != "":
+		fmt.Fprintln(os.Stderr, "compact: -keep-last and -keep-since are mutually exclusive")
+		return 2
+	case *keepLast > 0:
+		ret.Policy, ret.KeepLast = txmldb.KeepLast, *keepLast
+	case *keepSince != "":
+		std, err := time.Parse("02/01/2006", *keepSince)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compact: bad -keep-since date %q: %v\n", *keepSince, err)
+			return 2
+		}
+		ret.Policy, ret.KeepSince = txmldb.KeepSince, txmldb.TimeOf(std)
+	}
+	before, err := dirBytes(*dataDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compact: %v\n", err)
+		return 2
+	}
+	db, err := txmldb.OpenDurable(txmldb.Config{OpenLogf: log.Printf}, *dataDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compact: %v\n", err)
+		return 2
+	}
+	rep, cs, err := db.Vacuum(ret)
+	if err != nil {
+		db.Close()
+		fmt.Fprintf(os.Stderr, "compact: %v\n", err)
+		return 2
+	}
+	if err := db.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "compact: close: %v\n", err)
+		return 2
+	}
+	after, err := dirBytes(*dataDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compact: %v\n", err)
+		return 2
+	}
+	fmt.Printf("retention %s: %s\n", ret.Policy, rep)
+	fmt.Printf("checkpoint %s (%d bytes), %d log segments dropped\n", cs.File, cs.Bytes, cs.SegmentsDeleted)
+	fmt.Printf("directory: %d -> %d bytes (%+d)\n", before, after, after-before)
+	return 0
+}
+
+// dirBytes sums the sizes of the regular files directly under dir.
+func dirBytes(dir string) (int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			return 0, err
+		}
+		if info.Mode().IsRegular() {
+			total += info.Size()
+		}
+	}
+	return total, nil
 }
 
 func parseGen(spec string) (tdocgen.Config, error) {

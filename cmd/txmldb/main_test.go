@@ -78,7 +78,7 @@ func TestRunQuery(t *testing.T) {
 // reopen, query, and fsck it clean.
 func TestDurableCLIRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	db, err := openDB(dir, true, 64<<20, 0, true)
+	db, err := openDB(dir, true, 64<<20, 0, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestDurableCLIRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	r, err := openDB(dir, true, 64<<20, 0, true)
+	r, err := openDB(dir, true, 64<<20, 0, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,6 +111,71 @@ func TestDurableCLIRoundTrip(t *testing.T) {
 	if code := runFsck([]string{}); code != 2 {
 		t.Fatalf("fsck without -datadir exited %d, want 2", code)
 	}
+}
+
+// TestCompactCLI drives the compact subcommand: grow a durable history
+// with auto-checkpointing on, compact with -keep-last, and verify the
+// pruned database reopens clean and smaller.
+func TestCompactCLI(t *testing.T) {
+	dir := t.TempDir()
+	db, err := openDB(dir, false, 64<<20, 0, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := db.Put("http://x/doc.xml", mustParse(t, `<g><r>v1</r></g>`), txmldb.Date(2001, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 2; v <= 12; v++ {
+		tree := mustParse(t, `<g><r>version `+strings.Repeat("x", v)+`</r></g>`)
+		if _, _, err := db.Update(id, tree, txmldb.Date(2001, 1, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stats, ok := db.CheckpointStats(); !ok || stats.Runs == 0 {
+		t.Fatalf("-checkpoint-every 4 produced no checkpoints: %+v", stats)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if code := runCompact([]string{"-datadir", dir, "-keep-last", "3", "-granule", "2"}); code != 0 {
+		t.Fatalf("compact exited %d", code)
+	}
+	if code := runCompact([]string{}); code != 2 {
+		t.Fatalf("compact without -datadir exited %d, want 2", code)
+	}
+	if code := runCompact([]string{"-datadir", dir, "-keep-last", "1", "-keep-since", "01/01/2001"}); code != 2 {
+		t.Fatalf("compact with conflicting policies exited %d, want 2", code)
+	}
+
+	r, err := openDB(dir, false, 64<<20, 0, true, 0)
+	if err != nil {
+		t.Fatalf("reopen after compact: %v", err)
+	}
+	defer r.Close()
+	rid, ok := r.LookupDoc("http://x/doc.xml")
+	if !ok {
+		t.Fatal("document lost across compact")
+	}
+	if _, err := r.ReconstructVersion(rid, 2); !errors.Is(err, txmldb.ErrPruned) {
+		t.Fatalf("version 2 after -keep-last 3: %v, want ErrPruned", err)
+	}
+	if _, err := r.ReconstructVersion(rid, 12); err != nil {
+		t.Fatalf("current version after compact: %v", err)
+	}
+	if rep := r.Fsck(); !rep.Clean() {
+		t.Fatalf("fsck after compact:\n%s", rep)
+	}
+}
+
+func mustParse(t *testing.T, src string) *txmldb.Node {
+	t.Helper()
+	n, err := txmldb.ParseXML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
 }
 
 func TestPrintQueryErrorCaret(t *testing.T) {

@@ -19,13 +19,21 @@
 //	curl -s localhost:8080/query -d '{"query":"SELECT SUM(R) FROM doc(\"http://guide.com/restaurants.xml\")[26/01/2001]/restaurant R"}'
 //	curl -s localhost:8080/metrics
 //
+// With -datadir and -checkpoint-every, a background checkpointer
+// periodically snapshots the durable tier (bounding reopen replay and
+// reclaiming covered log segments) without ever blocking reads; its
+// activity is exposed as txserved_checkpoint_* and txserved_wal_segments
+// on /metrics.
+//
 // On SIGINT/SIGTERM the server stops accepting, drains in-flight queries
-// (bounded by -drain) and only then closes the durable store, so every
-// acknowledged response corresponds to a committed write-ahead log.
+// (bounded by -drain), stops the checkpointer and only then closes the
+// durable store, so every acknowledged response corresponds to a
+// committed write-ahead log.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +42,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -63,6 +72,7 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "byte budget of the shared version-reconstruction cache (0 disables)")
 	cacheReplay := flag.Int("cache-replay", 128, "max deltas replayed forward from a cached ancestor version")
 	workers := flag.Int("workers", 0, "worker-pool size for parallel operators (0 = GOMAXPROCS, 1 = sequential)")
+	ckptEvery := flag.Duration("checkpoint-every", 0, "durable mode: background checkpoint interval (0 disables; checkpoints bound reopen replay and reclaim log segments)")
 	flag.Parse()
 
 	res := txmldb.ResilienceConfig{}
@@ -120,16 +130,54 @@ func main() {
 		l.Addr(), len(db.Docs()), *maxInFlight, *maxQueue)
 
 	// Shutdown ordering: a signal stops accepting, Run drains in-flight
-	// queries, and only after that the store is closed.
+	// queries, the background checkpointer stops, and only after that the
+	// store is closed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var ckptWG sync.WaitGroup
+	if *dataDir != "" && *ckptEvery > 0 {
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			runCheckpointer(ctx, db, *ckptEvery)
+		}()
+		log.Printf("background checkpointer: every %v", *ckptEvery)
+	}
 	if err := srv.Run(ctx, l, *drain); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
+	stop()
+	ckptWG.Wait()
 	if err := db.Close(); err != nil {
 		log.Fatalf("closing store: %v", err)
 	}
 	log.Print("txserved: drained and closed cleanly")
+}
+
+// runCheckpointer periodically checkpoints the durable store until ctx is
+// canceled. Checkpoints never block reads; a run overlapping a manual one
+// reports ErrCheckpointBusy and is simply skipped. Errors are logged and
+// counted in the txserved_checkpoint_errors_total metric — the WAL alone
+// keeps the database durable, a failed checkpoint only costs reopen time.
+func runCheckpointer(ctx context.Context, db *txmldb.DB, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			stats, err := db.Checkpoint()
+			switch {
+			case errors.Is(err, txmldb.ErrCheckpointBusy):
+			case err != nil:
+				log.Printf("checkpoint: %v", err)
+			default:
+				log.Printf("checkpoint: published %s (%d bytes, %d extents) in %v, %d segments dropped",
+					stats.File, stats.Bytes, stats.Extents, stats.Duration, stats.SegmentsDeleted)
+			}
+		}
+	}
 }
 
 // openDB opens the database in memory or durably under dataDir. The demo
@@ -143,6 +191,7 @@ func openDB(dataDir string, demo bool, cache txmldb.CacheConfig, workers int, re
 	if dataDir == "" {
 		return txmldb.Open(cfg), nil
 	}
+	cfg.OpenLogf = log.Printf
 	return txmldb.OpenDurable(cfg, dataDir)
 }
 

@@ -14,7 +14,18 @@
 //   - time.Sleep calls,
 //   - method calls on values whose type is a named interface ending in
 //     "Backend" (the pluggable I/O surface),
-//   - calls through function-typed struct fields (stored user callbacks).
+//   - calls through function-typed struct fields (stored user callbacks),
+//   - in internal/checkpoint only: filesystem calls — os.Rename/Remove/
+//     Create/OpenFile/ReadFile/WriteFile and any method on an *os.File
+//     (Write, Sync, Close, ...).
+//
+// The filesystem rules are scoped to internal/checkpoint: a checkpoint
+// writes a multi-megabyte image and fsyncs it, and the whole point of the
+// design is that this happens with no engine lock held — only the brief
+// state capture is locked. A checkpoint that renamed or synced under a
+// mutex would stall every writer for the duration of a disk flush. The
+// WAL writer is deliberately exempt: there the mutex IS the commit-order
+// discipline, and fsync under it is the group-commit design.
 //
 // The check is intraprocedural and does not follow calls into other
 // functions or function literals; branch-level lock state is approximated
@@ -31,17 +42,27 @@ import (
 // Analyzer flags blocking work under storage-layer mutexes.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockhold",
-	Doc: "in pagestore/vcache/store: flag time.Sleep, Backend I/O, or stored " +
-		"callback invocation while a sync.Mutex/RWMutex is held (defer-aware)",
+	Doc: "in pagestore/vcache/store/checkpoint: flag time.Sleep, Backend I/O, " +
+		"filesystem calls, or stored callback invocation while a " +
+		"sync.Mutex/RWMutex is held (defer-aware)",
 	Run: run,
 }
 
 var targetSegments = map[string]bool{
-	"pagestore": true, "vcache": true, "store": true,
+	"pagestore": true, "vcache": true, "store": true, "checkpoint": true,
+}
+
+// osFilesystemFuncs are the package-level os calls that touch the disk;
+// each is a rename/open/read/write the checkpoint pipeline performs and
+// none may run under a storage mutex.
+var osFilesystemFuncs = []string{
+	"Rename", "Remove", "RemoveAll", "Create", "Open", "OpenFile",
+	"ReadFile", "WriteFile", "Mkdir", "MkdirAll", "ReadDir",
 }
 
 func run(pass *analysis.Pass) error {
-	if !targetSegments[analysis.PathBase(pass.Pkg.Path())] {
+	seg := analysis.PathBase(pass.Pkg.Path())
+	if !targetSegments[seg] {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -50,7 +71,7 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			w := &walker{pass: pass, held: map[string]bool{}}
+			w := &walker{pass: pass, held: map[string]bool{}, fsRules: seg == "checkpoint"}
 			w.stmts(fd.Body.List)
 		}
 	}
@@ -60,8 +81,9 @@ func run(pass *analysis.Pass) error {
 // walker tracks the set of held mutexes (keyed by the printed receiver
 // expression, e.g. "s.mu") through one function body.
 type walker struct {
-	pass *analysis.Pass
-	held map[string]bool
+	pass    *analysis.Pass
+	held    map[string]bool
+	fsRules bool // checkpoint package: also forbid filesystem I/O under locks
 }
 
 func (w *walker) stmts(list []ast.Stmt) {
@@ -208,6 +230,14 @@ func (w *walker) checkCall(call *ast.CallExpr) {
 		w.pass.Reportf(call.Pos(), "time.Sleep while holding %s: latency must be paid outside the mutex", lock)
 		return
 	}
+	if w.fsRules {
+		for _, fn := range osFilesystemFuncs {
+			if w.pass.PkgFunc(call, "os", fn) {
+				w.pass.Reportf(call.Pos(), "os.%s while holding %s: filesystem I/O must run outside the mutex", fn, lock)
+				return
+			}
+		}
+	}
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return
@@ -218,6 +248,9 @@ func (w *walker) checkCall(call *ast.CallExpr) {
 			if name, ok := backendType(s.Recv()); ok {
 				w.pass.Reportf(call.Pos(), "%s.%s I/O while holding %s: move device access outside the mutex",
 					name, sel.Sel.Name, lock)
+			} else if w.fsRules && isOSFile(s.Recv()) {
+				w.pass.Reportf(call.Pos(), "os.File.%s while holding %s: file I/O must run outside the mutex",
+					sel.Sel.Name, lock)
 			}
 		case types.FieldVal:
 			if _, ok := s.Obj().Type().Underlying().(*types.Signature); ok {
@@ -226,6 +259,19 @@ func (w *walker) checkCall(call *ast.CallExpr) {
 			}
 		}
 	}
+}
+
+// isOSFile reports whether t (or *t) is os.File.
+func isOSFile(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
 }
 
 // backendType reports whether t (or *t) is a named interface whose name

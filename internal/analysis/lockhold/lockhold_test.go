@@ -11,3 +11,9 @@ func TestLockhold(t *testing.T) {
 	// The fixture's path segment "pagestore" is inside the analyzer gate.
 	analysistest.Run(t, "testdata/src/pagestore", lockhold.Analyzer)
 }
+
+func TestLockholdCheckpoint(t *testing.T) {
+	// The filesystem rules: no os.* or *os.File I/O under a held mutex in
+	// the checkpoint pipeline.
+	analysistest.Run(t, "testdata/src/checkpoint", lockhold.Analyzer)
+}

@@ -1,0 +1,70 @@
+// Package checkpoint is the lockhold fixture for the filesystem rules;
+// its path segment matches internal/checkpoint so the analyzer gate
+// admits it. A checkpointer must capture state under the lock and do all
+// image/manifest I/O after release.
+package checkpoint
+
+import (
+	"os"
+	"sync"
+)
+
+// Checkpointer mirrors the real shape: a mutex guarding counters and a
+// pipeline that writes images, fsyncs and renames manifests.
+type Checkpointer struct {
+	mu      sync.Mutex
+	pending []byte
+	runs    int
+}
+
+func (c *Checkpointer) renameUnderLock(tmp, final string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return os.Rename(tmp, final) // want "os.Rename while holding c.mu"
+}
+
+func (c *Checkpointer) writeUnderLock(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return os.WriteFile(path, c.pending, 0o644) // want "os.WriteFile while holding c.mu"
+}
+
+func (c *Checkpointer) removeUnderLock(path string) {
+	c.mu.Lock()
+	os.Remove(path) // want "os.Remove while holding c.mu"
+	c.mu.Unlock()
+}
+
+func (c *Checkpointer) syncUnderLock(f *os.File) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := f.Write(c.pending); err != nil { // want "os.File.Write while holding c.mu"
+		return err
+	}
+	return f.Sync() // want "os.File.Sync while holding c.mu"
+}
+
+// captureThenWrite is the required discipline: snapshot under the lock,
+// write and publish after release.
+func (c *Checkpointer) captureThenWrite(tmp, final string) error {
+	c.mu.Lock()
+	data := append([]byte(nil), c.pending...)
+	c.runs++
+	c.mu.Unlock()
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// closeAfterUnlock opens and closes files with no lock held.
+func (c *Checkpointer) closeAfterUnlock(path string) error {
+	c.mu.Lock()
+	c.runs++
+	c.mu.Unlock()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -653,6 +653,62 @@ func equalStates(a, b map[string][]string) bool {
 	return true
 }
 
+// segmentPaths lists the segmented log's files in dir, in sequence order.
+func segmentPaths(dir string) ([]string, error) {
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(segs)
+	return segs, nil
+}
+
+// logSize sums the sizes of the segmented log in dir.
+func logSize(dir string) (int64, error) {
+	segs, err := segmentPaths(dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, s := range segs {
+		fi, err := os.Stat(s)
+		if err != nil {
+			return 0, err
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}
+
+// truncateLog copies the segmented log of src into dst, cut to the first
+// `cut` cumulative bytes: whole segments below the cut are copied intact,
+// the segment containing it is truncated, everything beyond is dropped —
+// exactly what a crash after the last durable write at that offset leaves.
+func truncateLog(src, dst string, cut int64) error {
+	segs, err := segmentPaths(src)
+	if err != nil {
+		return err
+	}
+	remaining := cut
+	for _, s := range segs {
+		data, err := os.ReadFile(s)
+		if err != nil {
+			return err
+		}
+		if int64(len(data)) > remaining {
+			data = data[:remaining]
+		}
+		if err := os.WriteFile(filepath.Join(dst, filepath.Base(s)), data, 0o644); err != nil {
+			return err
+		}
+		remaining -= int64(len(data))
+		if remaining <= 0 {
+			break
+		}
+	}
+	return nil
+}
+
 func crashRound(dir string, round int, rnd *rand.Rand, rep *Report) error {
 	resCfg := resilience.Config{Enabled: true}
 	work := filepath.Join(dir, fmt.Sprintf("round-%d", round))
@@ -660,7 +716,6 @@ func crashRound(dir string, round int, rnd *rand.Rand, rep *Report) error {
 	if err != nil {
 		return fmt.Errorf("open: %w", err)
 	}
-	walPath := filepath.Join(work, "pages.wal")
 
 	// The workload: two documents, interleaved updates — one golden
 	// (offset, state) pair per commit.
@@ -674,11 +729,11 @@ func crashRound(dir string, round int, rnd *rand.Rand, rep *Report) error {
 		if err != nil {
 			return err
 		}
-		fi, err := os.Stat(walPath)
+		size, err := logSize(work)
 		if err != nil {
 			return err
 		}
-		goldens = append(goldens, golden{fi.Size(), st})
+		goldens = append(goldens, golden{size, st})
 		return nil
 	}
 	mk := func(v int) *xmltree.Node {
@@ -721,11 +776,11 @@ func crashRound(dir string, round int, rnd *rand.Rand, rep *Report) error {
 	}
 
 	// Crash: truncate a copy of the log at a seeded offset.
-	full, err := os.ReadFile(walPath)
+	total, err := logSize(work)
 	if err != nil {
 		return err
 	}
-	cut := int64(rnd.Intn(len(full) + 1))
+	cut := int64(rnd.Intn(int(total) + 1))
 	want := goldens[0]
 	for _, g := range goldens {
 		if g.offset <= cut {
@@ -736,7 +791,7 @@ func crashRound(dir string, round int, rnd *rand.Rand, rep *Report) error {
 	if err := os.MkdirAll(crashDir, 0o755); err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(crashDir, "pages.wal"), full[:cut], 0o644); err != nil {
+	if err := truncateLog(work, crashDir, cut); err != nil {
 		return err
 	}
 

@@ -3,6 +3,7 @@ package chaos
 import (
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -112,4 +113,27 @@ func TestCrashAndReopen(t *testing.T) {
 	if !rep.Passed() {
 		t.Fatalf("torture violations:\n%s", rep)
 	}
+}
+
+// TestCheckpointTorture crashes through the checkpoint lifecycle — image
+// write, manifest publish, compaction's segment deletion, and the
+// post-checkpoint WAL tail — and requires every constructed crash state
+// to reopen to exactly the last whole commit with a clean Fsck. By
+// default a prime stride samples the byte offsets (every offset takes
+// ~2.5 minutes); set CHAOS_EXHAUSTIVE=1 to truncate at every single byte.
+func TestCheckpointTorture(t *testing.T) {
+	cfg := TortureConfig{Seed: 42, Stride: 11, Logf: t.Logf}
+	if os.Getenv("CHAOS_EXHAUSTIVE") != "" {
+		cfg.Stride = 1
+	} else if testing.Short() {
+		cfg.Stride = 29
+	}
+	rep := CheckpointTorture(t.TempDir(), cfg)
+	if !rep.Passed() {
+		t.Fatalf("checkpoint torture violations:\n%s", rep)
+	}
+	if rep.Succeeded == 0 || rep.Matched != rep.Succeeded {
+		t.Fatalf("checkpoint torture: %d reopens, %d matched", rep.Succeeded, rep.Matched)
+	}
+	t.Logf("checkpoint torture: %d crash states reopened and verified", rep.Succeeded)
 }

@@ -1,0 +1,453 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"txmldb/internal/checkpoint"
+	"txmldb/internal/core"
+	"txmldb/internal/model"
+	"txmldb/internal/xmltree"
+)
+
+// Checkpoint-lifecycle torture: crash-at-every-offset through the three
+// phases of the checkpoint durability protocol — image write, manifest
+// publish, segment deletion — plus tail truncation of the post-checkpoint
+// WAL suffix. Every constructed crash state must reopen to exactly the
+// last wholly-committed state the surviving bytes cover, with a clean
+// Fsck; a crash inside the checkpoint machinery itself must never lose a
+// committed write (the WAL alone carries durability until the manifest
+// rename lands).
+
+// TortureConfig parameterizes CheckpointTorture.
+type TortureConfig struct {
+	// Seed drives the deterministic workload content. Default 1.
+	Seed int64
+	// Stride is the byte step between crash offsets (default 1: every
+	// offset). Raise it to trade coverage for runtime.
+	Stride int
+	// SegmentBytes is the WAL rotation threshold; small by default (2048)
+	// so the workload spans several segments and compaction has dead
+	// segments to delete.
+	SegmentBytes int64
+	// Logf receives phase progress lines; nil disables.
+	Logf func(format string, args ...any)
+}
+
+func (c TortureConfig) withDefaults() TortureConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Stride <= 0 {
+		c.Stride = 1
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 2048
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// ckptTorture carries the prepared directories and goldens between the
+// crash scenarios.
+type ckptTorture struct {
+	cfg TortureConfig
+	rep *Report
+	dir string
+
+	preDir  string // directory state before the checkpoint ran
+	postDir string // directory state after checkpoint + more commits
+
+	imageName    string // the checkpoint image file name
+	imageData    []byte
+	manifestData []byte
+	deadSegs     []string // preDir segments compaction deleted, base names
+
+	statePre  map[string][]string // committed state the image covers
+	statePost map[string][]string // final committed state
+
+	// goldens pair cumulative-log-size offsets with the committed state at
+	// that offset, for the post-checkpoint tail truncation scenario.
+	goldens []ckptGolden
+}
+
+type ckptGolden struct {
+	offset int64
+	state  map[string][]string
+}
+
+// CheckpointTorture runs the checkpoint-lifecycle crash campaign in dir.
+// The report passes iff every constructed crash state reopened to exactly
+// the expected committed state with a clean Fsck and accepted new writes.
+func CheckpointTorture(dir string, cfg TortureConfig) *Report {
+	cfg = cfg.withDefaults()
+	t := &ckptTorture{cfg: cfg, rep: &Report{Seed: cfg.Seed}, dir: dir}
+	if err := t.setup(); err != nil {
+		t.rep.violate("setup: %v", err)
+		return t.rep
+	}
+	t.tortureImageWrite()
+	t.tortureManifestPublish()
+	t.tortureSegmentDeletion()
+	t.tortureTailTruncation()
+	return t.rep
+}
+
+func (t *ckptTorture) coreConfig() core.Config {
+	return core.Config{
+		Checkpoint: checkpoint.Config{SegmentBytes: t.cfg.SegmentBytes, Keep: 1},
+	}
+}
+
+// ctree builds deterministic version content sized so a few commits span
+// multiple 2KB segments.
+func (t *ckptTorture) ctree(doc, ver int) *xmltree.Node {
+	g := xmltree.Elem("guide")
+	for i := 0; i < 3; i++ {
+		g.AppendChild(xmltree.Elem("restaurant",
+			xmltree.ElemText("name", fmt.Sprintf("C%d_%d_%d_%d", t.cfg.Seed, doc, ver, i)),
+			xmltree.ElemText("review", strings.Repeat(fmt.Sprintf("word%d ", ver), 8)),
+			xmltree.ElemText("price", fmt.Sprint(5+(doc*31+ver*7+i)%40))))
+	}
+	return g
+}
+
+// setup builds the two reference directory states: preDir (commits, no
+// checkpoint) and postDir (checkpoint published and compacted, then more
+// commits), plus the goldens and expected renderings.
+func (t *ckptTorture) setup() error {
+	work := filepath.Join(t.dir, "base")
+	db, err := core.OpenDurable(t.coreConfig(), work)
+	if err != nil {
+		return err
+	}
+	const preCommits, postCommits = 6, 4
+	ids := make([]model.DocID, 2)
+	commit := 0
+	mutate := func() error {
+		d := commit % 2
+		if ids[d] == 0 {
+			id, err := db.Put(fmt.Sprintf("ckpt-torture-%d.xml", d), t.ctree(d, commit), when(commit+1))
+			if err != nil {
+				return err
+			}
+			ids[d] = id
+		} else if _, _, err := db.Update(ids[d], t.ctree(d, commit), when(commit+1)); err != nil {
+			return err
+		}
+		commit++
+		return nil
+	}
+	for i := 0; i < preCommits; i++ {
+		if err := mutate(); err != nil {
+			db.Close()
+			return err
+		}
+	}
+	if t.statePre, err = render(db); err != nil {
+		db.Close()
+		return err
+	}
+	if err := db.Close(); err != nil {
+		return err
+	}
+	t.preDir = filepath.Join(t.dir, "pre")
+	if err := copyFiles(work, t.preDir); err != nil {
+		return err
+	}
+
+	// The checkpoint covers exactly the preDir commits; compaction deletes
+	// the segments below its position.
+	db, err = core.OpenDurable(t.coreConfig(), work)
+	if err != nil {
+		return fmt.Errorf("reopen for checkpoint: %w", err)
+	}
+	stats, err := db.Checkpoint()
+	if err != nil {
+		db.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	t.imageName = stats.File
+	if stats.SegmentsDeleted == 0 {
+		db.Close()
+		return fmt.Errorf("compaction deleted no segments — workload does not span segments (log too small for SegmentBytes=%d)", t.cfg.SegmentBytes)
+	}
+	base, err := logSize(work)
+	if err != nil {
+		db.Close()
+		return err
+	}
+	t.goldens = []ckptGolden{{base, t.statePre}}
+	for i := 0; i < postCommits; i++ {
+		if err := mutate(); err != nil {
+			db.Close()
+			return err
+		}
+		st, err := render(db)
+		if err != nil {
+			db.Close()
+			return err
+		}
+		size, err := logSize(work)
+		if err != nil {
+			db.Close()
+			return err
+		}
+		t.goldens = append(t.goldens, ckptGolden{size, st})
+	}
+	t.statePost = t.goldens[len(t.goldens)-1].state
+	if err := db.Close(); err != nil {
+		return err
+	}
+	t.postDir = filepath.Join(t.dir, "post")
+	if err := copyFiles(work, t.postDir); err != nil {
+		return err
+	}
+
+	if t.imageData, err = os.ReadFile(filepath.Join(t.postDir, t.imageName)); err != nil {
+		return fmt.Errorf("read image: %w", err)
+	}
+	if t.manifestData, err = os.ReadFile(filepath.Join(t.postDir, checkpoint.ManifestName)); err != nil {
+		return fmt.Errorf("read manifest: %w", err)
+	}
+	preSegs, err := segmentPaths(t.preDir)
+	if err != nil {
+		return err
+	}
+	for _, s := range preSegs {
+		if _, err := os.Stat(filepath.Join(t.postDir, filepath.Base(s))); os.IsNotExist(err) {
+			t.deadSegs = append(t.deadSegs, filepath.Base(s))
+		}
+	}
+	if len(t.deadSegs) == 0 {
+		return fmt.Errorf("no dead segments between pre and post states")
+	}
+	return nil
+}
+
+// copyFiles copies the regular files directly under src into dst.
+func copyFiles(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyCrash reopens a constructed crash directory and checks it against
+// the expected committed state: render identity, clean Fsck, and (when
+// checkWrite) a successful further commit.
+func (t *ckptTorture) verifyCrash(crashDir, label string, want map[string][]string, checkWrite bool) {
+	db, err := core.OpenDurable(t.coreConfig(), crashDir)
+	if err != nil {
+		t.rep.violate("%s: reopen: %v", label, err)
+		return
+	}
+	defer db.Close()
+	got, err := render(db)
+	if err != nil {
+		t.rep.addQuery(false, false, true)
+		t.rep.violate("%s: recovered state unreadable: %v", label, err)
+		return
+	}
+	match := equalStates(got, want)
+	t.rep.addQuery(true, match, false)
+	if !match {
+		t.rep.violate("%s: recovered state diverged:\n got %v\nwant %v", label, got, want)
+		return
+	}
+	if fr := db.Fsck(); !fr.Clean() {
+		t.rep.violate("%s: fsck after recovery:\n%s", label, fr)
+	}
+	if checkWrite {
+		if _, err := db.Put("post-crash.xml", t.ctree(9, 99), when(99)); err != nil {
+			t.rep.violate("%s: write after recovery: %v", label, err)
+		}
+	}
+}
+
+// tortureImageWrite crashes at every offset inside the checkpoint image
+// write: the directory holds the pre-checkpoint log (nothing was compacted
+// yet — compaction runs only after publish) plus a torn image and no
+// manifest. Every reopen must fall back to full replay (or adopt the image
+// when the cut leaves it whole) and recover every pre-checkpoint commit.
+func (t *ckptTorture) tortureImageWrite() {
+	t.cfg.Logf("ckpt torture: image write (%d bytes, stride %d)", len(t.imageData), t.cfg.Stride)
+	for cut := 0; ; cut += t.cfg.Stride {
+		if cut > len(t.imageData) {
+			cut = len(t.imageData)
+		}
+		s := filepath.Join(t.dir, fmt.Sprintf("img-%d", cut))
+		if err := copyFiles(t.preDir, s); err != nil {
+			t.rep.violate("image cut %d: %v", cut, err)
+			return
+		}
+		if err := os.WriteFile(filepath.Join(s, t.imageName), t.imageData[:cut], 0o644); err != nil {
+			t.rep.violate("image cut %d: %v", cut, err)
+			return
+		}
+		t.verifyCrash(s, fmt.Sprintf("image cut %d", cut), t.statePre, cut == len(t.imageData))
+		os.RemoveAll(s)
+		if cut == len(t.imageData) {
+			return
+		}
+	}
+}
+
+// tortureManifestPublish crashes at every offset inside the manifest
+// write, in both failure positions: a torn CHECKPOINT.manifest.tmp (crash
+// before the rename — the common case) and a torn CHECKPOINT.manifest
+// (defensive: the rename is atomic, but open must survive a damaged
+// pointer anyway). The complete image is on disk in both, so the scan
+// fallback must adopt it; no committed write may be lost either way.
+func (t *ckptTorture) tortureManifestPublish() {
+	t.cfg.Logf("ckpt torture: manifest publish (%d bytes)", len(t.manifestData))
+	for _, target := range []string{checkpoint.ManifestName + ".tmp", checkpoint.ManifestName} {
+		for cut := 0; ; cut += t.cfg.Stride {
+			if cut > len(t.manifestData) {
+				cut = len(t.manifestData)
+			}
+			s := filepath.Join(t.dir, fmt.Sprintf("man-%d", cut))
+			if err := copyFiles(t.preDir, s); err != nil {
+				t.rep.violate("manifest cut %d: %v", cut, err)
+				return
+			}
+			if err := os.WriteFile(filepath.Join(s, t.imageName), t.imageData, 0o644); err != nil {
+				t.rep.violate("manifest cut %d: %v", cut, err)
+				return
+			}
+			if err := os.WriteFile(filepath.Join(s, target), t.manifestData[:cut], 0o644); err != nil {
+				t.rep.violate("manifest cut %d: %v", cut, err)
+				return
+			}
+			t.verifyCrash(s, fmt.Sprintf("%s cut %d", target, cut), t.statePre, cut == 0 || cut == len(t.manifestData))
+			os.RemoveAll(s)
+			if cut == len(t.manifestData) {
+				break
+			}
+		}
+	}
+}
+
+// tortureSegmentDeletion crashes mid-compaction: the manifest is published
+// but only some dead segments were deleted. Leftover dead segments — whole,
+// truncated, or overwritten with garbage — must be ignored by the
+// checkpointed open, and the final committed state fully recovered.
+func (t *ckptTorture) tortureSegmentDeletion() {
+	t.cfg.Logf("ckpt torture: segment deletion (%d dead segments)", len(t.deadSegs))
+	variant := func(name string, mutate func(data []byte) []byte) {
+		for k := 1; k <= len(t.deadSegs); k++ {
+			s := filepath.Join(t.dir, fmt.Sprintf("dead-%s-%d", name, k))
+			if err := copyFiles(t.postDir, s); err != nil {
+				t.rep.violate("dead segments %s/%d: %v", name, k, err)
+				return
+			}
+			for _, seg := range t.deadSegs[:k] {
+				data, err := os.ReadFile(filepath.Join(t.preDir, seg))
+				if err != nil {
+					t.rep.violate("dead segments %s/%d: %v", name, k, err)
+					return
+				}
+				if err := os.WriteFile(filepath.Join(s, seg), mutate(data), 0o644); err != nil {
+					t.rep.violate("dead segments %s/%d: %v", name, k, err)
+					return
+				}
+			}
+			// A stale manifest tmp from the crashed cycle rides along.
+			os.WriteFile(filepath.Join(s, checkpoint.ManifestName+".tmp"), []byte("{torn"), 0o644)
+			t.verifyCrash(s, fmt.Sprintf("dead segments %s/%d", name, k), t.statePost, true)
+			os.RemoveAll(s)
+		}
+	}
+	variant("whole", func(d []byte) []byte { return d })
+	variant("torn", func(d []byte) []byte { return d[:len(d)/2] })
+	variant("garbage", func(d []byte) []byte {
+		g := append([]byte(nil), d...)
+		for i := range g {
+			g[i] ^= 0xa5
+		}
+		return g
+	})
+}
+
+// tortureTailTruncation crashes at every offset of the WAL suffix behind
+// the published checkpoint: the image and manifest survive, the log is cut
+// anywhere at or beyond the checkpoint position. Every reopen must load
+// the image and recover exactly the last whole commit the surviving
+// suffix carries.
+func (t *ckptTorture) tortureTailTruncation() {
+	base := t.goldens[0].offset
+	total := t.goldens[len(t.goldens)-1].offset
+	t.cfg.Logf("ckpt torture: tail truncation (%d..%d bytes, stride %d)", base, total, t.cfg.Stride)
+	for cut := base; ; cut += int64(t.cfg.Stride) {
+		if cut > total {
+			cut = total
+		}
+		s := filepath.Join(t.dir, fmt.Sprintf("tail-%d", cut))
+		if err := os.MkdirAll(s, 0o755); err != nil {
+			t.rep.violate("tail cut %d: %v", cut, err)
+			return
+		}
+		// Non-log files (image, manifest) survive the crash; the log is cut.
+		if err := copyAux(t.postDir, s); err != nil {
+			t.rep.violate("tail cut %d: %v", cut, err)
+			return
+		}
+		if err := truncateLog(t.postDir, s, cut); err != nil {
+			t.rep.violate("tail cut %d: %v", cut, err)
+			return
+		}
+		want := t.goldens[0]
+		for _, g := range t.goldens {
+			if g.offset <= cut {
+				want = g
+			}
+		}
+		t.verifyCrash(s, fmt.Sprintf("tail cut %d", cut), want.state, cut == total)
+		os.RemoveAll(s)
+		if cut == total {
+			return
+		}
+	}
+}
+
+// copyAux copies every non-segment regular file of src into dst (the
+// checkpoint image and the manifest).
+func copyAux(src, dst string) error {
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || strings.HasSuffix(e.Name(), ".seg") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

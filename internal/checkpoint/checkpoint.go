@@ -1,0 +1,671 @@
+// Package checkpoint gives the durable tier bounded-replay opens and
+// log-structured space reuse.
+//
+// A checkpoint is a checksummed image of the live pagestore state — the
+// full extent table, the version store's metadata, and opaque auxiliary
+// blobs (the engine serializes its in-memory indexes into them) — taken as
+// of a committed log position (segment, offset). With a published
+// checkpoint, opening the store is "load image + replay the WAL suffix
+// past its position" instead of replaying history from segment 1, and
+// every segment below the image's position is dead and can be deleted.
+//
+// The durability protocol, in order:
+//
+//  1. Write the image to ckpt-<seq>-<off>.ckpt (the covered log position is
+//     in the name), fsync it. The image is framed record by record, each
+//     CRC-checked, with a mandatory trailer — a truncated image is
+//     detectable at any byte.
+//  2. Publish it: write CHECKPOINT.manifest.tmp carrying the image name,
+//     size, and whole-file CRC; fsync; rename over CHECKPOINT.manifest;
+//     fsync the directory. Rename is the atomic commit point — the old
+//     manifest (and old image) stay valid until it lands.
+//  3. Compact: delete checkpoint images beyond the retention count and WAL
+//     segments wholly covered by every retained image.
+//
+// A crash at any point leaves either the old manifest (new image ignored or
+// adopted by the scan fallback once complete) or the new one (old files are
+// garbage, collected by the next compaction). Open never trusts blindly:
+// the manifest's image is re-verified against size and CRC, a failure falls
+// back to scanning *.ckpt files newest-first, and if no image validates the
+// store falls back to a full replay from segment 1.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"txmldb/internal/pagestore"
+)
+
+const (
+	// ManifestName is the published checkpoint pointer in the data dir.
+	ManifestName = "CHECKPOINT.manifest"
+
+	manifestTmp    = ManifestName + ".tmp"
+	manifestFormat = 1
+
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".ckpt"
+
+	// DefaultKeep is how many checkpoint images are retained when the
+	// configuration does not say: the published one plus its predecessor,
+	// so there is always a fallback while a new image is being written.
+	DefaultKeep = 2
+)
+
+// imageMagic opens every checkpoint image file.
+var imageMagic = []byte("TXCKPT01")
+
+// Image record tags. Layout per record (little-endian):
+//
+//	offset size field
+//	0      1    tag: 'X' extent, 'M' meta, 'A' aux, 'Z' horizon, 'T' trailer
+//	1      8    arg (extent start page; record count for 'T'; zero otherwise)
+//	9      4    payload length in bytes
+//	13     n    payload
+//	13+n   4    CRC32 (IEEE) over bytes [0, 13+n)
+//
+// 'X' payloads are [4-byte page count][extent bytes]. 'A' payloads are
+// [2-byte key length][key][blob]. The 'T' trailer must be the last record;
+// its arg is the number of extent records and its payload a JSON
+// imageTrailer — an image without a whole trailer is invalid.
+const (
+	tagExtent  byte = 'X'
+	tagMeta    byte = 'M'
+	tagAux     byte = 'A'
+	tagHorizon byte = 'Z'
+	tagTrailer byte = 'T'
+
+	recHeaderLen = 13
+	recCRCLen    = 4
+
+	// maxRecordPayload bounds one image record so a corrupt length field
+	// cannot drive allocation.
+	maxRecordPayload = 1 << 30
+)
+
+// Config parameterizes the checkpoint subsystem.
+type Config struct {
+	// SegmentBytes is the WAL segment rotation threshold, passed through
+	// to the segmented backend. Zero selects pagestore.DefaultSegmentBytes.
+	SegmentBytes int64
+	// EveryCommits triggers an automatic checkpoint after that many
+	// committed mutations since the last one. Zero disables the trigger.
+	EveryCommits int
+	// EveryBytes triggers an automatic checkpoint after that many bytes
+	// appended to the WAL since the last one. Zero disables the trigger.
+	EveryBytes int64
+	// Keep is how many checkpoint images to retain; DefaultKeep if <= 0.
+	Keep int
+}
+
+func (c Config) keep() int {
+	if c.Keep <= 0 {
+		return DefaultKeep
+	}
+	return c.Keep
+}
+
+// Snapshot is the state captured for one checkpoint: the extent table and
+// allocation mark as of Pos, the version store's full metadata, and opaque
+// engine blobs (index images and the indexing horizon).
+type Snapshot struct {
+	Extents map[int64]pagestore.Extent
+	Next    int64
+	Pos     pagestore.LogPos
+	Meta    []byte
+	Horizon []byte
+	Aux     map[string][]byte
+}
+
+// Manifest is the published checkpoint pointer: which image file is
+// current and how to verify it before trusting it.
+type Manifest struct {
+	Format int    `json:"format"`
+	File   string `json:"file"`
+	Size   int64  `json:"size"`
+	CRC    uint32 `json:"crc"`
+	Seq    int64  `json:"seq"`
+	Off    int64  `json:"off"`
+}
+
+// imageTrailer closes an image file; without it the image is torn.
+type imageTrailer struct {
+	Next int64 `json:"next"`
+	Seq  int64 `json:"seq"`
+	Off  int64 `json:"off"`
+}
+
+// ImageFileName names the image covering the log up to pos.
+func ImageFileName(pos pagestore.LogPos) string {
+	return fmt.Sprintf("%s%08d-%012d%s", ckptPrefix, pos.Seq, pos.Off, ckptSuffix)
+}
+
+// parseImageName inverts ImageFileName.
+func parseImageName(name string) (pagestore.LogPos, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+		return pagestore.LogPos{}, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+	parts := strings.SplitN(mid, "-", 2)
+	if len(parts) != 2 || len(parts[0]) != 8 || len(parts[1]) != 12 {
+		return pagestore.LogPos{}, false
+	}
+	seq, err1 := strconv.ParseInt(parts[0], 10, 64)
+	off, err2 := strconv.ParseInt(parts[1], 10, 64)
+	if err1 != nil || err2 != nil || seq < 1 || off < 0 {
+		return pagestore.LogPos{}, false
+	}
+	return pagestore.LogPos{Seq: seq, Off: off}, true
+}
+
+// ErrBadImage reports a checkpoint image that fails validation (short,
+// torn, checksum mismatch, or structurally invalid). Open treats it as
+// "this checkpoint does not exist" and falls back.
+var ErrBadImage = errors.New("checkpoint: invalid image")
+
+// crcWriter tracks a whole-file CRC32 alongside the writes.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// writeRecord frames one image record.
+func writeRecord(w io.Writer, tag byte, arg int64, payload []byte) error {
+	var hdr [recHeaderLen]byte
+	hdr[0] = tag
+	binary.LittleEndian.PutUint64(hdr[1:9], uint64(arg))
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	crc := crc32.ChecksumIEEE(hdr[:])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	var tail [recCRCLen]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// readRecord decodes the first record in data, returning the tag, arg,
+// payload (aliasing data) and bytes consumed.
+func readRecord(data []byte) (byte, int64, []byte, int, error) {
+	if len(data) < recHeaderLen+recCRCLen {
+		return 0, 0, nil, 0, ErrBadImage
+	}
+	tag := data[0]
+	arg := int64(binary.LittleEndian.Uint64(data[1:9]))
+	plen := binary.LittleEndian.Uint32(data[9:13])
+	if plen > maxRecordPayload {
+		return 0, 0, nil, 0, fmt.Errorf("%w: record payload %d", ErrBadImage, plen)
+	}
+	total := recHeaderLen + int(plen) + recCRCLen
+	if len(data) < total {
+		return 0, 0, nil, 0, ErrBadImage
+	}
+	body := data[:recHeaderLen+int(plen)]
+	want := binary.LittleEndian.Uint32(data[recHeaderLen+int(plen) : total])
+	if crc32.ChecksumIEEE(body) != want {
+		return 0, 0, nil, 0, fmt.Errorf("%w: record checksum mismatch", ErrBadImage)
+	}
+	return tag, arg, data[recHeaderLen : recHeaderLen+int(plen)], total, nil
+}
+
+// Checkpointer writes, publishes and compacts checkpoints for one data
+// directory. It holds no locks and no file handles between calls; the
+// engine serializes Run invocations.
+type Checkpointer struct {
+	dir string
+	cfg Config
+}
+
+// New returns a Checkpointer for the data directory.
+func New(dir string, cfg Config) *Checkpointer {
+	return &Checkpointer{dir: dir, cfg: cfg}
+}
+
+// RunStats reports one checkpoint cycle.
+type RunStats struct {
+	File               string
+	Bytes              int64
+	Extents            int
+	SegmentsDeleted    int
+	CheckpointsDeleted int
+	Duration           time.Duration
+
+	crc uint32 // whole-file CRC, carried from writeImage to publish
+}
+
+// Run performs a full checkpoint cycle: write the image, publish it, and
+// compact dead segments and superseded images. The snapshot must have been
+// captured with writers quiesced (the engine's writer gate).
+func (c *Checkpointer) Run(w *pagestore.SegmentedWAL, snap Snapshot) (RunStats, error) {
+	t0 := time.Now()
+	stats, err := c.writeImage(snap)
+	if err != nil {
+		return stats, err
+	}
+	if err := c.publish(Manifest{
+		Format: manifestFormat,
+		File:   stats.File,
+		Size:   stats.Bytes,
+		CRC:    stats.crc,
+		Seq:    snap.Pos.Seq,
+		Off:    snap.Pos.Off,
+	}); err != nil {
+		return stats, err
+	}
+	segs, ckpts, err := c.compact(w)
+	stats.SegmentsDeleted = segs
+	stats.CheckpointsDeleted = ckpts
+	stats.Duration = time.Since(t0)
+	return stats, err
+}
+
+// writeImage serializes the snapshot to its image file and fsyncs it.
+func (c *Checkpointer) writeImage(snap Snapshot) (RunStats, error) {
+	var stats RunStats
+	name := ImageFileName(snap.Pos)
+	path := filepath.Join(c.dir, name)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return stats, fmt.Errorf("checkpoint: create image: %w", err)
+	}
+	cw := &crcWriter{w: bufio.NewWriterSize(f, 1<<20)}
+	werr := func() error {
+		if _, err := cw.Write(imageMagic); err != nil {
+			return err
+		}
+		starts := make([]int64, 0, len(snap.Extents))
+		for start := range snap.Extents {
+			starts = append(starts, start)
+		}
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+		var buf []byte
+		for _, start := range starts {
+			ext := snap.Extents[start]
+			buf = buf[:0]
+			var pages [4]byte
+			binary.LittleEndian.PutUint32(pages[:], uint32(ext.Pages))
+			buf = append(buf, pages[:]...)
+			buf = append(buf, ext.Data...)
+			if err := writeRecord(cw, tagExtent, start, buf); err != nil {
+				return err
+			}
+		}
+		if len(snap.Meta) > 0 {
+			if err := writeRecord(cw, tagMeta, 0, snap.Meta); err != nil {
+				return err
+			}
+		}
+		if len(snap.Horizon) > 0 {
+			if err := writeRecord(cw, tagHorizon, 0, snap.Horizon); err != nil {
+				return err
+			}
+		}
+		keys := make([]string, 0, len(snap.Aux))
+		for k := range snap.Aux {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if len(k) > 1<<16-1 {
+				return fmt.Errorf("checkpoint: aux key %q too long", k)
+			}
+			buf = buf[:0]
+			var klen [2]byte
+			binary.LittleEndian.PutUint16(klen[:], uint16(len(k)))
+			buf = append(buf, klen[:]...)
+			buf = append(buf, k...)
+			buf = append(buf, snap.Aux[k]...)
+			if err := writeRecord(cw, tagAux, 0, buf); err != nil {
+				return err
+			}
+		}
+		trailer, err := json.Marshal(imageTrailer{Next: snap.Next, Seq: snap.Pos.Seq, Off: snap.Pos.Off})
+		if err != nil {
+			return err
+		}
+		if err := writeRecord(cw, tagTrailer, int64(len(starts)), trailer); err != nil {
+			return err
+		}
+		return cw.w.(*bufio.Writer).Flush()
+	}()
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(path)
+		return stats, fmt.Errorf("checkpoint: write image: %w", werr)
+	}
+	stats.File = name
+	stats.Bytes = cw.n
+	stats.Extents = len(snap.Extents)
+	stats.crc = cw.crc
+	return stats, nil
+}
+
+// publish atomically points the manifest at the new image.
+func (c *Checkpointer) publish(m Manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal manifest: %w", err)
+	}
+	tmp := filepath.Join(c.dir, manifestTmp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: create manifest: %w", err)
+	}
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: write manifest: %w", werr)
+	}
+	if err := os.Rename(tmp, filepath.Join(c.dir, ManifestName)); err != nil {
+		return fmt.Errorf("checkpoint: publish manifest: %w", err)
+	}
+	return syncDirFS(c.dir)
+}
+
+// compact deletes checkpoint images beyond the retention count and WAL
+// segments wholly covered by every retained image. It runs after publish,
+// so a crash mid-compaction only leaves extra files for the next cycle.
+func (c *Checkpointer) compact(w *pagestore.SegmentedWAL) (segsDeleted, ckptsDeleted int, err error) {
+	images, err := listImages(c.dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(images) == 0 {
+		return 0, 0, nil
+	}
+	keep := c.cfg.keep()
+	retained := images
+	if len(images) > keep {
+		retained = images[:keep]
+		for _, im := range images[keep:] {
+			if rerr := os.Remove(filepath.Join(c.dir, im.name)); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+				return segsDeleted, ckptsDeleted, fmt.Errorf("checkpoint: drop image: %w", rerr)
+			}
+			ckptsDeleted++
+		}
+	}
+	// Every retained image must be able to replay from its own position, so
+	// only segments below the OLDEST retained image are dead.
+	minSeq := retained[len(retained)-1].pos.Seq
+	segsDeleted, err = w.DropSegmentsBelow(minSeq)
+	if err != nil {
+		return segsDeleted, ckptsDeleted, err
+	}
+	// A stale manifest tmp from a crashed publish is garbage.
+	os.Remove(filepath.Join(c.dir, manifestTmp))
+	return segsDeleted, ckptsDeleted, nil
+}
+
+// image is one checkpoint file on disk.
+type image struct {
+	name string
+	pos  pagestore.LogPos
+}
+
+// listImages returns the checkpoint images in dir, newest position first.
+func listImages(dir string) ([]image, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: list dir: %w", err)
+	}
+	var images []image
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if pos, ok := parseImageName(e.Name()); ok {
+			images = append(images, image{name: e.Name(), pos: pos})
+		}
+	}
+	sort.Slice(images, func(i, j int) bool {
+		if images[i].pos.Seq != images[j].pos.Seq {
+			return images[i].pos.Seq > images[j].pos.Seq
+		}
+		return images[i].pos.Off > images[j].pos.Off
+	})
+	return images, nil
+}
+
+// loadImage reads and fully validates one image file.
+func loadImage(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	if len(data) < len(imageMagic) || string(data[:len(imageMagic)]) != string(imageMagic) {
+		return Snapshot{}, fmt.Errorf("%w: bad magic", ErrBadImage)
+	}
+	snap := Snapshot{Extents: make(map[int64]pagestore.Extent)}
+	rest := data[len(imageMagic):]
+	sawTrailer := false
+	extentRecords := int64(0)
+	for len(rest) > 0 {
+		tag, arg, payload, n, err := readRecord(rest)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		if sawTrailer {
+			return Snapshot{}, fmt.Errorf("%w: records after trailer", ErrBadImage)
+		}
+		switch tag {
+		case tagExtent:
+			if len(payload) < 4 {
+				return Snapshot{}, fmt.Errorf("%w: short extent record", ErrBadImage)
+			}
+			pages := int32(binary.LittleEndian.Uint32(payload[:4]))
+			if pages <= 0 {
+				return Snapshot{}, fmt.Errorf("%w: extent with %d pages", ErrBadImage, pages)
+			}
+			body := append([]byte(nil), payload[4:]...)
+			snap.Extents[arg] = pagestore.Extent{
+				Data:  body,
+				Pages: pages,
+				Sum:   pagestore.Checksum(body),
+			}
+			extentRecords++
+		case tagMeta:
+			snap.Meta = append([]byte(nil), payload...)
+		case tagHorizon:
+			snap.Horizon = append([]byte(nil), payload...)
+		case tagAux:
+			if len(payload) < 2 {
+				return Snapshot{}, fmt.Errorf("%w: short aux record", ErrBadImage)
+			}
+			klen := int(binary.LittleEndian.Uint16(payload[:2]))
+			if len(payload) < 2+klen {
+				return Snapshot{}, fmt.Errorf("%w: short aux key", ErrBadImage)
+			}
+			if snap.Aux == nil {
+				snap.Aux = make(map[string][]byte)
+			}
+			snap.Aux[string(payload[2:2+klen])] = append([]byte(nil), payload[2+klen:]...)
+		case tagTrailer:
+			var tr imageTrailer
+			if err := json.Unmarshal(payload, &tr); err != nil {
+				return Snapshot{}, fmt.Errorf("%w: trailer: %v", ErrBadImage, err)
+			}
+			if arg != extentRecords {
+				return Snapshot{}, fmt.Errorf("%w: trailer counts %d extents, image has %d",
+					ErrBadImage, arg, extentRecords)
+			}
+			snap.Next = tr.Next
+			snap.Pos = pagestore.LogPos{Seq: tr.Seq, Off: tr.Off}
+			sawTrailer = true
+		default:
+			return Snapshot{}, fmt.Errorf("%w: unknown record tag %#x", ErrBadImage, tag)
+		}
+		rest = rest[n:]
+	}
+	if !sawTrailer {
+		return Snapshot{}, fmt.Errorf("%w: missing trailer", ErrBadImage)
+	}
+	return snap, nil
+}
+
+// readManifest loads and sanity-checks the published manifest, then
+// verifies the image it points at by size and whole-file CRC.
+func readManifest(dir string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("%w: manifest: %v", ErrBadImage, err)
+	}
+	if m.Format != manifestFormat || m.File == "" ||
+		!strings.HasPrefix(m.File, ckptPrefix) || strings.ContainsAny(m.File, "/\\") {
+		return Manifest{}, fmt.Errorf("%w: manifest format", ErrBadImage)
+	}
+	img, err := os.ReadFile(filepath.Join(dir, m.File))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("%w: manifest image: %v", ErrBadImage, err)
+	}
+	if int64(len(img)) != m.Size || crc32.ChecksumIEEE(img) != m.CRC {
+		return Manifest{}, fmt.Errorf("%w: manifest image %s fails size/crc check", ErrBadImage, m.File)
+	}
+	return m, nil
+}
+
+// OpenInfo reports how an OpenDir resolved.
+type OpenInfo struct {
+	// UsedCheckpoint is true when a checkpoint image seeded the state and
+	// only the WAL suffix was replayed.
+	UsedCheckpoint bool
+	// CheckpointFile names the image used, "" on full replay.
+	CheckpointFile string
+	// Fallback explains why the published checkpoint was not used ("" when
+	// it was, or when none existed).
+	Fallback string
+	// Horizon and Aux are the engine blobs from the image, nil on full
+	// replay.
+	Horizon []byte
+	Aux     map[string][]byte
+}
+
+// OpenDir opens the segmented WAL in dir with bounded replay: latest valid
+// checkpoint image + WAL suffix, falling back through older images to a
+// full replay when images are missing, torn, or fail their CRC.
+func OpenDir(dir string, cfg Config) (*pagestore.SegmentedWAL, OpenInfo, error) {
+	var info OpenInfo
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, info, fmt.Errorf("checkpoint: create dir: %w", err)
+	}
+	var fallbacks []string
+	tried := make(map[string]bool)
+	try := func(name string) *pagestore.SegmentedWAL {
+		if tried[name] {
+			return nil
+		}
+		tried[name] = true
+		snap, err := loadImage(filepath.Join(dir, name))
+		if err != nil {
+			fallbacks = append(fallbacks, fmt.Sprintf("%s: %v", name, err))
+			return nil
+		}
+		w, err := pagestore.OpenSegmentedWAL(pagestore.SegWALConfig{
+			Dir:          dir,
+			SegmentBytes: cfg.SegmentBytes,
+			Base: &pagestore.BaseState{
+				Extents: snap.Extents,
+				Meta:    snap.Meta,
+				Next:    snap.Next,
+				Pos:     snap.Pos,
+			},
+		})
+		if err != nil {
+			fallbacks = append(fallbacks, fmt.Sprintf("%s: %v", name, err))
+			return nil
+		}
+		info.UsedCheckpoint = true
+		info.CheckpointFile = name
+		info.Horizon = snap.Horizon
+		info.Aux = snap.Aux
+		return w
+	}
+
+	// Preferred path: the published manifest, fully verified.
+	if m, err := readManifest(dir); err == nil {
+		if w := try(m.File); w != nil {
+			info.Fallback = strings.Join(fallbacks, "; ")
+			return w, info, nil
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		fallbacks = append(fallbacks, fmt.Sprintf("manifest: %v", err))
+	}
+	// Fallback: scan images newest-first (catches a completed image whose
+	// publish crashed, and an older image when the newest is damaged).
+	images, err := listImages(dir)
+	if err != nil {
+		return nil, info, err
+	}
+	for _, im := range images {
+		if w := try(im.name); w != nil {
+			info.Fallback = strings.Join(fallbacks, "; ")
+			return w, info, nil
+		}
+	}
+	// Last resort: full replay from segment 1.
+	w, err := pagestore.OpenSegmentedWAL(pagestore.SegWALConfig{Dir: dir, SegmentBytes: cfg.SegmentBytes})
+	if err != nil {
+		if len(fallbacks) > 0 {
+			return nil, info, fmt.Errorf("checkpoint: no usable checkpoint (%s) and full replay failed: %w",
+				strings.Join(fallbacks, "; "), err)
+		}
+		return nil, info, err
+	}
+	info.Fallback = strings.Join(fallbacks, "; ")
+	return w, info, nil
+}
+
+// syncDirFS fsyncs a directory entry (rename/create durability).
+func syncDirFS(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: open dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"txmldb/internal/model"
+	"txmldb/internal/store"
+)
+
+// dirBytes sums the sizes of all regular files under dir.
+func dirBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Mode().IsRegular() {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// growDoc appends n versions to a document named name, stamped from t0.
+func growDoc(t *testing.T, db *DB, name string, n int, t0 model.Time) model.DocID {
+	t.Helper()
+	id, err := db.Put(name, guide([2]string{"Napoli", "v1"}), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 2; v <= n; v++ {
+		tree := guide([2]string{"Napoli", fmt.Sprintf("v%d", v)}, [2]string{fmt.Sprintf("extra%d", v), "1"})
+		if _, _, err := db.Update(id, tree, t0+model.Time(v-1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return id
+}
+
+func TestCheckpointBoundedReplayOpen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Clock: func() model.Time { return feb10 }}
+	db, err := OpenDurable(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := growDoc(t, db, guideURL, 6, jan1)
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// Three more commits after the checkpoint: only these replay on reopen.
+	if _, _, err := db.Update(id, guide([2]string{"Napoli", "after1"}), jan31); err != nil {
+		t.Fatal(err)
+	}
+	other, err := db.Put("other.xml", guide([2]string{"Milano", "22"}), jan31+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete(other, feb10); err != nil {
+		t.Fatal(err)
+	}
+	want := db.FTI().LookupH("Napoli")
+	db.Close()
+
+	r, err := OpenDurable(cfg, dir)
+	if err != nil {
+		t.Fatalf("reopen after checkpoint: %v", err)
+	}
+	defer r.Close()
+	rep := r.OpenReport()
+	if !rep.UsedCheckpoint || !rep.IndexesRestored {
+		t.Fatalf("open report: %+v, want checkpointed open with restored indexes", rep)
+	}
+	if rep.ReplayedCommits != 3 {
+		t.Fatalf("replayed %d commits, want only the 3 after the checkpoint (report: %s)", rep.ReplayedCommits, rep)
+	}
+	// Indexes: restored blobs + incremental top-up agree with the writer's.
+	if got := r.FTI().LookupH("Napoli"); len(got) != len(want) {
+		t.Fatalf("LookupH(Napoli) = %d postings after reopen, want %d", len(got), len(want))
+	}
+	if got := r.FTI().Lookup("Milano"); len(got) != 0 {
+		t.Fatalf("deleted doc visible in current lookup: %v", got)
+	}
+	// Post-horizon version content is queryable.
+	res, err := r.Query(`SELECT R FROM doc("http://guide.com/restaurants.xml")[NOW]/restaurant R`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("query after checkpointed open: %v rows, err %v", res, err)
+	}
+	if fsck := r.Fsck(); !fsck.Clean() {
+		t.Fatalf("fsck: %s", fsck)
+	}
+	// All ten versions, pre- and post-horizon, reconstruct.
+	for v := model.VersionNo(1); v <= 7; v++ {
+		if _, err := r.ReconstructVersion(id, v); err != nil {
+			t.Fatalf("version %d after checkpointed open: %v", v, err)
+		}
+	}
+}
+
+func TestCheckpointAutoTrigger(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Clock: func() model.Time { return feb10 }}
+	cfg.Checkpoint.EveryCommits = 3
+	db, err := OpenDurable(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	growDoc(t, db, guideURL, 7, jan1)
+	stats, ok := db.CheckpointStats()
+	if !ok {
+		t.Fatal("durable db reports no checkpoint stats")
+	}
+	if stats.Runs < 2 {
+		t.Fatalf("7 commits with EveryCommits=3: %d checkpoints, want >= 2", stats.Runs)
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("checkpoint errors: %+v", stats)
+	}
+	if db.WALSegments() == 0 {
+		t.Fatal("no WAL segments reported")
+	}
+}
+
+func TestVacuumReclaimsDiskSpace(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Clock: func() model.Time { return feb10 }}
+	cfg.Checkpoint.SegmentBytes = 4096
+	cfg.Checkpoint.Keep = 1
+	db, err := OpenDurable(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := growDoc(t, db, guideURL, 40, jan1)
+	// Checkpoint + compact once so the baseline is the steady state, not an
+	// uncompacted log.
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	before := dirBytes(t, dir)
+	rep, cs, err := db.Vacuum(store.Retention{Policy: store.KeepLast, KeepLast: 4, Granule: 2})
+	if err != nil {
+		t.Fatalf("Vacuum: %v", err)
+	}
+	if rep.VersionsPruned != 36 {
+		t.Fatalf("pruned %d versions, want 36", rep.VersionsPruned)
+	}
+	if cs.File == "" {
+		t.Fatalf("vacuum did not checkpoint: %+v", cs)
+	}
+	after := dirBytes(t, dir)
+	if after >= before {
+		t.Fatalf("vacuum did not shrink the directory: %d -> %d bytes", before, after)
+	}
+	db.Close()
+
+	r, err := OpenDurable(cfg, dir)
+	if err != nil {
+		t.Fatalf("reopen after vacuum: %v", err)
+	}
+	defer r.Close()
+	if _, err := r.ReconstructVersion(id, 2); !errors.Is(err, store.ErrPruned) {
+		t.Fatalf("pruned version after reopen: %v", err)
+	}
+	for v := model.VersionNo(37); v <= 40; v++ {
+		if _, err := r.ReconstructVersion(id, v); err != nil {
+			t.Fatalf("survivor %d after reopen: %v", v, err)
+		}
+	}
+	if fsck := r.Fsck(); !fsck.Clean() {
+		t.Fatalf("fsck after vacuum+reopen: %s", fsck)
+	}
+}
+
+func TestCheckpointRequiresDurable(t *testing.T) {
+	db, _ := openFigure1(t, Config{})
+	if _, err := db.Checkpoint(); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("Checkpoint on in-memory db: %v", err)
+	}
+	if _, ok := db.CheckpointStats(); ok {
+		t.Fatal("in-memory db claims checkpoint stats")
+	}
+	// Vacuum still works in memory — it just cannot compact.
+	if _, _, err := db.Vacuum(store.Retention{Policy: store.KeepAll}); err != nil {
+		t.Fatalf("in-memory vacuum: %v", err)
+	}
+}
+
+func TestOpenReportFallbackOnCorruptImage(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Clock: func() model.Time { return feb10 }}
+	db, err := OpenDurable(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	growDoc(t, db, guideURL, 4, jan1)
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	// Destroy every image: the open must fall back to full replay.
+	images, err := filepath.Glob(filepath.Join(dir, "ckpt-*.ckpt"))
+	if err != nil || len(images) == 0 {
+		t.Fatalf("no checkpoint images: %v", err)
+	}
+	for _, img := range images {
+		if err := os.Truncate(img, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var logged string
+	cfg.OpenLogf = func(format string, args ...any) { logged = fmt.Sprintf(format, args...) }
+	r, err := OpenDurable(cfg, dir)
+	if err != nil {
+		t.Fatalf("open over corrupt images: %v", err)
+	}
+	defer r.Close()
+	rep := r.OpenReport()
+	if rep.UsedCheckpoint || rep.Fallback == "" {
+		t.Fatalf("open report: %+v, want full-replay fallback with a reason", rep)
+	}
+	if logged == "" {
+		t.Fatal("OpenLogf not invoked")
+	}
+	id, _ := r.LookupDoc(guideURL)
+	for v := model.VersionNo(1); v <= 4; v++ {
+		if _, err := r.ReconstructVersion(id, v); err != nil {
+			t.Fatalf("version %d after fallback open: %v", v, err)
+		}
+	}
+}

@@ -10,8 +10,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"txmldb/internal/checkpoint"
 	"txmldb/internal/diff"
 	"txmldb/internal/doctime"
 	"txmldb/internal/fti"
@@ -88,6 +91,15 @@ type Config struct {
 	// machines driving degraded cache-first serving. Enabled=false (the
 	// default) leaves it off, preserving raw fault behaviour.
 	Resilience resilience.Config
+	// Checkpoint configures the checkpoint & compaction subsystem of
+	// durable databases (internal/checkpoint): segment size, automatic
+	// triggers (EveryCommits / EveryBytes) and image retention. The zero
+	// value disables automatic checkpoints; DB.Checkpoint still works.
+	Checkpoint checkpoint.Config
+	// OpenLogf, when non-nil, receives the one-line recovery summary of
+	// OpenDurable (source, replay and reindex cost); the CLIs pass
+	// log.Printf. Nil keeps opens silent.
+	OpenLogf func(format string, args ...any)
 }
 
 // DB is a temporal XML database.
@@ -100,6 +112,22 @@ type DB struct {
 	pool     *parallel.Pool   // shared worker pool of the parallel tier
 	res      *resilience.Tier // nil when disabled
 	clock    func() model.Time
+
+	// wmu is the writer gate of the checkpoint subsystem: Put/Update/Delete
+	// hold it shared for the duration of a mutation, checkpoint capture
+	// holds it exclusively for the (brief) in-memory snapshot. Reads never
+	// touch it.
+	wmu sync.RWMutex
+
+	// Durable-tier checkpoint state; all nil/zero on non-durable databases.
+	segwal        *pagestore.SegmentedWAL
+	ckpt          *checkpoint.Checkpointer
+	ckptCfg       checkpoint.Config
+	ckptBusy      atomic.Bool
+	ckptMu        sync.Mutex // guards ckptStats and ckptBytesMark
+	ckptStats     CheckpointStats
+	ckptBytesMark int64 // BytesAppended at the last checkpoint (EveryBytes trigger)
+	openRep       OpenReport
 }
 
 // Open creates an empty database.
@@ -210,6 +238,18 @@ func (db *DB) checkWritable(op string) error {
 
 // Put stores the first version of a document at time t.
 func (db *DB) Put(url string, root *xmltree.Node, t model.Time) (model.DocID, error) {
+	id, err := db.putGated(url, root, t)
+	if err == nil {
+		db.maybeCheckpoint()
+	}
+	return id, err
+}
+
+// putGated is Put under the shared writer gate: a checkpoint capture sees
+// either none or all of the mutation (store + indexes).
+func (db *DB) putGated(url string, root *xmltree.Node, t model.Time) (model.DocID, error) {
+	db.wmu.RLock()
+	defer db.wmu.RUnlock()
 	if err := db.checkWritable("put"); err != nil {
 		return 0, err
 	}
@@ -246,6 +286,17 @@ func (db *DB) PutXML(url string, r io.Reader, t model.Time) (model.DocID, error)
 // indexes from the completed delta. It returns the new version number and
 // the delta script.
 func (db *DB) Update(id model.DocID, root *xmltree.Node, t model.Time) (model.VersionNo, *diff.Script, error) {
+	ver, script, err := db.updateGated(id, root, t)
+	if err == nil {
+		db.maybeCheckpoint()
+	}
+	return ver, script, err
+}
+
+// updateGated is Update under the shared writer gate.
+func (db *DB) updateGated(id model.DocID, root *xmltree.Node, t model.Time) (model.VersionNo, *diff.Script, error) {
+	db.wmu.RLock()
+	defer db.wmu.RUnlock()
 	if err := db.checkWritable("update"); err != nil {
 		return 0, nil, err
 	}
@@ -286,6 +337,17 @@ func (db *DB) UpdateXML(id model.DocID, r io.Reader, t model.Time) (model.Versio
 
 // Delete removes the document at time t; its history stays queryable.
 func (db *DB) Delete(id model.DocID, t model.Time) error {
+	err := db.deleteGated(id, t)
+	if err == nil {
+		db.maybeCheckpoint()
+	}
+	return err
+}
+
+// deleteGated is Delete under the shared writer gate.
+func (db *DB) deleteGated(id model.DocID, t model.Time) error {
+	db.wmu.RLock()
+	defer db.wmu.RUnlock()
 	if err := db.checkWritable("delete"); err != nil {
 		return err
 	}

@@ -3,52 +3,167 @@ package core
 import (
 	"fmt"
 	"os"
-	"path/filepath"
+	"time"
 
+	"txmldb/internal/checkpoint"
 	"txmldb/internal/diff"
+	"txmldb/internal/doctime"
+	"txmldb/internal/fti"
 	"txmldb/internal/model"
 	"txmldb/internal/pagestore"
 	"txmldb/internal/store"
+	"txmldb/internal/tidx"
 )
 
-// walFile is the name of the write-ahead log inside a data directory.
-const walFile = "pages.wal"
-
 // OpenDurable opens (or creates) a database whose storage tier is a
-// write-ahead log under dir. All committed versions survive a process
-// crash: reopening replays the log, truncates any torn tail, restores the
-// version store from its last committed metadata snapshot and rebuilds the
-// in-memory indexes (full-text, create/delete-time, document-time) from
-// the recovered delta chains.
+// segmented write-ahead log under dir, with bounded-replay opens: when a
+// published checkpoint image is present and valid, the pagestore state is
+// loaded from it and only the WAL suffix behind the checkpoint position is
+// replayed; the in-memory indexes are restored from the image's blobs and
+// topped up incrementally from the versions committed after the horizon. A
+// missing or corrupt checkpoint falls back — older image, then full replay
+// from the first segment — and never fails the open. A legacy single-file
+// "pages.wal" directory is adopted transparently.
 //
-// cfg.Store.Pages.Backend is overridden by the WAL backend.
+// cfg.Store.Pages.Backend is overridden by the segmented WAL backend.
 func OpenDurable(cfg Config, dir string) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: open durable: %w", err)
 	}
-	wal, err := pagestore.OpenWAL(filepath.Join(dir, walFile))
+	replayStart := time.Now()
+	seg, info, err := checkpoint.OpenDir(dir, cfg.Checkpoint)
 	if err != nil {
 		return nil, fmt.Errorf("core: open durable: %w", err)
 	}
-	cfg.Store.Pages.Backend = wal
+	cfg.Store.Pages.Backend = seg
 	attachTier(&cfg)
 	st, err := store.Open(cfg.Store)
 	if err != nil {
-		wal.Close()
+		seg.Close()
 		return nil, fmt.Errorf("core: open durable: %w", err)
 	}
 	db := assemble(cfg, st)
-	if err := db.reindex(); err != nil {
+	db.segwal = seg
+	db.ckpt = checkpoint.New(dir, cfg.Checkpoint)
+	db.ckptCfg = cfg.Checkpoint
+	replayDur := time.Since(replayStart)
+
+	// Index recovery: restore the image's index blobs and reindex only the
+	// versions beyond the checkpoint horizon; any restore failure rebuilds
+	// fresh indexes from the full history instead.
+	indexStart := time.Now()
+	var horizon map[model.DocID]horizonDoc
+	restored := false
+	if info.UsedCheckpoint && len(info.Aux) > 0 {
+		if h, err := parseHorizon(info.Horizon); err == nil {
+			if err := db.restoreIndexes(info.Aux); err == nil {
+				horizon, restored = h, true
+			} else {
+				db.resetIndexes(cfg)
+				info.Fallback = joinFallback(info.Fallback, fmt.Sprintf("index restore: %v", err))
+			}
+		} else {
+			info.Fallback = joinFallback(info.Fallback, err.Error())
+		}
+	}
+	docs, versions, err := db.reindexFrom(horizon)
+	if err != nil {
 		st.Close()
 		return nil, fmt.Errorf("core: open durable: rebuild indexes: %w", err)
 	}
+	indexDur := time.Since(indexStart)
+
+	ws := seg.Stats()
+	db.openRep = OpenReport{
+		UsedCheckpoint:  info.UsedCheckpoint,
+		CheckpointFile:  info.CheckpointFile,
+		Fallback:        info.Fallback,
+		SegmentsScanned: ws.SegmentsScanned,
+		ReplayedCommits: ws.ReplayedCommits,
+		ReplayedExtents: ws.ReplayedExtents,
+		ReplayedBytes:   ws.RecoveredBytes,
+		TruncatedBytes:  ws.TruncatedOnOpen,
+		IndexesRestored: restored,
+		IndexedDocs:     docs,
+		IndexedVersions: versions,
+		ReplayDuration:  replayDur,
+		IndexDuration:   indexDur,
+	}
+	if cfg.OpenLogf != nil {
+		cfg.OpenLogf("%s", db.openRep.String())
+	}
 	return db, nil
+}
+
+func joinFallback(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "; " + b
+}
+
+// restoreIndexes loads the index blobs of a checkpoint image into the
+// freshly assembled (empty) indexes. A blob missing for a configured index
+// is an error — the horizon would lie about its coverage.
+func (db *DB) restoreIndexes(aux map[string][]byte) error {
+	snap, ok := db.fti.(indexSnapshotter)
+	if !ok {
+		return fmt.Errorf("full-text index %s cannot restore snapshots", db.fti.Name())
+	}
+	blob, ok := aux[auxFTI]
+	if !ok {
+		return fmt.Errorf("image has no %q blob", auxFTI)
+	}
+	if err := snap.RestoreState(blob); err != nil {
+		return err
+	}
+	if db.times != nil {
+		blob, ok := aux[auxTidx]
+		if !ok {
+			return fmt.Errorf("image has no %q blob", auxTidx)
+		}
+		if err := db.times.RestoreState(blob); err != nil {
+			return err
+		}
+	}
+	if db.docTimes != nil {
+		blob, ok := aux[auxDocTime]
+		if !ok {
+			return fmt.Errorf("image has no %q blob", auxDocTime)
+		}
+		if err := db.docTimes.RestoreState(blob); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resetIndexes replaces possibly part-restored indexes with fresh empty
+// ones, so a failed restore can fall back to a full reindex.
+func (db *DB) resetIndexes(cfg Config) {
+	switch cfg.Index {
+	case IndexDeltas:
+		db.fti = fti.NewDeltaIndex()
+	case IndexBoth:
+		db.fti = fti.NewBothIndex()
+	default:
+		db.fti = fti.NewVersionIndex()
+	}
+	if db.times != nil {
+		db.times = tidx.New()
+	}
+	if db.docTimes != nil {
+		db.docTimes = doctime.New(doctime.Config{Paths: cfg.DocTimePaths})
+	}
 }
 
 // WALStats returns the write-ahead-log counters, or false when the
 // database does not run on a WAL backend.
 func (db *DB) WALStats() (pagestore.WALStats, bool) {
-	if w, ok := db.store.Pages().Backend().(*pagestore.WAL); ok {
+	switch w := db.store.Pages().Backend().(type) {
+	case *pagestore.SegmentedWAL:
+		return w.Stats(), true
+	case *pagestore.WAL:
 		return w.Stats(), true
 	}
 	return pagestore.WALStats{}, false
@@ -68,26 +183,39 @@ func (db *DB) Fsck() store.FsckReport {
 // database is unusable afterwards.
 func (db *DB) Close() error { return db.store.Close() }
 
-// reindex rebuilds the in-memory indexes from the version store after
-// recovery, replaying every document's history through the same
-// maintenance path live updates use. Versions made unreachable by storage
-// corruption are skipped — queries over them fail with the storage error,
-// while intact versions stay indexed and queryable (graceful degradation;
-// Fsck reports the damage).
+// reindex rebuilds the in-memory indexes from the whole version store.
 func (db *DB) reindex() error {
+	_, _, err := db.reindexFrom(nil)
+	return err
+}
+
+// reindexFrom feeds the version store through the index maintenance path,
+// starting per document at the horizon (nil: everything — the full rebuild
+// after recovery without a usable checkpoint). Versions made unreachable by
+// storage corruption or pruned by retention are skipped — queries over them
+// fail with the storage error, while intact versions stay indexed and
+// queryable (graceful degradation; Fsck reports damage). Returns how many
+// documents and versions were fed through maintenance.
+func (db *DB) reindexFrom(horizon map[model.DocID]horizonDoc) (docs, count int, err error) {
 	for _, id := range db.store.Docs() {
 		info, err := db.store.Info(id)
 		if err != nil {
-			return err
+			return docs, count, err
 		}
 		versions, err := db.store.Versions(id)
 		if err != nil {
-			return err
+			return docs, count, err
 		}
-		for i, v := range versions {
+		from, deletionIndexed := 0, false
+		if h, ok := horizon[id]; ok {
+			from, deletionIndexed = h.Versions, h.Deleted
+		}
+		indexed := 0
+		for i := from; i < len(versions); i++ {
+			v := versions[i]
 			vt, err := db.store.ReconstructVersion(id, v.Ver)
 			if err != nil {
-				continue // unreachable version: skip, Fsck reports it
+				continue // unreachable or pruned version: skip, Fsck reports damage
 			}
 			var script *diff.Script
 			if i > 0 {
@@ -99,7 +227,7 @@ func (db *DB) reindex() error {
 				}
 			}
 			if err := db.fti.AddVersion(id, vt.Root, script, v.Stamp); err != nil {
-				return fmt.Errorf("doc %d version %d: %w", id, v.Ver, err)
+				return docs, count, fmt.Errorf("doc %d version %d: %w", id, v.Ver, err)
 			}
 			if db.times != nil {
 				db.times.AddVersion(id, vt.Root, script, v.Stamp)
@@ -107,18 +235,24 @@ func (db *DB) reindex() error {
 			if db.docTimes != nil {
 				db.docTimes.AddVersion(id, vt.Root)
 			}
+			indexed++
 		}
-		if !info.Live() && info.Deleted != model.Forever {
+		if !info.Live() && info.Deleted != model.Forever && !deletionIndexed {
 			last, err := db.store.ReconstructVersion(id, versions[len(versions)-1].Ver)
 			if err == nil {
 				if err := db.fti.DeleteDoc(id, last.Root, info.Deleted); err != nil {
-					return fmt.Errorf("doc %d delete: %w", id, err)
+					return docs, count, fmt.Errorf("doc %d delete: %w", id, err)
 				}
 			}
 			if db.times != nil {
 				db.times.DeleteDoc(id, info.Deleted)
 			}
+			indexed++
+		}
+		if indexed > 0 {
+			docs++
+			count += indexed
 		}
 	}
-	return nil
+	return docs, count, nil
 }

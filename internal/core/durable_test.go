@@ -3,16 +3,22 @@ package core
 import (
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"txmldb/internal/model"
 )
 
 // appendGarbage simulates a torn final write: random non-frame bytes after
-// the last commit marker of the log.
+// the last commit marker of the active log segment.
 func appendGarbage(t *testing.T, dir string) {
 	t.Helper()
-	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments in %s: %v", dir, err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}

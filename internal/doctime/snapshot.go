@@ -1,0 +1,54 @@
+package doctime
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"txmldb/internal/btree"
+)
+
+// doctimeImage is the serialized form of an Index for checkpoint images.
+// The configuration is not part of the image: it comes from New at open
+// time, exactly as for a freshly built index.
+type doctimeImage struct {
+	Entries []Entry
+	Skipped int
+}
+
+// SnapshotState serializes the index for a checkpoint image.
+func (ix *Index) SnapshotState() ([]byte, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	img := doctimeImage{
+		Entries: make([]Entry, 0, ix.tree.Len()),
+		Skipped: ix.skipped,
+	}
+	ix.tree.Ascend(func(k key, _ struct{}) bool {
+		img.Entries = append(img.Entries, Entry{At: k.at, EID: k.eid})
+		return true
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState replaces the index contents with a snapshot taken by
+// SnapshotState. The paths/layouts configuration passed to New is kept.
+func (ix *Index) RestoreState(data []byte) error {
+	var img doctimeImage
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+		return fmt.Errorf("doctime: restore: %w", err)
+	}
+	tree := btree.New[key, struct{}](keyLess)
+	for _, e := range img.Entries {
+		tree.Set(key{at: e.At, eid: e.EID}, struct{}{})
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.tree = tree
+	ix.skipped = img.Skipped
+	return nil
+}

@@ -1,0 +1,39 @@
+package doctime
+
+import (
+	"testing"
+
+	"txmldb/internal/model"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	ix := New(Config{Paths: []string{"item/published"}})
+	ix.AddVersion(1, feed("2001-01-01", "2001-01-05", "not a timestamp"))
+	blob, err := ix.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New(Config{Paths: []string{"item/published"}})
+	if err := restored.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != ix.Len() {
+		t.Fatalf("restored Len = %d, want %d", restored.Len(), ix.Len())
+	}
+	if restored.Skipped() != ix.Skipped() {
+		t.Fatalf("restored Skipped = %d, want %d", restored.Skipped(), ix.Skipped())
+	}
+	want := ix.Range(model.Always)
+	got := restored.Range(model.Always)
+	if len(got) != len(want) {
+		t.Fatalf("Range = %d entries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Range[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if err := restored.RestoreState([]byte("junk")); err == nil {
+		t.Error("garbage restore should fail")
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"txmldb/internal/core"
+	"txmldb/internal/store"
+)
+
+// C12 measures what the checkpoint & compaction subsystem buys on an aged
+// store: the cold-open cost of replaying the entire write-ahead log from
+// the epoch versus a bounded-replay open from the latest checkpoint
+// image, and the disk space returned by retention pruning plus log
+// compaction. The corpus is loaded durably with auto-checkpointing
+// disabled so the first open is a genuine full replay; the store is then
+// checkpointed and vacuumed (keep-last with interspersed snapshots, the
+// paper's §7.1 granule) and reopened cold.
+func C12(commits int) (Table, error) {
+	t := Table{
+		ID:    "C12",
+		Title: "checkpointed cold open & space reuse (aged durable store)",
+		Claim: "a checkpoint bounds reopen replay to the WAL suffix — open cost tracks the distance to the last image, not store age — and compaction plus retention return covered log segments and pruned versions to disk",
+		Columns: []string{"commits", "full_open_ms", "full_replay_kb", "ckpt_open_ms",
+			"ckpt_replay_commits", "speedup", "disk_kb_aged", "disk_kb_compacted"},
+	}
+	// Age across many documents with a bounded history each: the WAL's
+	// per-commit metadata delta carries the touched document's whole
+	// version list, so deep single-document histories grow the log
+	// quadratically; a wide corpus keeps aging linear in commits.
+	c := CorpusConfig{Docs: commits / 40, Elems: 12, Versions: 40, Ops: 2, Seed: 12}
+
+	dir, err := os.MkdirTemp("", "txmldb-c12-")
+	if err != nil {
+		return t, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Age the store: every version is a separate durable commit.
+	cfg := core.Config{Clock: c.clockAfter()}
+	db, err := core.OpenDurable(cfg, dir)
+	if err != nil {
+		return t, err
+	}
+	if _, err := c.generator().Load(db); err != nil {
+		db.Close()
+		return t, err
+	}
+	if err := db.Close(); err != nil {
+		return t, err
+	}
+	agedKB, err := dirKB(dir)
+	if err != nil {
+		return t, err
+	}
+
+	// Cold open #1: no image exists, so the open replays the whole log.
+	t0 := time.Now()
+	db, err = core.OpenDurable(cfg, dir)
+	if err != nil {
+		return t, err
+	}
+	fullOpen := time.Since(t0)
+	fullRep := db.OpenReport()
+	if fullRep.UsedCheckpoint {
+		db.Close()
+		return t, fmt.Errorf("C12: first open used a checkpoint before one was published")
+	}
+
+	// Publish a checkpoint (compaction drops the covered segments), then
+	// vacuum old versions at a snapshot granule so their extents are gone
+	// from the next image too.
+	if _, err := db.Checkpoint(); err != nil {
+		db.Close()
+		return t, err
+	}
+	if _, _, err := db.Vacuum(store.Retention{Policy: store.KeepLast, KeepLast: 16, Granule: 8}); err != nil {
+		db.Close()
+		return t, err
+	}
+	if rep := db.Fsck(); !rep.Clean() {
+		db.Close()
+		return t, fmt.Errorf("C12: fsck after vacuum:\n%s", rep)
+	}
+	if err := db.Close(); err != nil {
+		return t, err
+	}
+	compactKB, err := dirKB(dir)
+	if err != nil {
+		return t, err
+	}
+
+	// Cold open #2: bounded replay from the image.
+	t0 = time.Now()
+	db, err = core.OpenDurable(cfg, dir)
+	if err != nil {
+		return t, err
+	}
+	ckptOpen := time.Since(t0)
+	ckptRep := db.OpenReport()
+	if rep := db.Fsck(); !rep.Clean() {
+		db.Close()
+		return t, fmt.Errorf("C12: fsck after checkpointed open:\n%s", rep)
+	}
+	if err := db.Close(); err != nil {
+		return t, err
+	}
+	if !ckptRep.UsedCheckpoint {
+		return t, fmt.Errorf("C12: reopen ignored the published checkpoint: %s", ckptRep)
+	}
+
+	speedup := float64(fullOpen) / float64(ckptOpen)
+	t.Rows = append(t.Rows, []string{
+		itoa(fullRep.ReplayedCommits),
+		fmt.Sprintf("%.2f", float64(fullOpen.Microseconds())/1000),
+		fmt.Sprintf("%.1f", float64(fullRep.ReplayedBytes)/1024),
+		fmt.Sprintf("%.2f", float64(ckptOpen.Microseconds())/1000),
+		itoa(ckptRep.ReplayedCommits),
+		fmt.Sprintf("%.1fx", speedup),
+		itoa(agedKB), itoa(compactKB),
+	})
+	t.Verdict = "checkpointed open replays only the post-image suffix; compaction + keep-last retention shrink the directory while Fsck stays clean"
+	return t, nil
+}
+
+// dirKB sums the sizes of the regular files under dir, in KiB.
+func dirKB(dir string) (int64, error) {
+	var total int64
+	err := filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || !d.Type().IsRegular() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		total += info.Size()
+		return nil
+	})
+	return total / 1024, err
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestC12ShapeHolds runs the open-cost/space-reuse experiment at a small
+// scale and checks its claims hold directionally: the checkpointed open
+// replays far fewer commits than the full-replay open, is faster, and
+// compaction plus retention shrink the directory. The headline ≥10x
+// speedup needs the aged 10k-commit corpus and is asserted only in
+// EXPERIMENTS.md's txbench run, not here.
+func TestC12ShapeHolds(t *testing.T) {
+	const commits = 400
+	tbl, err := C12(commits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("C12 rows = %d", len(tbl.Rows))
+	}
+	row := tbl.Rows[0]
+	if got := cell(t, row, 0); got != commits {
+		t.Errorf("full open replayed %v commits, corpus has %d", got, commits)
+	}
+	if ckptReplay := cell(t, row, 4); ckptReplay >= commits/10 {
+		t.Errorf("checkpointed open replayed %v commits — replay is not bounded", ckptReplay)
+	}
+	if full, ckpt := cell(t, row, 1), cell(t, row, 3); ckpt >= full {
+		t.Errorf("checkpointed open (%vms) not faster than full replay (%vms)", ckpt, full)
+	}
+	if aged, compacted := cell(t, row, 6), cell(t, row, 7); compacted >= aged {
+		t.Errorf("compaction did not shrink the directory: %vKB -> %vKB", aged, compacted)
+	}
+}

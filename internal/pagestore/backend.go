@@ -73,6 +73,28 @@ type Backend interface {
 	Close() error
 }
 
+// DeltaMetaBackend is an optional backend capability: incremental metadata
+// persistence. PutMetaDelta appends a delta on top of the last full PutMeta
+// snapshot instead of rewriting the whole blob; MetaDeltas returns, in
+// append order, the committed deltas recovered since that snapshot. The
+// version store probes for it so that per-commit metadata cost is
+// proportional to the mutated document, not the whole catalog. Backends
+// without it (memory, single-file WAL, fault injector) keep the
+// full-snapshot path.
+type DeltaMetaBackend interface {
+	PutMetaDelta(delta []byte) error
+	MetaDeltas() [][]byte
+}
+
+// ProvenanceBackend is an optional backend capability: reporting where an
+// extent's bytes live at rest (segment file and offset, or the checkpoint
+// image). Fsck uses it to make at-rest-corruption reports actionable.
+type ProvenanceBackend interface {
+	// Provenance returns a human-readable location for the extent at the
+	// start page, and whether one is known.
+	Provenance(start int64) (string, bool)
+}
+
 // memory is the volatile in-process backend: a map from start page to
 // extent. It is the zero-configuration default and preserves the original
 // simulated-disk behaviour.

@@ -354,6 +354,50 @@ func (s *Store) Meta() []byte {
 	return s.backend.Meta()
 }
 
+// SetMetaDelta hands an incremental metadata record to the backend when it
+// supports delta persistence (DeltaMetaBackend). It reports false — and
+// does nothing — when the backend only takes full snapshots, so callers
+// fall back to SetMeta.
+func (s *Store) SetMetaDelta(delta []byte) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dm, ok := s.backend.(DeltaMetaBackend)
+	if !ok {
+		return false, nil
+	}
+	//txvet:ignore lockhold PutMetaDelta buffers the delta record in memory; durability is deferred to Commit
+	if err := dm.PutMetaDelta(delta); err != nil {
+		return true, err
+	}
+	return true, nil
+}
+
+// MetaDeltas returns the committed metadata deltas recovered since the last
+// full snapshot, nil when the backend has none or lacks delta support.
+func (s *Store) MetaDeltas() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dm, ok := s.backend.(DeltaMetaBackend)
+	if !ok {
+		return nil
+	}
+	//txvet:ignore lockhold MetaDeltas is an in-memory read of the buffered records
+	return dm.MetaDeltas()
+}
+
+// Provenance reports where the extent's bytes live at rest (segment file
+// and offset, or checkpoint image) when the backend tracks origins.
+func (s *Store) Provenance(start int64) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pb, ok := s.backend.(ProvenanceBackend)
+	if !ok {
+		return "", false
+	}
+	//txvet:ignore lockhold Provenance is an in-memory map lookup
+	return pb.Provenance(start)
+}
+
 // Commit asks the backend to make everything written so far durable.
 func (s *Store) Commit() error {
 	s.mu.Lock()

@@ -1,0 +1,404 @@
+package pagestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openSeg(t *testing.T, dir string, segBytes int64) *SegmentedWAL {
+	t.Helper()
+	w, err := OpenSegmentedWAL(SegWALConfig{Dir: dir, SegmentBytes: segBytes})
+	if err != nil {
+		t.Fatalf("OpenSegmentedWAL(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+func segPut(t *testing.T, w *SegmentedWAL, start int64, data []byte, pages int32) {
+	t.Helper()
+	if err := w.Put(start, Extent{Data: data, Pages: pages, Sum: Checksum(data)}); err != nil {
+		t.Fatalf("Put(%d): %v", start, err)
+	}
+}
+
+func segCommit(t *testing.T, w *SegmentedWAL) {
+	t.Helper()
+	if err := w.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func TestSegWALPersistReopenAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny rotation threshold: every commit rolls to a new segment.
+	w := openSeg(t, dir, 64)
+	for i := int64(0); i < 5; i++ {
+		segPut(t, w, i, []byte(fmt.Sprintf("extent-%d-payload", i)), 1)
+		segCommit(t, w)
+	}
+	if err := w.Delete(2); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	segPut(t, w, 0, []byte("extent-0-rewritten"), 1)
+	segCommit(t, w)
+	if segs := w.Segments(); segs < 3 {
+		t.Fatalf("Segments() = %d, want rotation to have happened", segs)
+	}
+	pos := w.Pos()
+	if pos.Seq < 3 {
+		t.Fatalf("Pos().Seq = %d, want the active segment after rotations", pos.Seq)
+	}
+	w.Close()
+
+	r := openSeg(t, dir, 64)
+	ext, err := r.Get(0)
+	if err != nil || string(ext.Data) != "extent-0-rewritten" {
+		t.Fatalf("Get(0) after reopen = %q, %v", ext.Data, err)
+	}
+	if _, err := r.Get(2); !errors.Is(err, ErrUnknownExtent) {
+		t.Fatalf("freed extent survived reopen: %v", err)
+	}
+	for _, i := range []int64{1, 3, 4} {
+		ext, err := r.Get(i)
+		if err != nil || string(ext.Data) != fmt.Sprintf("extent-%d-payload", i) {
+			t.Fatalf("Get(%d) after reopen = %q, %v", i, ext.Data, err)
+		}
+	}
+	st := r.Stats()
+	if st.SegmentsScanned < 3 || st.ReplayedCommits != 6 || st.ReplayedExtents != 6 {
+		t.Fatalf("replay stats = %+v, want >=3 segments, 6 commits, 6 extents", st)
+	}
+	if rp := r.Pos(); rp != pos {
+		t.Fatalf("Pos after reopen = %+v, want %+v", rp, pos)
+	}
+}
+
+func TestSegWALMetaDeltas(t *testing.T) {
+	dir := t.TempDir()
+	w := openSeg(t, dir, 1<<20)
+	if err := w.PutMeta([]byte("full-1")); err != nil {
+		t.Fatalf("PutMeta: %v", err)
+	}
+	segCommit(t, w)
+	for i := 1; i <= 3; i++ {
+		if err := w.PutMetaDelta([]byte(fmt.Sprintf("delta-%d", i))); err != nil {
+			t.Fatalf("PutMetaDelta: %v", err)
+		}
+		segCommit(t, w)
+	}
+	// Uncommitted delta must vanish on reopen.
+	if err := w.PutMetaDelta([]byte("volatile")); err != nil {
+		t.Fatalf("PutMetaDelta: %v", err)
+	}
+	w.Close()
+
+	r := openSeg(t, dir, 1<<20)
+	if got := string(r.Meta()); got != "full-1" {
+		t.Fatalf("Meta after reopen = %q", got)
+	}
+	deltas := r.MetaDeltas()
+	if len(deltas) != 3 {
+		t.Fatalf("MetaDeltas after reopen = %d records, want 3", len(deltas))
+	}
+	for i, d := range deltas {
+		if want := fmt.Sprintf("delta-%d", i+1); string(d) != want {
+			t.Fatalf("delta[%d] = %q, want %q", i, d, want)
+		}
+	}
+	// A fresh full snapshot clears the delta tail.
+	if err := r.PutMeta([]byte("full-2")); err != nil {
+		t.Fatalf("PutMeta: %v", err)
+	}
+	segCommit(t, r)
+	r.Close()
+	r2 := openSeg(t, dir, 1<<20)
+	if got := string(r2.Meta()); got != "full-2" {
+		t.Fatalf("Meta after snapshot = %q", got)
+	}
+	if d := r2.MetaDeltas(); len(d) != 0 {
+		t.Fatalf("MetaDeltas after full snapshot = %d records, want 0", len(d))
+	}
+}
+
+func TestSegWALAdoptsLegacyWAL(t *testing.T) {
+	dir := t.TempDir()
+	lw, err := OpenWAL(filepath.Join(dir, legacyWALFile))
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	if err := lw.Put(0, Extent{Data: []byte("legacy extent"), Pages: 1, Sum: Checksum([]byte("legacy extent"))}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := lw.PutMeta([]byte("legacy meta")); err != nil {
+		t.Fatalf("PutMeta: %v", err)
+	}
+	if err := lw.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	lw.Close()
+
+	w := openSeg(t, dir, 1<<20)
+	ext, err := w.Get(0)
+	if err != nil || string(ext.Data) != "legacy extent" {
+		t.Fatalf("Get(0) after adoption = %q, %v", ext.Data, err)
+	}
+	if got := string(w.Meta()); got != "legacy meta" {
+		t.Fatalf("Meta after adoption = %q", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, legacyWALFile)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("legacy wal file still present: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, SegmentFileName(1))); err != nil {
+		t.Fatalf("segment 1 missing after adoption: %v", err)
+	}
+}
+
+func TestSegWALBaseStateSuffixReplay(t *testing.T) {
+	dir := t.TempDir()
+	w := openSeg(t, dir, 64)
+	segPut(t, w, 0, []byte("pre-checkpoint"), 1)
+	segCommit(t, w)
+	segPut(t, w, 1, []byte("also pre-checkpoint"), 1)
+	segCommit(t, w)
+	base := w.StateSnapshot()
+	segPut(t, w, 2, []byte("post-checkpoint"), 1)
+	segCommit(t, w)
+	w.Close()
+
+	r, err := OpenSegmentedWAL(SegWALConfig{Dir: dir, SegmentBytes: 64, Base: &BaseState{
+		Extents: base.Extents, Meta: base.Meta, Next: base.Next, Pos: base.Pos,
+	}})
+	if err != nil {
+		t.Fatalf("OpenSegmentedWAL with base: %v", err)
+	}
+	defer r.Close()
+	for i, want := range []string{"pre-checkpoint", "also pre-checkpoint", "post-checkpoint"} {
+		ext, err := r.Get(int64(i))
+		if err != nil || string(ext.Data) != want {
+			t.Fatalf("Get(%d) = %q, %v; want %q", i, ext.Data, err, want)
+		}
+	}
+	st := r.Stats()
+	if st.ReplayedCommits != 1 || st.ReplayedExtents != 1 {
+		t.Fatalf("suffix replay stats = %+v, want exactly the post-checkpoint commit", st)
+	}
+	// Base extents report checkpoint provenance, replayed ones a segment.
+	if p, ok := r.Provenance(0); !ok || p != "checkpoint image" {
+		t.Fatalf("Provenance(0) = %q, %v", p, ok)
+	}
+	if p, ok := r.Provenance(2); !ok || !strings.Contains(p, segSuffix+"@") {
+		t.Fatalf("Provenance(2) = %q, %v; want a segment@offset", p, ok)
+	}
+}
+
+func TestSegWALMissingSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	w := openSeg(t, dir, 64)
+	for i := int64(0); i < 4; i++ {
+		segPut(t, w, i, bytes.Repeat([]byte{byte('a' + i)}, 40), 1)
+		segCommit(t, w)
+	}
+	if w.Segments() < 3 {
+		t.Fatalf("want at least 3 segments, have %d", w.Segments())
+	}
+	w.Close()
+
+	// A hole in the middle of the sequence must fail a full replay.
+	if err := os.Remove(filepath.Join(dir, SegmentFileName(2))); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := OpenSegmentedWAL(SegWALConfig{Dir: dir, SegmentBytes: 64}); !errors.Is(err, ErrMissingSegments) {
+		t.Fatalf("open with missing segment = %v, want ErrMissingSegments", err)
+	}
+}
+
+func TestSegWALBaseBeyondDiskFails(t *testing.T) {
+	dir := t.TempDir()
+	w := openSeg(t, dir, 1<<20)
+	segPut(t, w, 0, []byte("x"), 1)
+	segCommit(t, w)
+	w.Close()
+	_, err := OpenSegmentedWAL(SegWALConfig{Dir: dir, SegmentBytes: 1 << 20, Base: &BaseState{
+		Extents: map[int64]Extent{}, Pos: LogPos{Seq: 9, Off: 0},
+	}})
+	if !errors.Is(err, ErrMissingSegments) {
+		t.Fatalf("open with base beyond disk = %v, want ErrMissingSegments", err)
+	}
+	// Base offset past the segment's size is at-rest damage, not a crash.
+	_, err = OpenSegmentedWAL(SegWALConfig{Dir: dir, SegmentBytes: 1 << 20, Base: &BaseState{
+		Extents: map[int64]Extent{}, Pos: LogPos{Seq: 1, Off: 1 << 30},
+	}})
+	if !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("open with base offset past EOF = %v, want ErrBadSegment", err)
+	}
+}
+
+func TestSegWALDropSegmentsBelow(t *testing.T) {
+	dir := t.TempDir()
+	w := openSeg(t, dir, 64)
+	for i := int64(0); i < 4; i++ {
+		segPut(t, w, i, bytes.Repeat([]byte{byte('a' + i)}, 40), 1)
+		segCommit(t, w)
+	}
+	active := w.Pos().Seq
+	if active < 3 {
+		t.Fatalf("want rotations before compaction, active=%d", active)
+	}
+	removed, err := w.DropSegmentsBelow(active)
+	if err != nil {
+		t.Fatalf("DropSegmentsBelow: %v", err)
+	}
+	if removed != int(active-1) {
+		t.Fatalf("removed %d segments, want %d", removed, active-1)
+	}
+	if w.Segments() != 1 {
+		t.Fatalf("Segments after drop = %d, want 1", w.Segments())
+	}
+	// The active segment can never be dropped, even when asked.
+	if _, err := w.DropSegmentsBelow(active + 10); err != nil {
+		t.Fatalf("DropSegmentsBelow(active+10): %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, SegmentFileName(active))); err != nil {
+		t.Fatalf("active segment deleted: %v", err)
+	}
+	// Reopening without the dropped prefix needs a base at the survivor.
+	state := w.StateSnapshot()
+	w.Close()
+	if _, err := OpenSegmentedWAL(SegWALConfig{Dir: dir, SegmentBytes: 64}); !errors.Is(err, ErrMissingSegments) {
+		t.Fatalf("full replay after compaction = %v, want ErrMissingSegments", err)
+	}
+	r, err := OpenSegmentedWAL(SegWALConfig{Dir: dir, SegmentBytes: 64, Base: &BaseState{
+		Extents: state.Extents, Meta: state.Meta, Next: state.Next, Pos: state.Pos,
+	}})
+	if err != nil {
+		t.Fatalf("base open after compaction: %v", err)
+	}
+	defer r.Close()
+	for i := int64(0); i < 4; i++ {
+		if _, err := r.Get(i); err != nil {
+			t.Fatalf("Get(%d) after compaction: %v", i, err)
+		}
+	}
+}
+
+// TestSegWALTornTailEveryOffset is the crash-at-every-offset property on the
+// active segment: truncating it at any byte recovers exactly the last whole
+// commit, with earlier (closed) segments intact.
+func TestSegWALTornTailEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	w := openSeg(t, dir, 128)
+	type golden struct {
+		pos     LogPos
+		extents map[int64]string
+	}
+	goldens := []golden{}
+	snap := func(extents map[int64]string) {
+		goldens = append(goldens, golden{pos: w.Pos(), extents: extents})
+	}
+	segPut(t, w, 0, bytes.Repeat([]byte("a"), 100), 1)
+	segCommit(t, w) // fills segment 1, rotates
+	snap(map[int64]string{0: strings.Repeat("a", 100)})
+	segPut(t, w, 1, []byte("bb"), 1)
+	segCommit(t, w)
+	snap(map[int64]string{0: strings.Repeat("a", 100), 1: "bb"})
+	segPut(t, w, 2, []byte("ccc"), 1)
+	segCommit(t, w)
+	snap(map[int64]string{0: strings.Repeat("a", 100), 1: "bb", 2: "ccc"})
+	active := w.Pos()
+	w.Close()
+	if active.Seq != 2 {
+		t.Fatalf("test assumes commits 2 and 3 share segment 2, active=%+v", active)
+	}
+
+	activePath := filepath.Join(dir, SegmentFileName(active.Seq))
+	full, err := os.ReadFile(activePath)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	for cut := int64(0); cut <= int64(len(full)); cut++ {
+		want := goldens[0]
+		for _, g := range goldens {
+			if g.pos.Seq < active.Seq || g.pos.Off <= cut {
+				want = g
+			}
+		}
+		work := t.TempDir()
+		for _, seq := range []int64{1, 2} {
+			src := filepath.Join(dir, SegmentFileName(seq))
+			data, err := os.ReadFile(src)
+			if err != nil {
+				t.Fatalf("ReadFile(%s): %v", src, err)
+			}
+			if seq == active.Seq {
+				data = data[:cut]
+			}
+			if err := os.WriteFile(filepath.Join(work, SegmentFileName(seq)), data, 0o644); err != nil {
+				t.Fatalf("WriteFile: %v", err)
+			}
+		}
+		r, err := OpenSegmentedWAL(SegWALConfig{Dir: work, SegmentBytes: 128})
+		if err != nil {
+			t.Fatalf("cut=%d: open: %v", cut, err)
+		}
+		count := 0
+		r.Range(func(int64, Extent) bool { count++; return true })
+		if count != len(want.extents) {
+			t.Fatalf("cut=%d: %d extents, want %d", cut, count, len(want.extents))
+		}
+		for start, payload := range want.extents {
+			ext, err := r.Get(start)
+			if err != nil || string(ext.Data) != payload {
+				t.Fatalf("cut=%d: Get(%d) = %q, %v", cut, start, ext.Data, err)
+			}
+		}
+		r.Close()
+	}
+}
+
+func TestSegWALMidLogCorruptionFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	w := openSeg(t, dir, 64)
+	segPut(t, w, 0, bytes.Repeat([]byte("x"), 60), 1)
+	segCommit(t, w) // rotates
+	segPut(t, w, 1, []byte("y"), 1)
+	segCommit(t, w)
+	w.Close()
+
+	// Flip a byte inside the closed segment 1: that is at-rest corruption
+	// mid-log, which a replay must refuse rather than silently skip.
+	p1 := filepath.Join(dir, SegmentFileName(1))
+	data, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	data[frameHeaderLen] ^= 0xff
+	if err := os.WriteFile(p1, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := OpenSegmentedWAL(SegWALConfig{Dir: dir, SegmentBytes: 64}); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("open over mid-log corruption = %v, want ErrBadSegment", err)
+	}
+}
+
+func TestParseSegmentName(t *testing.T) {
+	if name := SegmentFileName(7); name != "wal-00000007.seg" {
+		t.Fatalf("SegmentFileName(7) = %q", name)
+	}
+	for _, ok := range []string{"wal-00000001.seg", "wal-99999999.seg"} {
+		if _, got := parseSegmentName(ok); !got {
+			t.Errorf("parseSegmentName(%q) rejected", ok)
+		}
+	}
+	for _, bad := range []string{"pages.wal", "wal-0.seg", "wal-00000000.seg",
+		"wal-00000001.seg.tmp", "wal--0000001.seg", "ckpt-00000001-000000000000.ckpt"} {
+		if seq, got := parseSegmentName(bad); got {
+			t.Errorf("parseSegmentName(%q) accepted as %d", bad, seq)
+		}
+	}
+}

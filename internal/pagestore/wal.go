@@ -37,6 +37,12 @@ const (
 	recFree   byte = 'F'
 	recMeta   byte = 'M'
 	recCommit byte = 'C'
+	// recMetaDelta is an incremental metadata record: instead of a full
+	// snapshot of the version store's delta index, the payload describes
+	// only the mutated document. Only the segmented WAL writes these (the
+	// single-file WAL predates them); replay collects them in order on top
+	// of the last full recMeta snapshot.
+	recMetaDelta byte = 'D'
 
 	frameHeaderLen = 17
 	frameCRCLen    = 4
@@ -55,8 +61,11 @@ type WALStats struct {
 	Syncs           int64 // fsyncs issued
 	BytesAppended   int64 // total bytes appended to the log file
 	PayloadBytes    int64 // extent payload bytes appended
-	RecoveredBytes  int64 // bytes of committed log replayed by OpenWAL
-	TruncatedOnOpen int64 // bytes of torn/uncommitted tail discarded by OpenWAL
+	RecoveredBytes  int64 // bytes of committed log replayed at open
+	TruncatedOnOpen int64 // bytes of torn/uncommitted tail discarded at open
+	ReplayedCommits int64 // commit markers applied during open replay
+	ReplayedExtents int64 // extent records applied during open replay
+	SegmentsScanned int64 // segment files read during open (segmented WAL)
 }
 
 // WriteAmplification returns BytesAppended / PayloadBytes (0 when no
@@ -105,6 +114,8 @@ func OpenWAL(path string) (*WAL, error) {
 	}
 	w.stats.RecoveredBytes = state.committed
 	w.stats.TruncatedOnOpen = int64(len(data)) - state.committed
+	w.stats.ReplayedCommits = state.commits
+	w.stats.ReplayedExtents = state.extentsApplied
 	if state.committed < int64(len(data)) {
 		// Torn or uncommitted tail: cut the file back to the last commit
 		// so future appends continue from a durable prefix.
@@ -122,10 +133,13 @@ func OpenWAL(path string) (*WAL, error) {
 
 // replayState is the recovered image of a log prefix.
 type replayState struct {
-	extents   map[int64]Extent
-	meta      []byte
-	next      int64
-	committed int64 // offset just past the last applied commit marker
+	extents        map[int64]Extent
+	meta           []byte
+	metaDeltas     [][]byte // committed recMetaDelta payloads since the last full recMeta
+	next           int64
+	committed      int64 // offset just past the last applied commit marker
+	commits        int64 // commit markers applied
+	extentsApplied int64 // extent records applied
 }
 
 // pendingOp is one logged mutation awaiting its commit marker.
@@ -161,6 +175,8 @@ func replayLog(data []byte) replayState {
 			pending = append(pending, pendingOp{kind: recFree, start: fr.start})
 		case recMeta:
 			pending = append(pending, pendingOp{kind: recMeta, meta: append([]byte(nil), fr.payload...)})
+		case recMetaDelta:
+			pending = append(pending, pendingOp{kind: recMetaDelta, meta: append([]byte(nil), fr.payload...)})
 		case recCommit:
 			for _, op := range pending {
 				switch op.kind {
@@ -169,14 +185,19 @@ func replayLog(data []byte) replayState {
 					if end := op.start + int64(op.ext.Pages); end > st.next {
 						st.next = end
 					}
+					st.extentsApplied++
 				case recFree:
 					delete(st.extents, op.start)
 				case recMeta:
 					st.meta = op.meta
+					st.metaDeltas = nil
+				case recMetaDelta:
+					st.metaDeltas = append(st.metaDeltas, op.meta)
 				}
 			}
 			pending = pending[:0]
 			st.committed = off + int64(n)
+			st.commits++
 		}
 		off += int64(n)
 	}
@@ -205,7 +226,7 @@ func decodeFrame(data []byte) (frame, int, error) {
 	var fr frame
 	fr.kind = data[0]
 	switch fr.kind {
-	case recExtent, recFree, recMeta, recCommit:
+	case recExtent, recFree, recMeta, recCommit, recMetaDelta:
 	default:
 		return frame{}, 0, fmt.Errorf("%w: unknown kind %#x", errBadFrame, fr.kind)
 	}

@@ -117,4 +117,55 @@ func TestEngineMetricsAbsentWithoutCache(t *testing.T) {
 	if strings.Contains(out, "txserved_vcache_") {
 		t.Error("/metrics exposes vcache series for an engine without a cache")
 	}
+	// In-memory engines have no checkpoint subsystem either.
+	if strings.Contains(out, "txserved_checkpoint_") || strings.Contains(out, "txserved_wal_segments") {
+		t.Error("/metrics exposes checkpoint series for a non-durable engine")
+	}
+}
+
+// TestCheckpointMetricsExposed: a durable engine exposes the checkpoint
+// and WAL-segment series, and a published checkpoint shows up in them.
+func TestCheckpointMetricsExposed(t *testing.T) {
+	db, err := core.OpenDurable(core.Config{
+		Clock: func() model.Time { return model.Date(2001, 2, 10) },
+	}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.Put("http://guide.com/restaurants.xml",
+		xmltree.Elem("guide", xmltree.Elem("restaurant",
+			xmltree.ElemText("name", "Napoli"), xmltree.ElemText("price", "15"))),
+		model.Date(2001, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(db, Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(body)
+	for _, want := range []string{
+		"txserved_checkpoint_total 1",
+		"txserved_checkpoint_errors_total 0",
+		"txserved_checkpoint_last_bytes",
+		"txserved_checkpoint_last_ms",
+		"txserved_checkpoint_segments_deleted_total",
+		"txserved_wal_segments",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if strings.Contains(out, "txserved_wal_segments 0") {
+		t.Error("/metrics reports zero WAL segments on a durable engine")
+	}
 }

@@ -76,6 +76,15 @@ type poolStatser interface {
 	PoolStats() txmldb.PoolStats
 }
 
+// checkpointStatser is optionally implemented by engines (txmldb.DB is
+// one) to expose the checkpoint & compaction subsystem's counters on
+// /metrics. CheckpointStats returns false on non-durable engines, which
+// keeps the metric family out of the exposition entirely.
+type checkpointStatser interface {
+	CheckpointStats() (txmldb.CheckpointStats, bool)
+	WALSegments() int64
+}
+
 // healthReporter is optionally implemented by engines (txmldb.DB is one)
 // carrying a resilience tier: /readyz and the txserved_health_* /
 // txserved_breaker_* metrics are derived from its snapshots, and 503
@@ -263,6 +272,31 @@ func (s *Server) registerEngineMetrics() {
 					}
 					return int64(sc.Speedup() * 1000)
 				})
+		}
+	}
+	if ck, ok := s.engine.(checkpointStatser); ok {
+		if _, durable := ck.CheckpointStats(); durable {
+			cks := func(f func(txmldb.CheckpointStats) int64) func() int64 {
+				return func() int64 { st, _ := ck.CheckpointStats(); return f(st) }
+			}
+			s.reg.CounterFunc("txserved_checkpoint_total",
+				"checkpoints published",
+				cks(func(st txmldb.CheckpointStats) int64 { return int64(st.Runs) }))
+			s.reg.CounterFunc("txserved_checkpoint_errors_total",
+				"checkpoint attempts that failed",
+				cks(func(st txmldb.CheckpointStats) int64 { return int64(st.Errors) }))
+			s.reg.GaugeFunc("txserved_checkpoint_last_bytes",
+				"size of the last published checkpoint image",
+				cks(func(st txmldb.CheckpointStats) int64 { return st.LastBytes }))
+			s.reg.GaugeFunc("txserved_checkpoint_last_ms",
+				"wall time of the last checkpoint run in milliseconds",
+				cks(func(st txmldb.CheckpointStats) int64 { return st.LastDuration.Milliseconds() }))
+			s.reg.CounterFunc("txserved_checkpoint_segments_deleted_total",
+				"write-ahead-log segments reclaimed by checkpoint compaction",
+				cks(func(st txmldb.CheckpointStats) int64 { return int64(st.SegmentsDeleted) }))
+			s.reg.GaugeFunc("txserved_wal_segments",
+				"write-ahead-log segments currently on disk",
+				func() int64 { return ck.WALSegments() })
 		}
 	}
 	if hr, ok := s.engine.(healthReporter); ok {

@@ -42,11 +42,22 @@ type metaDoc struct {
 }
 
 type metaVersion struct {
-	Ver   int64   `json:"ver"`
-	Stamp int64   `json:"stamp"`
-	End   int64   `json:"end"`
-	Delta metaRef `json:"delta"`
-	Snap  metaRef `json:"snap"`
+	Ver    int64   `json:"ver"`
+	Stamp  int64   `json:"stamp"`
+	End    int64   `json:"end"`
+	Delta  metaRef `json:"delta"`
+	Snap   metaRef `json:"snap"`
+	Pruned bool    `json:"pruned,omitempty"`
+}
+
+// metaDelta is one incremental metadata record: a full upsert of a single
+// document's table entry. Backends with delta support log one of these per
+// commit instead of the whole table; replay applies them in order on top of
+// the last full snapshot.
+type metaDelta struct {
+	Format  int     `json:"format"`
+	NextDoc int64   `json:"nextDoc"`
+	Doc     metaDoc `json:"doc"`
 }
 
 type metaRef struct {
@@ -60,6 +71,29 @@ func (m metaRef) ref() pagestore.Ref {
 	return pagestore.Ref{Start: m.Start, Pages: m.Pages, Len: m.Len}
 }
 
+// metaDocOf flattens one document entry into its wire form.
+func metaDocOf(d *docEntry) metaDoc {
+	md := metaDoc{
+		ID:      int64(d.id),
+		Name:    d.name,
+		NextXID: int64(d.nextXID),
+		Created: int64(d.created),
+		Deleted: int64(d.deleted),
+		RootXID: int64(d.rootXID),
+	}
+	for _, v := range d.versions {
+		md.Versions = append(md.Versions, metaVersion{
+			Ver:    int64(v.Ver),
+			Stamp:  int64(v.Stamp),
+			End:    int64(v.End),
+			Delta:  toMetaRef(v.DeltaToNext),
+			Snap:   toMetaRef(v.Snapshot),
+			Pruned: v.Pruned,
+		})
+	}
+	return md
+}
+
 // marshalMetaLocked serializes the document table. Callers hold s.mu.
 func (s *Store) marshalMetaLocked() ([]byte, error) {
 	mf := metaFile{Format: metaFormat, NextDoc: int64(s.nextDoc)}
@@ -69,27 +103,27 @@ func (s *Store) marshalMetaLocked() ([]byte, error) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		d := s.docs[id]
-		md := metaDoc{
-			ID:      int64(d.id),
-			Name:    d.name,
-			NextXID: int64(d.nextXID),
-			Created: int64(d.created),
-			Deleted: int64(d.deleted),
-			RootXID: int64(d.rootXID),
-		}
-		for _, v := range d.versions {
-			md.Versions = append(md.Versions, metaVersion{
-				Ver:   int64(v.Ver),
-				Stamp: int64(v.Stamp),
-				End:   int64(v.End),
-				Delta: toMetaRef(v.DeltaToNext),
-				Snap:  toMetaRef(v.Snapshot),
-			})
-		}
-		mf.Docs = append(mf.Docs, md)
+		mf.Docs = append(mf.Docs, metaDocOf(s.docs[id]))
 	}
 	return json.Marshal(mf)
+}
+
+// marshalDocDeltaLocked serializes a single-document upsert record.
+// Callers hold s.mu.
+func (s *Store) marshalDocDeltaLocked(d *docEntry) ([]byte, error) {
+	return json.Marshal(metaDelta{
+		Format:  metaFormat,
+		NextDoc: int64(s.nextDoc),
+		Doc:     metaDocOf(d),
+	})
+}
+
+// MarshalMeta serializes the full document table, as a checkpoint image
+// stores it: a base that later metadata deltas apply on top of.
+func (s *Store) MarshalMeta() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.marshalMetaLocked()
 }
 
 // Open returns a store over cfg; if the backend carries a committed
@@ -105,22 +139,50 @@ func (s *Store) marshalMetaLocked() ([]byte, error) {
 func Open(cfg Config) (*Store, error) {
 	s := New(cfg)
 	meta := s.pages.Meta()
-	if len(meta) == 0 {
+	deltas := s.pages.MetaDeltas()
+	if len(meta) == 0 && len(deltas) == 0 {
 		return s, nil
 	}
-	if err := s.restoreMeta(meta); err != nil {
+	if err := s.restoreMeta(meta, deltas); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-func (s *Store) restoreMeta(meta []byte) error {
+// restoreMeta rebuilds the document table from the last full metadata
+// snapshot plus any later per-document delta records, applied in log order.
+func (s *Store) restoreMeta(meta []byte, deltas [][]byte) error {
 	var mf metaFile
-	if err := json.Unmarshal(meta, &mf); err != nil {
+	if len(meta) == 0 {
+		// No full snapshot yet: the whole table lives in delta records.
+		mf.Format = metaFormat
+	} else if err := json.Unmarshal(meta, &mf); err != nil {
 		return fmt.Errorf("store: recover: parsing metadata snapshot: %w", err)
 	}
 	if mf.Format != metaFormat {
 		return fmt.Errorf("store: recover: metadata format %d, want %d", mf.Format, metaFormat)
+	}
+	byID := make(map[int64]int, len(mf.Docs))
+	for i, md := range mf.Docs {
+		byID[md.ID] = i
+	}
+	for i, raw := range deltas {
+		var del metaDelta
+		if err := json.Unmarshal(raw, &del); err != nil {
+			return fmt.Errorf("store: recover: parsing metadata delta %d: %w", i, err)
+		}
+		if del.Format != metaFormat {
+			return fmt.Errorf("store: recover: metadata delta %d format %d, want %d", i, del.Format, metaFormat)
+		}
+		if del.NextDoc > mf.NextDoc {
+			mf.NextDoc = del.NextDoc
+		}
+		if j, ok := byID[del.Doc.ID]; ok {
+			mf.Docs[j] = del.Doc
+		} else {
+			byID[del.Doc.ID] = len(mf.Docs)
+			mf.Docs = append(mf.Docs, del.Doc)
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -141,6 +203,7 @@ func (s *Store) restoreMeta(meta []byte) error {
 				End:         model.Time(mv.End),
 				DeltaToNext: mv.Delta.ref(),
 				Snapshot:    mv.Snap.ref(),
+				Pruned:      mv.Pruned,
 			})
 		}
 		if len(d.versions) == 0 {

@@ -26,6 +26,11 @@ type FsckProblem struct {
 	Kind string
 	Ref  pagestore.Ref
 	Err  error
+	// Where names the physical location of the damaged extent when the
+	// backend can attribute it — the WAL segment file and byte offset the
+	// extent record lives at, or the checkpoint image it was loaded from.
+	// Empty on backends without provenance tracking.
+	Where string
 	// Unreachable lists versions that cannot be reconstructed because of
 	// this extent alone (they would be reachable if it were intact).
 	Unreachable []model.VersionNo
@@ -34,6 +39,9 @@ type FsckProblem struct {
 func (p FsckProblem) String() string {
 	s := fmt.Sprintf("doc %d (%s) version %d: %s at page %d: %v",
 		p.Doc, p.Name, p.Ver, p.Kind, p.Ref.Start, p.Err)
+	if p.Where != "" {
+		s += fmt.Sprintf(" (in %s)", p.Where)
+	}
 	if len(p.Unreachable) > 0 {
 		vs := make([]string, len(p.Unreachable))
 		for i, v := range p.Unreachable {
@@ -102,6 +110,7 @@ func (s *Store) Fsck() FsckReport {
 					problems = append(problems, FsckProblem{
 						Doc: id, Name: d.name, Ver: v.Ver,
 						Kind: "delta", Ref: v.DeltaToNext, Err: err,
+						Where: s.provenance(v.DeltaToNext),
 					})
 				} else {
 					deltaOK[i+1] = true
@@ -113,6 +122,7 @@ func (s *Store) Fsck() FsckReport {
 					problems = append(problems, FsckProblem{
 						Doc: id, Name: d.name, Ver: v.Ver,
 						Kind: "snapshot", Ref: v.Snapshot, Err: err,
+						Where: s.provenance(v.Snapshot),
 					})
 				} else {
 					snapOK[i+1] = true
@@ -138,11 +148,19 @@ func (s *Store) Fsck() FsckReport {
 			problems = append(problems, FsckProblem{
 				Doc: id, Name: d.name, Ver: model.VersionNo(n),
 				Kind: "current", Ref: d.versions[n-1].Snapshot, Err: d.curErr,
+				Where: s.provenance(d.versions[n-1].Snapshot),
 			})
 		}
 		rep.Problems = append(rep.Problems, problems...)
 	}
 	return rep
+}
+
+// provenance asks the backend where the extent physically lives; empty when
+// the backend does not track origins.
+func (s *Store) provenance(ref pagestore.Ref) string {
+	where, _ := s.pages.Provenance(ref.Start)
+	return where
 }
 
 // reachableWith reports whether version v reconstructs given the intact

@@ -26,6 +26,9 @@ func (v VersionTree) TEID(doc model.DocID) model.TEID {
 // damaged.
 func (s *Store) readScript(ctx context.Context, d *docEntry, fromVer model.VersionNo) (*diff.Script, error) {
 	info := d.versions[fromVer-1]
+	if info.Pruned {
+		return nil, fmt.Errorf("%w: delta %d→%d of doc %d", ErrPruned, fromVer, fromVer+1, d.id)
+	}
 	if info.DeltaToNext.Zero() {
 		return nil, fmt.Errorf("store: no delta from version %d of doc %d", fromVer, d.id)
 	}
@@ -84,6 +87,9 @@ func (s *Store) ReconstructVersionContext(ctx context.Context, id model.DocID, v
 func (s *Store) reconstruct(ctx context.Context, d *docEntry, ver model.VersionNo) (VersionTree, error) {
 	if ver < 1 || int(ver) > len(d.versions) {
 		return VersionTree{}, fmt.Errorf("store: doc %d has no version %d", d.id, ver)
+	}
+	if d.versions[ver-1].Pruned {
+		return VersionTree{}, fmt.Errorf("%w: version %d of doc %d", ErrPruned, ver, d.id)
 	}
 	// Use the oldest readable snapshot at or after the target version (the
 	// current version always has a full serialization). A corrupt snapshot
@@ -232,6 +238,11 @@ func (s *Store) DocHistoryContext(ctx context.Context, id model.DocID, iv model.
 	tree := vt.Root
 	for i := last; i >= 0 && d.versions[i].Interval().Overlaps(iv); i-- {
 		out = append(out, VersionTree{Info: d.versions[i], Root: tree.Clone()})
+		if i > 0 && d.versions[i-1].Pruned {
+			// Pruning is a per-document prefix: everything further back was
+			// reclaimed by retention, so the walk ends here.
+			break
+		}
 		if i > 0 {
 			script, err := s.readScript(ctx, d, d.versions[i-1].Ver)
 			if err != nil {

@@ -62,6 +62,11 @@ type VersionInfo struct {
 	// Snapshot references a full serialization of this version, if one was
 	// stored; zero otherwise. The current version always has one.
 	Snapshot pagestore.Ref
+	// Pruned marks a version whose extents were reclaimed by a retention
+	// vacuum. The entry itself stays — version numbers are positional in the
+	// delta index — but both refs are zero and the version cannot be
+	// materialized anymore (ErrPruned).
+	Pruned bool
 }
 
 // Interval returns the transaction-time validity of the version.
@@ -110,6 +115,11 @@ type Store struct {
 	// readers that only hold s.mu.RLock.
 	jmu  sync.Mutex
 	jrnd *rand.Rand
+
+	// ckptCommits counts durable commits since the last checkpoint; the
+	// checkpoint trigger polls it. Mutated under s.mu (writers hold the
+	// write lock), read under RLock.
+	ckptCommits int
 }
 
 // New returns an empty store.
@@ -265,8 +275,8 @@ func (s *Store) jitter(max time.Duration) time.Duration {
 	return time.Duration(s.jrnd.Int63n(int64(max)))
 }
 
-// persistLocked snapshots the delta index into the backend's metadata and
-// commits, making the mutation durable. It is a no-op on volatile
+// persistLocked snapshots the whole delta index into the backend's metadata
+// and commits, making the mutation durable. It is a no-op on volatile
 // backends. Callers hold s.mu.
 func (s *Store) persistLocked() error {
 	if !s.pages.Durable() {
@@ -282,7 +292,49 @@ func (s *Store) persistLocked() error {
 	if err := s.pages.Commit(); err != nil {
 		return fmt.Errorf("store: commit: %w", err)
 	}
+	s.ckptCommits++
 	return nil
+}
+
+// persistDocLocked makes a single-document mutation durable. On backends
+// with metadata-delta support it logs only the touched document's table
+// entry — O(doc) instead of O(database) per commit — and falls back to the
+// full persistLocked snapshot otherwise. Callers hold s.mu.
+func (s *Store) persistDocLocked(d *docEntry) error {
+	if !s.pages.Durable() {
+		return nil
+	}
+	delta, err := s.marshalDocDeltaLocked(d)
+	if err != nil {
+		return fmt.Errorf("store: serialize meta delta: %w", err)
+	}
+	ok, err := s.pages.SetMetaDelta(delta)
+	if err != nil {
+		return fmt.Errorf("store: persist meta delta: %w", err)
+	}
+	if !ok {
+		return s.persistLocked()
+	}
+	if err := s.pages.Commit(); err != nil {
+		return fmt.Errorf("store: commit: %w", err)
+	}
+	s.ckptCommits++
+	return nil
+}
+
+// CommitsSinceCheckpoint reports how many durable commits happened since
+// the last NoteCheckpoint (or open). Checkpoint triggers poll it.
+func (s *Store) CommitsSinceCheckpoint() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ckptCommits
+}
+
+// NoteCheckpoint resets the commit counter after a published checkpoint.
+func (s *Store) NoteCheckpoint() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ckptCommits = 0
 }
 
 // Put stores tree as version 1 of a new document under name. The tree is
@@ -319,7 +371,7 @@ func (s *Store) Put(name string, tree *xmltree.Node, t model.Time) (model.DocID,
 	d.versions = []VersionInfo{{Ver: 1, Stamp: t, End: model.Forever, Snapshot: ref}}
 	s.docs[id] = d
 	s.byName[name] = id
-	if err := s.persistLocked(); err != nil {
+	if err := s.persistDocLocked(d); err != nil {
 		return 0, fmt.Errorf("store: put %q: %w", name, err)
 	}
 	return id, nil
@@ -385,7 +437,7 @@ func (s *Store) Update(id model.DocID, tree *xmltree.Node, t model.Time) (model.
 		return 0, nil, fmt.Errorf("store: update %d: %w", id, err)
 	}
 	d.versions = append(d.versions, newInfo)
-	if err := s.persistLocked(); err != nil {
+	if err := s.persistDocLocked(d); err != nil {
 		return 0, nil, fmt.Errorf("store: update %d: %w", id, err)
 	}
 	return newVer, script, nil
@@ -414,7 +466,7 @@ func (s *Store) Delete(id model.DocID, t model.Time) error {
 	}
 	d.deleted = t
 	cur.End = t
-	if err := s.persistLocked(); err != nil {
+	if err := s.persistDocLocked(d); err != nil {
 		return fmt.Errorf("store: delete %d: %w", id, err)
 	}
 	return nil

@@ -1,0 +1,195 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"txmldb/internal/model"
+	"txmldb/internal/pagestore"
+	"txmldb/internal/xmltree"
+)
+
+// Retention vacuum: reclaim the space of historical versions nobody will
+// query again. The paper's storage model (Section 7.1) keeps every
+// completed delta forever; a retention policy bounds that. Pruning is
+// always a per-document *prefix* of the version chain — version numbers are
+// positional in the delta index, so pruned entries stay as stubs with their
+// extents freed rather than being removed. Before pruning, the vacuum
+// intersperses full snapshots among the survivors at the configured granule
+// (Section 7.1's snapshot interspersal), so the oldest surviving versions
+// stay reconstructible without the deltas below the cut.
+
+// ErrPruned reports an access to a version whose extents were reclaimed by
+// a retention vacuum.
+var ErrPruned = errors.New("store: version pruned by retention policy")
+
+// RetentionPolicy selects which historical versions a vacuum keeps.
+type RetentionPolicy int
+
+const (
+	// KeepAll prunes nothing; a vacuum only intersperses snapshots.
+	KeepAll RetentionPolicy = iota
+	// KeepLast keeps the newest KeepLast versions of every document.
+	KeepLast
+	// KeepSince keeps every version still valid at or after KeepSince.
+	KeepSince
+)
+
+func (p RetentionPolicy) String() string {
+	switch p {
+	case KeepAll:
+		return "keep-all"
+	case KeepLast:
+		return "keep-last"
+	case KeepSince:
+		return "keep-since"
+	}
+	return fmt.Sprintf("RetentionPolicy(%d)", int(p))
+}
+
+// Retention parameterizes a vacuum.
+type Retention struct {
+	Policy RetentionPolicy
+	// KeepLast is the per-document version count kept under the KeepLast
+	// policy; values below 1 keep only the current version.
+	KeepLast int
+	// KeepSince is the horizon under the KeepSince policy: versions whose
+	// validity ends at or before it are pruned.
+	KeepSince model.Time
+	// Granule intersperses a full snapshot every Granule-th surviving
+	// version before pruning; 0 uses the store's SnapshotEvery, and if that
+	// is also 0 only the retention boundary version gets a snapshot.
+	Granule int
+}
+
+// VacuumReport summarizes one vacuum pass.
+type VacuumReport struct {
+	Docs           int   // documents examined
+	VersionsPruned int   // version entries turned into pruned stubs
+	ExtentsFreed   int   // delta + snapshot extents reclaimed
+	BytesFreed     int64 // payload bytes of the reclaimed extents
+	SnapshotsAdded int   // snapshots interspersed among survivors
+}
+
+func (r VacuumReport) String() string {
+	return fmt.Sprintf("vacuum: %d docs, %d versions pruned, %d extents freed (%d bytes), %d snapshots added",
+		r.Docs, r.VersionsPruned, r.ExtentsFreed, r.BytesFreed, r.SnapshotsAdded)
+}
+
+// Vacuum applies the retention policy to every document: it materializes
+// snapshots among the surviving versions at the retention granule, then
+// frees the delta and snapshot extents of everything older, leaving pruned
+// stubs in the delta index. The current version is always kept. The freed
+// pages become reusable immediately; on a segmented WAL the space returns
+// to disk at the next checkpoint+compaction.
+func (s *Store) Vacuum(ret Retention) (VacuumReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep VacuumReport
+	ids := make([]model.DocID, 0, len(s.docs))
+	for id := range s.docs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		d := s.docs[id]
+		rep.Docs++
+		b := retentionBoundary(d, ret)
+		if b <= 0 {
+			continue
+		}
+		if err := s.intersperseSnapshotsLocked(d, b, ret.Granule, &rep); err != nil {
+			return rep, fmt.Errorf("store: vacuum doc %d: %w", id, err)
+		}
+		for i := 0; i < b; i++ {
+			v := &d.versions[i]
+			if v.Pruned {
+				continue
+			}
+			if !v.DeltaToNext.Zero() {
+				rep.ExtentsFreed++
+				rep.BytesFreed += int64(v.DeltaToNext.Len)
+				s.pages.Free(v.DeltaToNext)
+				v.DeltaToNext = pagestore.Ref{}
+			}
+			if !v.Snapshot.Zero() {
+				rep.ExtentsFreed++
+				rep.BytesFreed += int64(v.Snapshot.Len)
+				s.pages.Free(v.Snapshot)
+				v.Snapshot = pagestore.Ref{}
+			}
+			v.Pruned = true
+			rep.VersionsPruned++
+		}
+	}
+	if rep.VersionsPruned > 0 || rep.SnapshotsAdded > 0 {
+		if err := s.persistLocked(); err != nil {
+			return rep, fmt.Errorf("store: vacuum: %w", err)
+		}
+	}
+	return rep, nil
+}
+
+// retentionBoundary returns the index (0-based) of the oldest version the
+// policy keeps for d; everything below it is pruned. The current version is
+// always kept, as is at least one version of a deleted document (so the
+// entry stays well-formed).
+func retentionBoundary(d *docEntry, ret Retention) int {
+	n := len(d.versions)
+	var b int
+	switch ret.Policy {
+	case KeepLast:
+		k := ret.KeepLast
+		if k < 1 {
+			k = 1
+		}
+		b = n - k
+	case KeepSince:
+		// Keep versions whose validity interval reaches KeepSince or later.
+		b = sort.Search(n, func(i int) bool { return d.versions[i].End > ret.KeepSince })
+	default:
+		return 0
+	}
+	if b > n-1 {
+		b = n - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// intersperseSnapshotsLocked materializes full snapshots among the
+// surviving versions [b, n) at the given granule so that reconstruction
+// never needs a delta below the cut: the boundary version b always gets
+// one, then every granule-th survivor above it. Callers hold s.mu.
+func (s *Store) intersperseSnapshotsLocked(d *docEntry, b, granule int, rep *VacuumReport) error {
+	if granule <= 0 {
+		granule = s.cfg.SnapshotEvery
+	}
+	for i := b; i < len(d.versions); i++ {
+		if granule <= 0 && i != b {
+			break
+		}
+		if i != b && (i-b)%granule != 0 {
+			continue
+		}
+		v := &d.versions[i]
+		if !v.Snapshot.Zero() || v.Pruned {
+			continue
+		}
+		vt, err := s.reconstruct(context.Background(), d, v.Ver)
+		if err != nil {
+			return fmt.Errorf("materializing snapshot of version %d: %w", v.Ver, err)
+		}
+		ref, err := s.pages.Write(int(d.id), xmltree.Marshal(vt.Root))
+		if err != nil {
+			return fmt.Errorf("storing snapshot of version %d: %w", v.Ver, err)
+		}
+		v.Snapshot = ref
+		rep.SnapshotsAdded++
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package tidx
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"txmldb/internal/btree"
+	"txmldb/internal/model"
+)
+
+// tidxImage is the serialized form of an Index for checkpoint images: the
+// tree flattened into parallel, EID-ordered slices.
+type tidxImage struct {
+	EIDs  []model.EID
+	Times []Times
+}
+
+// SnapshotState serializes the index for a checkpoint image.
+func (ix *Index) SnapshotState() ([]byte, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	img := tidxImage{
+		EIDs:  make([]model.EID, 0, ix.tree.Len()),
+		Times: make([]Times, 0, ix.tree.Len()),
+	}
+	ix.tree.Ascend(func(eid model.EID, t Times) bool {
+		img.EIDs = append(img.EIDs, eid)
+		img.Times = append(img.Times, t)
+		return true
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState replaces the index contents with a snapshot taken by
+// SnapshotState.
+func (ix *Index) RestoreState(data []byte) error {
+	var img tidxImage
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+		return fmt.Errorf("tidx: restore: %w", err)
+	}
+	if len(img.EIDs) != len(img.Times) {
+		return fmt.Errorf("tidx: restore: %d EIDs vs %d times", len(img.EIDs), len(img.Times))
+	}
+	tree := btree.New[model.EID, Times](model.EID.Less)
+	for i, eid := range img.EIDs {
+		tree.Set(eid, img.Times[i])
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.tree = tree
+	return nil
+}

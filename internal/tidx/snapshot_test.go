@@ -1,0 +1,42 @@
+package tidx
+
+import (
+	"testing"
+
+	"txmldb/internal/model"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s, ix, id := load(t)
+	blob, err := ix.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := restored.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != ix.Len() {
+		t.Fatalf("restored Len = %d, want %d", restored.Len(), ix.Len())
+	}
+	for _, name := range []string{"Napoli", "Akropolis"} {
+		ver := model.VersionNo(1)
+		if name == "Akropolis" {
+			ver = 2
+		}
+		eid := restaurantEID(t, s, id, ver, name)
+		gc, okc := restored.CreTime(eid)
+		wc, wokc := ix.CreTime(eid)
+		if gc != wc || okc != wokc {
+			t.Errorf("CreTime(%s) = %s,%v want %s,%v", name, gc, okc, wc, wokc)
+		}
+		gd, okd := restored.DelTime(eid)
+		wd, wokd := ix.DelTime(eid)
+		if gd != wd || okd != wokd {
+			t.Errorf("DelTime(%s) = %s,%v want %s,%v", name, gd, okd, wd, wokd)
+		}
+	}
+	if err := restored.RestoreState([]byte("junk")); err == nil {
+		t.Error("garbage restore should fail")
+	}
+}

@@ -33,6 +33,7 @@ package txmldb
 import (
 	"time"
 
+	"txmldb/internal/checkpoint"
 	"txmldb/internal/core"
 	"txmldb/internal/diff"
 	"txmldb/internal/doctime"
@@ -98,6 +99,55 @@ var (
 	// ErrUnreachable reports a version that cannot be reconstructed
 	// because the chain it depends on is damaged.
 	ErrUnreachable = store.ErrUnreachable
+)
+
+// Checkpoint & compaction subsystem (DESIGN.md §3h): durable databases
+// periodically snapshot their live state into checksummed checkpoint
+// images, so reopening replays only the log suffix behind the checkpoint
+// instead of the full history; log segments wholly covered by a published
+// checkpoint are reclaimed, and (*DB).Vacuum applies a version retention
+// policy before compacting.
+type (
+	// CheckpointConfig parameterizes the subsystem (Config.Checkpoint);
+	// the zero value means manual checkpoints only.
+	CheckpointConfig = checkpoint.Config
+	// CheckpointRunStats describes one checkpoint run, from
+	// (*DB).Checkpoint.
+	CheckpointRunStats = checkpoint.RunStats
+	// CheckpointStats aggregates a database's checkpoint activity, from
+	// (*DB).CheckpointStats.
+	CheckpointStats = core.CheckpointStats
+	// OpenReport describes how OpenDurable recovered the database, from
+	// (*DB).OpenReport.
+	OpenReport = core.OpenReport
+	// Retention is a version retention policy for (*DB).Vacuum.
+	Retention = store.Retention
+	// RetentionPolicy selects which versions Vacuum keeps.
+	RetentionPolicy = store.RetentionPolicy
+	// VacuumReport summarizes what a Vacuum pruned and freed.
+	VacuumReport = store.VacuumReport
+)
+
+// Retention policies.
+const (
+	// KeepAll prunes nothing (still intersperses snapshots).
+	KeepAll = store.KeepAll
+	// KeepLast keeps the newest Retention.KeepLast versions per document.
+	KeepLast = store.KeepLast
+	// KeepSince keeps versions alive at or after Retention.KeepSince.
+	KeepSince = store.KeepSince
+)
+
+// Typed checkpoint and retention errors, matched with errors.Is.
+var (
+	// ErrPruned reports a version removed by a retention policy.
+	ErrPruned = store.ErrPruned
+	// ErrNotDurable reports a checkpoint request against a database
+	// without a durable segmented backend.
+	ErrNotDurable = core.ErrNotDurable
+	// ErrCheckpointBusy reports a checkpoint request while another run is
+	// in flight.
+	ErrCheckpointBusy = core.ErrCheckpointBusy
 )
 
 // Resilience tier (Config.Resilience): a circuit breaker around backend
