@@ -438,6 +438,37 @@ func BenchmarkC1ParallelScan(b *testing.B) {
 	}
 }
 
+// BenchmarkS3ShardedScan is the benchmark behind experiment S3: the same
+// scan→materialize pipeline as BenchmarkC1ParallelScan, but scaled out
+// across document-partitioned shards (per-shard engines sequential, the
+// router's scatter-gather pool as wide as the shard count) instead of up
+// across one engine's workers.
+func BenchmarkS3ShardedScan(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			r, err := experiments.ShardedDB(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			pat := experiments.RestaurantPattern()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				teids, err := r.TPatternScanAll(pat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(teids) == 0 {
+					b.Fatal("scan matched nothing")
+				}
+				if _, err := r.ReconstructBatch(context.Background(), teids); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkP1DocHistory is the chunked-history counterpart: one document
 // with a long snapshot-interspersed history, walked whole, per worker
 // count.

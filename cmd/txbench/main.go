@@ -2,8 +2,8 @@
 // EXPERIMENTS.md: F1 (the paper's Figure 1 data and queries Q1–Q3),
 // C1–C12, one quantitative experiment per analytical performance claim of
 // the paper, plus the infrastructure experiments (W1 durability, S1/S2
-// serving, P1 parallelism, R1 chaos/resilience). It prints one table per
-// experiment.
+// serving, P1 parallelism, R1 chaos/resilience, S3 sharded read scaling).
+// It prints one table per experiment.
 //
 // Usage:
 //
@@ -54,6 +54,7 @@ func main() {
 		{"W1", experiments.W1},
 		{"S1", func() (experiments.Table, error) { return experiments.S1([]int{1, 8, 64}, 200) }},
 		{"S2", func() (experiments.Table, error) { return experiments.S2([]int{1, 8, 64}, 200) }},
+		{"S3", func() (experiments.Table, error) { return experiments.S3([]int{1, 2, 4, 8}, 16, 50) }},
 		{"P1", func() (experiments.Table, error) { return experiments.P1([]int{1, 2, 4, 8}) }},
 		{"R1", func() (experiments.Table, error) { return experiments.R1([]int64{42, 7}) }},
 	}

@@ -21,6 +21,9 @@
 // found. The compact subcommand applies a version retention policy
 // (-keep-last K or -keep-since dd/mm/yyyy), checkpoints and drops the log
 // segments the checkpoint covers, and prints the reclaimed disk space.
+// Both subcommands recognize a sharded root (written by txserved -shards
+// N, marked by its shards.json manifest) and iterate every shard-NN/
+// subdirectory, reporting per-shard provenance in one summary table.
 //
 // In the REPL, each line is one query; ".docs" lists documents, ".health"
 // prints the resilience tier's state (see -resilience), ".quit" exits.
@@ -152,8 +155,10 @@ func loadDemo(db *txmldb.DB) error {
 }
 
 // runFsck implements the fsck subcommand: replay the write-ahead log under
-// -datadir, verify every referenced extent and report the damage. Exit
-// status 0 means clean, 1 corrupt, 2 unusable.
+// -datadir, verify every referenced extent and report the damage. A
+// sharded root (shards.json manifest) is verified shard by shard, with a
+// per-shard provenance table and one aggregate verdict. Exit status 0
+// means clean, 1 corrupt, 2 unusable.
 func runFsck(args []string) int {
 	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
 	dataDir := fs.String("datadir", "", "data directory of the durable database to verify")
@@ -162,6 +167,12 @@ func runFsck(args []string) int {
 	if *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "fsck: -datadir is required")
 		return 2
+	}
+	if n, dirs, sharded, err := txmldb.ShardLayout(*dataDir); err != nil {
+		fmt.Fprintf(os.Stderr, "fsck: %v\n", err)
+		return 2
+	} else if sharded {
+		return fsckShards(n, dirs, *verbose)
 	}
 	db, err := txmldb.OpenDurable(txmldb.Config{}, *dataDir)
 	if err != nil {
@@ -182,6 +193,47 @@ func runFsck(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// fsckShards verifies every shard of a sharded root independently and
+// prints one summary table: each shard's document/version/extent counts
+// and problems, then the aggregate verdict. A shard that fails to open is
+// reported in its row and makes the run exit 2; any corruption exits 1.
+func fsckShards(n int, dirs []string, verbose bool) int {
+	fmt.Printf("fsck: sharded database, %d shards\n", n)
+	fmt.Printf("  %-10s %6s %9s %8s %9s\n", "shard", "docs", "versions", "extents", "problems")
+	status := 0
+	var docs, versions, extents, problems int
+	for i, dir := range dirs {
+		db, err := txmldb.OpenDurable(txmldb.Config{}, dir)
+		if err != nil {
+			fmt.Printf("  %-10s open failed: %v\n", txmldb.ShardDirName(i), err)
+			status = 2
+			continue
+		}
+		if verbose {
+			fmt.Printf("  %-10s %s\n", txmldb.ShardDirName(i), db.OpenReport().String())
+		}
+		rep := db.Fsck()
+		db.Close()
+		fmt.Printf("  %-10s %6d %9d %8d %9d\n",
+			txmldb.ShardDirName(i), rep.Docs, rep.Versions, rep.Extents, len(rep.Problems))
+		for _, p := range rep.Problems {
+			fmt.Printf("             %s\n", p.String())
+		}
+		docs += rep.Docs
+		versions += rep.Versions
+		extents += rep.Extents
+		problems += len(rep.Problems)
+		if len(rep.Problems) > 0 && status == 0 {
+			status = 1
+		}
+	}
+	fmt.Printf("  %-10s %6d %9d %8d %9d\n", "total", docs, versions, extents, problems)
+	if problems == 0 && status == 0 {
+		fmt.Println("fsck: clean")
+	}
+	return status
 }
 
 // runCompact implements the compact subcommand: open the durable database
@@ -214,6 +266,12 @@ func runCompact(args []string) int {
 		}
 		ret.Policy, ret.KeepSince = txmldb.KeepSince, txmldb.TimeOf(std)
 	}
+	if n, dirs, sharded, err := txmldb.ShardLayout(*dataDir); err != nil {
+		fmt.Fprintf(os.Stderr, "compact: %v\n", err)
+		return 2
+	} else if sharded {
+		return compactShards(n, dirs, ret)
+	}
 	before, err := dirBytes(*dataDir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "compact: %v\n", err)
@@ -243,6 +301,62 @@ func runCompact(args []string) int {
 	fmt.Printf("checkpoint %s (%d bytes), %d log segments dropped\n", cs.File, cs.Bytes, cs.SegmentsDeleted)
 	fmt.Printf("directory: %d -> %d bytes (%+d)\n", before, after, after-before)
 	return 0
+}
+
+// compactShards applies the retention policy to every shard of a sharded
+// root independently and prints one summary table with per-shard
+// provenance: versions pruned, extents and bytes freed, log segments
+// dropped and the on-disk delta per shard directory. A failing shard is
+// reported in its row; the others still compact. Exit 0 when every shard
+// compacted, 2 otherwise.
+func compactShards(n int, dirs []string, ret txmldb.Retention) int {
+	fmt.Printf("compact: sharded database, %d shards, retention %s\n", n, ret.Policy)
+	fmt.Printf("  %-10s %6s %8s %9s %12s %9s %14s\n",
+		"shard", "docs", "pruned", "extents", "bytes-freed", "seg-drop", "dir-delta")
+	status := 0
+	var docs, pruned, extents, segs int
+	var bytesFreed, delta int64
+	for i, dir := range dirs {
+		before, err := dirBytes(dir)
+		if err != nil {
+			fmt.Printf("  %-10s %v\n", txmldb.ShardDirName(i), err)
+			status = 2
+			continue
+		}
+		db, err := txmldb.OpenDurable(txmldb.Config{}, dir)
+		if err != nil {
+			fmt.Printf("  %-10s open failed: %v\n", txmldb.ShardDirName(i), err)
+			status = 2
+			continue
+		}
+		rep, cs, err := db.Vacuum(ret)
+		if cerr := db.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Printf("  %-10s %v\n", txmldb.ShardDirName(i), err)
+			status = 2
+			continue
+		}
+		after, err := dirBytes(dir)
+		if err != nil {
+			fmt.Printf("  %-10s %v\n", txmldb.ShardDirName(i), err)
+			status = 2
+			continue
+		}
+		fmt.Printf("  %-10s %6d %8d %9d %12d %9d %+14d\n",
+			txmldb.ShardDirName(i), rep.Docs, rep.VersionsPruned, rep.ExtentsFreed,
+			rep.BytesFreed, cs.SegmentsDeleted, after-before)
+		docs += rep.Docs
+		pruned += rep.VersionsPruned
+		extents += rep.ExtentsFreed
+		bytesFreed += rep.BytesFreed
+		segs += cs.SegmentsDeleted
+		delta += after - before
+	}
+	fmt.Printf("  %-10s %6d %8d %9d %12d %9d %+14d\n",
+		"total", docs, pruned, extents, bytesFreed, segs, delta)
+	return status
 }
 
 // dirBytes sums the sizes of the regular files directly under dir.

@@ -14,6 +14,8 @@
 //	txserved -demo                     # serve the paper's Figure 1 data
 //	txserved -datadir DIR              # serve a durable (WAL) database
 //	txserved -gen docs=4,versions=8    # serve a generated corpus
+//	txserved -shards 4 -datadir DIR    # 4 document-partitioned engines
+//	                                   # under DIR/shard-00 … DIR/shard-03
 //
 //	curl -s 'localhost:8080/query?q=SELECT+R+FROM+doc("http://guide.com/restaurants.xml")[26/01/2001]/restaurant+R'
 //	curl -s localhost:8080/query -d '{"query":"SELECT SUM(R) FROM doc(\"http://guide.com/restaurants.xml\")[26/01/2001]/restaurant R"}'
@@ -73,6 +75,8 @@ func main() {
 	cacheReplay := flag.Int("cache-replay", 128, "max deltas replayed forward from a cached ancestor version")
 	workers := flag.Int("workers", 0, "worker-pool size for parallel operators (0 = GOMAXPROCS, 1 = sequential)")
 	ckptEvery := flag.Duration("checkpoint-every", 0, "durable mode: background checkpoint interval (0 disables; checkpoints bound reopen replay and reclaim log segments)")
+	shards := flag.Int("shards", 1, "partition documents across this many engine instances; with -datadir the directory becomes a root holding shard-NN/ subdirs")
+	shardInflight := flag.Int("shard-inflight", 0, "per-shard admission bound (0 = default)")
 	flag.Parse()
 
 	res := txmldb.ResilienceConfig{}
@@ -85,7 +89,7 @@ func main() {
 			},
 		}
 	}
-	db, err := openDB(*dataDir, *demo, txmldb.CacheConfig{MaxBytes: *cacheBytes, MaxReplay: *cacheReplay}, *workers, res)
+	db, err := openDB(*dataDir, *demo, txmldb.CacheConfig{MaxBytes: *cacheBytes, MaxReplay: *cacheReplay}, *workers, res, *shards, *shardInflight)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -126,8 +130,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("txserved listening on %s (%d docs, max-inflight %d, queue %d)",
-		l.Addr(), len(db.Docs()), *maxInFlight, *maxQueue)
+	log.Printf("txserved listening on %s (%d docs, %d shard(s), max-inflight %d, queue %d)",
+		l.Addr(), len(db.Docs()), *shards, *maxInFlight, *maxQueue)
 
 	// Shutdown ordering: a signal stops accepting, Run drains in-flight
 	// queries, the background checkpointer stops, and only after that the
@@ -159,7 +163,9 @@ func main() {
 // reports ErrCheckpointBusy and is simply skipped. Errors are logged and
 // counted in the txserved_checkpoint_errors_total metric — the WAL alone
 // keeps the database durable, a failed checkpoint only costs reopen time.
-func runCheckpointer(ctx context.Context, db *txmldb.DB, every time.Duration) {
+// On a sharded engine the run fans out to every shard; a joined error can
+// name some failing shards while the others' checkpoints stuck.
+func runCheckpointer(ctx context.Context, db engine, every time.Duration) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
@@ -180,13 +186,44 @@ func runCheckpointer(ctx context.Context, db *txmldb.DB, every time.Duration) {
 	}
 }
 
-// openDB opens the database in memory or durably under dataDir. The demo
-// pins the clock to the paper's "today" (February 10, 2001) so
-// NOW-relative queries match the text.
-func openDB(dataDir string, demo bool, cache txmldb.CacheConfig, workers int, res txmldb.ResilienceConfig) (*txmldb.DB, error) {
+// engine is the common surface of *txmldb.DB and *txmldb.ShardedDB that
+// txserved drives: serving (server.New takes it as server.Engine via the
+// embedded methods), corpus loading, the background checkpointer and the
+// final close.
+type engine interface {
+	QueryContext(ctx context.Context, src string) (*txmldb.Result, error)
+	Explain(src string) (string, error)
+	Put(url string, root *txmldb.Node, t txmldb.Time) (txmldb.DocID, error)
+	Update(id txmldb.DocID, root *txmldb.Node, t txmldb.Time) (txmldb.VersionNo, *txmldb.Script, error)
+	LookupDoc(url string) (txmldb.DocID, bool)
+	Docs() []txmldb.DocID
+	Checkpoint() (txmldb.CheckpointRunStats, error)
+	Close() error
+}
+
+// openDB opens the database in memory or durably under dataDir, sharded
+// when -shards > 1 (dataDir then becomes a root directory holding one
+// shard-NN/ subdirectory per engine). The demo pins the clock to the
+// paper's "today" (February 10, 2001) so NOW-relative queries match the
+// text.
+func openDB(dataDir string, demo bool, cache txmldb.CacheConfig, workers int, res txmldb.ResilienceConfig, shards, shardInflight int) (engine, error) {
 	cfg := txmldb.Config{Cache: cache, Workers: workers, Resilience: res}
 	if demo {
 		cfg.Clock = func() txmldb.Time { return txmldb.Date(2001, time.February, 10) }
+	}
+	if shards > 1 {
+		if dataDir != "" {
+			cfg.OpenLogf = log.Printf
+		}
+		scfg := txmldb.ShardConfig{
+			Shards:        shards,
+			Engine:        func(int) txmldb.Config { return cfg },
+			ShardInflight: shardInflight,
+		}
+		if dataDir == "" {
+			return txmldb.OpenSharded(scfg), nil
+		}
+		return txmldb.OpenShardedDurable(scfg, dataDir)
 	}
 	if dataDir == "" {
 		return txmldb.Open(cfg), nil

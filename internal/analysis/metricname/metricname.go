@@ -22,18 +22,35 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "metricname",
 	Doc: "metric registration names must be string literals matching " +
-		"^txserved_[a-z0-9_]+(_total|_seconds)?$",
+		"^txserved_[a-z0-9_]+(_total|_seconds)?$; labeled registrars also " +
+		"need a literal label key, and the shard label pairs exactly with " +
+		"the txserved_shard_* family",
 	Run: run,
 }
 
 // namePattern is the required shape of an exported metric name.
 var namePattern = regexp.MustCompile(`^txserved_[a-z0-9_]+(_total|_seconds)?$`)
 
+// labelPattern is the required shape of a label key on the labeled
+// registrars (Prometheus label-name charset, lower-case by repo
+// convention).
+var labelPattern = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
 // registrars are the Registry methods whose first argument is a metric
 // name.
 var registrars = map[string]bool{
 	"Counter": true, "Gauge": true, "Histogram": true,
 	"CounterFunc": true, "GaugeFunc": true,
+	"LabeledCounterFunc": true, "LabeledGaugeFunc": true,
+}
+
+// labeled are the registrars that take (name, help, label, value, f): the
+// label key is argument 2 and must be a literal too. The per-shard metric
+// family is pinned both ways: a txserved_shard_* name must carry the
+// "shard" label, and the "shard" label must only appear on that family —
+// dashboards aggregate sum by (shard) over exactly this namespace.
+var labeled = map[string]bool{
+	"LabeledCounterFunc": true, "LabeledGaugeFunc": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -59,10 +76,42 @@ func run(pass *analysis.Pass) error {
 			if !namePattern.MatchString(name) {
 				pass.Reportf(lit.Pos(), "metric name %q does not match %s", name, namePattern)
 			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && labeled[sel.Sel.Name] && len(call.Args) > 2 {
+				checkLabel(pass, call, name)
+			}
 			return true
 		})
 	}
 	return nil
+}
+
+// checkLabel validates the label-key argument of a labeled registrar and
+// the two-way shard-family rule.
+func checkLabel(pass *analysis.Pass, call *ast.CallExpr, name string) {
+	lit, ok := call.Args[2].(*ast.BasicLit)
+	if !ok {
+		pass.Reportf(call.Args[2].Pos(), "metric label key must be a string literal so the exposition is greppable; got %s",
+			types.ExprString(call.Args[2]))
+		return
+	}
+	label, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !labelPattern.MatchString(label) {
+		pass.Reportf(lit.Pos(), "metric label key %q does not match %s", label, labelPattern)
+		return
+	}
+	if !namePattern.MatchString(name) {
+		return // already diagnosed; the family rules presume a valid name
+	}
+	shardName := strings.HasPrefix(name, "txserved_shard_")
+	if shardName && label != "shard" {
+		pass.Reportf(lit.Pos(), "per-shard metric %q must use the \"shard\" label, not %q", name, label)
+	}
+	if !shardName && label == "shard" {
+		pass.Reportf(lit.Pos(), "the \"shard\" label is reserved for the txserved_shard_* family; %q is outside it", name)
+	}
 }
 
 // isRegistration reports calls to the metrics.Registry registration

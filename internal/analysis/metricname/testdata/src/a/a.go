@@ -17,6 +17,23 @@ func register(reg *metrics.Registry, suffix string) {
 	reg.Gauge("txserved_InFlight", "bad case") // want "does not match"
 	// Computed names cannot be audited.
 	reg.Counter("txserved_"+suffix, "computed") // want "metric name must be a string literal"
+
+	// Labeled registrars: conforming per-shard series are allowed; the
+	// value (here "00") may be computed — only name and label key are
+	// pinned.
+	reg.LabeledCounterFunc("txserved_shard_ops_total", "ops", "shard", suffix, func() int64 { return 0 })
+	reg.LabeledGaugeFunc("txserved_shard_queue_depth", "depth", "shard", "00", func() int64 { return 0 })
+
+	// Labeled names obey the same namespace rule.
+	reg.LabeledGaugeFunc("shard_depth", "depth", "shard", "00", func() int64 { return 0 }) // want "does not match"
+	// Label keys must be literals.
+	reg.LabeledCounterFunc("txserved_shard_ops_total", "ops", suffix, "00", func() int64 { return 0 }) // want "metric label key must be a string literal"
+	// Label keys share the lower-case charset.
+	reg.LabeledCounterFunc("txserved_shard_ops_total", "ops", "Shard", "00", func() int64 { return 0 }) // want "metric label key"
+	// A txserved_shard_* series must be labeled by shard…
+	reg.LabeledGaugeFunc("txserved_shard_docs", "docs", "worker", "3", func() int64 { return 0 }) // want "must use the \"shard\" label"
+	// …and the shard label must not leak outside the family.
+	reg.LabeledCounterFunc("txserved_queries_total", "queries", "shard", "00", func() int64 { return 0 }) // want "reserved for the txserved_shard_"
 }
 
 // lookalike has the same method names on a different type: not gated.

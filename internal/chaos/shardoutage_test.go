@@ -1,0 +1,44 @@
+package chaos
+
+import "testing"
+
+// TestShardOutage is the sharded-engine chaos smoke: kill one shard's
+// backend under concurrent load, require the rest of the keyspace to keep
+// answering byte-identically, the dead shard to fail typed, aggregate
+// health to degrade (never fail outright), and a clean rejoin on heal.
+func TestShardOutage(t *testing.T) {
+	rep := RunShardOutage(ShardOutageConfig{Seed: 42, Logf: t.Logf})
+	if !rep.Passed() {
+		t.Fatalf("shard outage violations:\n%s", rep)
+	}
+	t.Log(rep)
+	if rep.Succeeded == 0 || rep.Matched != rep.Succeeded {
+		t.Fatalf("oracle identity: %d succeeded, %d matched", rep.Succeeded, rep.Matched)
+	}
+	if rep.TypedFailures == 0 {
+		t.Fatal("outage produced no typed failures — the dead shard was never exercised")
+	}
+	if rep.BreakerOpens == 0 {
+		t.Fatal("the victim shard's breaker never opened")
+	}
+	want := []string{"healthy", "degraded", "healthy"}
+	if len(rep.StatesSeen) != len(want) {
+		t.Fatalf("aggregate states %v, want %v", rep.StatesSeen, want)
+	}
+	for i, s := range want {
+		if rep.StatesSeen[i] != s {
+			t.Fatalf("aggregate states %v, want %v", rep.StatesSeen, want)
+		}
+	}
+}
+
+// TestShardOutageSeedsDisjoint guards against a single lucky schedule.
+func TestShardOutageSeedsDisjoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: one campaign seed is enough")
+	}
+	rep := RunShardOutage(ShardOutageConfig{Seed: 7, Shards: 4, Docs: 8, Ops: 15})
+	if !rep.Passed() {
+		t.Fatalf("shard outage violations:\n%s", rep)
+	}
+}

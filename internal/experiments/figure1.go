@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"txmldb/internal/core"
+	"txmldb/internal/diff"
 	"txmldb/internal/model"
 	"txmldb/internal/plan"
 	"txmldb/internal/xmltree"
@@ -28,9 +29,16 @@ func Figure1DB(cfg core.Config) (*core.DB, model.DocID, error) {
 	return db, id, nil
 }
 
+// Figure1Loader is the write surface Figure1Load needs. *core.DB and the
+// sharded router both satisfy it.
+type Figure1Loader interface {
+	Put(url string, root *xmltree.Node, t model.Time) (model.DocID, error)
+	Update(id model.DocID, root *xmltree.Node, t model.Time) (model.VersionNo, *diff.Script, error)
+}
+
 // Figure1Load plays the Figure 1 history into an already-open database
-// (in-memory or durable).
-func Figure1Load(db *core.DB) error {
+// (in-memory, durable or sharded).
+func Figure1Load(db Figure1Loader) error {
 	mk := func(entries ...[2]string) *xmltree.Node {
 		g := xmltree.NewElement("guide")
 		for _, e := range entries {

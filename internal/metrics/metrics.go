@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -239,6 +240,68 @@ func (r *Registry) GaugeFunc(name, help string, f func() int64) {
 	}
 }
 
+// labeledFunc is one series of a labeled metric family: the family name
+// stays the Prometheus metric name, the (label, value) pair distinguishes
+// the series. Consecutively registered series of the same family share one
+// HELP/TYPE header in the exposition.
+type labeledFunc struct {
+	typ    string // "counter" or "gauge"
+	family string
+	label  string
+	value  string
+	f      func() int64
+}
+
+func (m *labeledFunc) writeText(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.family, help, m.family, m.typ)
+	m.writeSample(w)
+}
+
+func (m *labeledFunc) writeSample(w io.Writer) {
+	fmt.Fprintf(w, "%s{%s=%q} %d\n", m.family, m.label, m.value, m.f())
+}
+
+// checkLabel rejects label keys/values that would corrupt the text
+// exposition. Keys are further constrained (to literals in the txserved
+// namespace) by the metricname analyzer; values are runtime data like a
+// shard index, so only the quoting-sensitive characters are banned.
+func checkLabel(family, label, value string) {
+	for _, s := range []string{label, value} {
+		if strings.ContainsAny(s, "{}\"\\\n") {
+			panic(fmt.Sprintf("metrics: %s: label %s=%q contains exposition metacharacters", family, label, value))
+		}
+	}
+}
+
+// LabeledCounterFunc registers one series of a labeled counter family,
+// rendered as family{label="value"}. Series registered consecutively for
+// the same family share a single HELP/TYPE header. The value must be
+// monotonically non-decreasing. Re-registering an existing series keeps
+// the first callback.
+func (r *Registry) LabeledCounterFunc(name, help, label, value string, f func() int64) {
+	checkLabel(name, label, value)
+	key := fmt.Sprintf("%s{%s=%q}", name, label, value)
+	m := r.lookup(key, help, func() metric {
+		return &labeledFunc{typ: "counter", family: name, label: label, value: value, f: f}
+	})
+	if lm, ok := m.(*labeledFunc); !ok || lm.typ != "counter" {
+		panic(fmt.Sprintf("metrics: %s already registered as %T", key, m))
+	}
+}
+
+// LabeledGaugeFunc registers one series of a labeled gauge family,
+// rendered as family{label="value"}; see LabeledCounterFunc.
+func (r *Registry) LabeledGaugeFunc(name, help, label, value string, f func() int64) {
+	checkLabel(name, label, value)
+	key := fmt.Sprintf("%s{%s=%q}", name, label, value)
+	m := r.lookup(key, help, func() metric {
+		return &labeledFunc{typ: "gauge", family: name, label: label, value: value, f: f}
+	})
+	if lm, ok := m.(*labeledFunc); !ok || lm.typ != "gauge" {
+		panic(fmt.Sprintf("metrics: %s already registered as %T", key, m))
+	}
+}
+
 func (r *Registry) lookup(name, help string, mk func() metric) metric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -253,15 +316,27 @@ func (r *Registry) lookup(name, help string, mk func() metric) metric {
 }
 
 // WriteText renders every metric in registration order in the Prometheus
-// text exposition format.
+// text exposition format. Consecutive series of one labeled family emit a
+// single HELP/TYPE header followed by all their samples.
 func (r *Registry) WriteText(w io.Writer) {
 	r.mu.Lock()
 	names := append([]string(nil), r.order...)
 	r.mu.Unlock()
+	lastFamily := ""
 	for _, name := range names {
 		r.mu.Lock()
 		m, help := r.byN[name], r.helps[name]
 		r.mu.Unlock()
+		if lf, ok := m.(*labeledFunc); ok {
+			if lf.family == lastFamily {
+				lf.writeSample(w)
+				continue
+			}
+			lastFamily = lf.family
+			lf.writeText(w, name, help)
+			continue
+		}
+		lastFamily = ""
 		m.writeText(w, name, help)
 	}
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"sync"
@@ -143,4 +144,79 @@ func TestConcurrentUse(t *testing.T) {
 	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
 		t.Errorf("counts = %d/%d/%d, want 8000 each", c.Value(), g.Value(), h.Count())
 	}
+}
+
+// TestLabeledFamilies checks the labeled registrars: per-series samples,
+// one shared HELP/TYPE header for consecutive series of a family, and the
+// header re-emitted when a different metric interrupts the family.
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	vals := []int64{10, 20, 30}
+	for i := range vals {
+		i := i
+		r.LabeledCounterFunc("shard_ops_total", "ops per shard", "shard",
+			fmt.Sprintf("%02d", i), func() int64 { return vals[i] })
+	}
+	r.Gauge("inflight", "interrupts the family").Set(7)
+	r.LabeledGaugeFunc("shard_ops_total_depth", "queue depth", "shard", "00", func() int64 { return 3 })
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`shard_ops_total{shard="00"} 10`,
+		`shard_ops_total{shard="01"} 20`,
+		`shard_ops_total{shard="02"} 30`,
+		`shard_ops_total_depth{shard="00"} 3`,
+		"# TYPE shard_ops_total counter",
+		"# TYPE shard_ops_total_depth gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "# HELP shard_ops_total ops"); got != 1 {
+		t.Errorf("family header emitted %d times, want 1:\n%s", got, out)
+	}
+
+	// Values are live: the next render sees the new value.
+	vals[0] = 11
+	b.Reset()
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), `shard_ops_total{shard="00"} 11`) {
+		t.Errorf("labeled func not re-evaluated:\n%s", b.String())
+	}
+
+	// Re-registering an existing series keeps the first callback.
+	r.LabeledCounterFunc("shard_ops_total", "ops per shard", "shard", "00", func() int64 { return -1 })
+	b.Reset()
+	r.WriteText(&b)
+	if strings.Contains(b.String(), "-1") {
+		t.Error("re-registration replaced the first callback")
+	}
+}
+
+// TestLabeledMetacharactersPanic: label keys or values that would corrupt
+// the text exposition are refused at registration time.
+func TestLabeledMetacharactersPanic(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("metacharacter label value did not panic")
+		}
+	}()
+	r.LabeledGaugeFunc("shard_docs", "", "shard", "0\"}\ninjected 1", func() int64 { return 0 })
+}
+
+// TestLabeledTypeMismatchPanics: one series cannot be a counter and a
+// gauge at once.
+func TestLabeledTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounterFunc("shard_x", "", "shard", "00", func() int64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a labeled counter series as a gauge did not panic")
+		}
+	}()
+	r.LabeledGaugeFunc("shard_x", "", "shard", "00", func() int64 { return 0 })
 }

@@ -94,6 +94,18 @@ type healthReporter interface {
 	RetryAfter() time.Duration
 }
 
+// shardStatser is optionally implemented by sharded engines
+// (txmldb.ShardedDB is one): the txserved_shard_* per-shard metric family
+// is derived from its snapshots, and /readyz reports shard-aware
+// readiness — one failing shard degrades the ensemble (single-document
+// traffic for the other shards still succeeds), it does not take
+// readiness down; only every shard failing does.
+type shardStatser interface {
+	Shards() int
+	ShardStats() []txmldb.ShardStats
+	ShardHealth() []txmldb.ShardHealth
+}
+
 // Config parameterizes a Server. Zero values select the defaults noted
 // on each field.
 type Config struct {
@@ -200,6 +212,7 @@ func New(engine Engine, cfg Config) *Server {
 		mLatency:     reg.Histogram("txserved_query_latency_ms", "query latency in milliseconds", nil),
 	}
 	s.registerEngineMetrics()
+	s.registerShardMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/explain", s.handleExplain)
@@ -367,6 +380,67 @@ func (s *Server) registerEngineMetrics() {
 	s.reg.GaugeFunc("txserved_vcache_entries",
 		"cached version trees resident now",
 		vc(func(st txmldb.CacheStats) int64 { return st.Entries }))
+}
+
+// registerShardMetrics publishes the txserved_shard_* family for sharded
+// engines: one labeled series per shard (shard="NN"), sampled from the
+// router's per-shard counters. A single-engine deployment exposes none of
+// these — the family's presence is itself the sharding signal.
+func (s *Server) registerShardMetrics() {
+	ss, ok := s.engine.(shardStatser)
+	if !ok {
+		return
+	}
+	n := ss.Shards()
+	s.reg.Gauge("txserved_shards", "engine shards behind this server").Set(int64(n))
+	stat := func(i int, f func(txmldb.ShardStats) int64) func() int64 {
+		return func() int64 { return f(ss.ShardStats()[i]) }
+	}
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("%02d", i)
+		s.reg.LabeledCounterFunc("txserved_shard_ops_total",
+			"operations admitted through the shard's gate", "shard", label,
+			stat(i, func(st txmldb.ShardStats) int64 { return st.Ops }))
+	}
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("%02d", i)
+		s.reg.LabeledGaugeFunc("txserved_shard_active_ops",
+			"operations executing inside the shard's engine now", "shard", label,
+			stat(i, func(st txmldb.ShardStats) int64 { return st.Active }))
+	}
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("%02d", i)
+		s.reg.LabeledGaugeFunc("txserved_shard_queue_depth",
+			"operations waiting for the shard's admission gate now", "shard", label,
+			stat(i, func(st txmldb.ShardStats) int64 { return st.Queued }))
+	}
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("%02d", i)
+		s.reg.LabeledGaugeFunc("txserved_shard_docs",
+			"documents homed on the shard", "shard", label,
+			stat(i, func(st txmldb.ShardStats) int64 { return int64(st.Docs) }))
+	}
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("%02d", i)
+		s.reg.LabeledGaugeFunc("txserved_shard_health_state",
+			"shard health (0 healthy, 1 degraded, 2 failing)", "shard", label,
+			stat(i, func(st txmldb.ShardStats) int64 { return int64(st.Health) }))
+	}
+	// Checkpoint/WAL series only when the shards are durable.
+	if st := ss.ShardStats(); n > 0 && st[0].Durable {
+		for i := 0; i < n; i++ {
+			label := fmt.Sprintf("%02d", i)
+			s.reg.LabeledCounterFunc("txserved_shard_checkpoint_total",
+				"checkpoints published by the shard", "shard", label,
+				stat(i, func(st txmldb.ShardStats) int64 { return int64(st.CheckpointRuns) }))
+		}
+		for i := 0; i < n; i++ {
+			label := fmt.Sprintf("%02d", i)
+			s.reg.LabeledGaugeFunc("txserved_shard_wal_segments",
+				"write-ahead-log segments the shard has on disk", "shard", label,
+				stat(i, func(st txmldb.ShardStats) int64 { return st.WALSegments }))
+		}
+	}
 }
 
 // Handler returns the full middleware stack: panic recovery, request
@@ -710,10 +784,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining.Load()
 	ready := !draining
 	resp := map[string]any{"draining": draining}
+	ss, sharded := s.engine.(shardStatser)
 	if hr, ok := s.engine.(healthReporter); ok {
 		if snap, enabled := hr.Health(); enabled {
 			if snap.State != txmldb.StateHealthy {
 				ready = false
+			}
+			if sharded && snap.State == txmldb.StateDegraded && !draining {
+				// Shard-aware readiness: the aggregate is Degraded whenever
+				// any single shard is sick, but the other shards keep serving
+				// their documents — staying ready avoids a one-shard outage
+				// draining the whole fleet. Only every shard failing (the
+				// aggregate Failing) takes readiness down.
+				ready = true
 			}
 			resp["state"] = snap.State.String()
 			resp["components"] = map[string]string{
@@ -724,6 +807,20 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			resp["degraded_reads"] = snap.DegradedServes
 			resp["degraded_rejects"] = snap.DegradedRejects
 		}
+	}
+	if sharded {
+		shards := make([]map[string]any, 0, ss.Shards())
+		for _, sh := range ss.ShardHealth() {
+			entry := map[string]any{"shard": sh.Shard}
+			if sh.Enabled {
+				entry["state"] = sh.State.String()
+				entry["breaker"] = sh.Breaker.String()
+			} else {
+				entry["state"] = "untracked"
+			}
+			shards = append(shards, entry)
+		}
+		resp["shards"] = shards
 	}
 	resp["ready"] = ready
 	w.Header().Set("Content-Type", "application/json")

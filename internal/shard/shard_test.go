@@ -1,0 +1,325 @@
+package shard
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"txmldb/internal/core"
+	"txmldb/internal/model"
+	"txmldb/internal/tdocgen"
+	"txmldb/internal/xmltree"
+)
+
+func testTree(d, v int) *xmltree.Node {
+	g := xmltree.NewElement("guide")
+	g.AppendChild(xmltree.Elem("restaurant",
+		xmltree.ElemText("name", fmt.Sprintf("place-%d", d)),
+		xmltree.ElemText("price", fmt.Sprint(10+v))))
+	return g
+}
+
+func testURL(i int) string { return fmt.Sprintf("http://doc%03d.example.com/x.xml", i) }
+
+// TestHomeShardStable pins the placement function: FNV-1a(url) mod N,
+// independent of insertion order and identical for every router with the
+// same shard count.
+func TestHomeShardStable(t *testing.T) {
+	a := Open(Config{Shards: 4})
+	defer a.Close()
+	b := Open(Config{Shards: 4})
+	defer b.Close()
+	for i := 0; i < 64; i++ {
+		url := testURL(i)
+		h := fnv.New32a()
+		h.Write([]byte(url))
+		want := int(h.Sum32() % 4)
+		if got := a.HomeShard(url); got != want {
+			t.Fatalf("HomeShard(%q) = %d, want fnv mod 4 = %d", url, got, want)
+		}
+		if a.HomeShard(url) != b.HomeShard(url) {
+			t.Fatalf("HomeShard(%q) differs between routers", url)
+		}
+	}
+}
+
+// TestRoutingStableAcrossRestarts reopens a durable sharded root and
+// checks every document keeps its global DocID, its home shard and its
+// content.
+func TestRoutingStableAcrossRestarts(t *testing.T) {
+	root := t.TempDir()
+	cfg := Config{Shards: 3}
+	r, err := OpenDurable(cfg, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const docs = 12
+	type placement struct {
+		id    model.DocID
+		shard int
+	}
+	want := make(map[string]placement, docs)
+	for i := 0; i < docs; i++ {
+		url := testURL(i)
+		id, err := r.Put(url, testTree(i, 1), model.Time(1000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != model.DocID(i+1) {
+			t.Fatalf("global DocIDs must be dense in put order: put %d got id %d", i, id)
+		}
+		s, err := r.ShardOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != r.HomeShard(url) {
+			t.Fatalf("doc %q placed on shard %d, home is %d", url, s, r.HomeShard(url))
+		}
+		want[url] = placement{id: id, shard: s}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := OpenDurable(cfg, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := len(r2.Docs()); got != docs {
+		t.Fatalf("reopen lists %d docs, want %d", got, docs)
+	}
+	for url, p := range want {
+		id, ok := r2.LookupDoc(url)
+		if !ok || id != p.id {
+			t.Fatalf("reopen: LookupDoc(%q) = %d,%v, want %d", url, id, ok, p.id)
+		}
+		s, err := r2.ShardOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != p.shard {
+			t.Fatalf("reopen: doc %q moved from shard %d to %d", url, p.shard, s)
+		}
+		info, err := r2.Info(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.ID != id || info.Name != url {
+			t.Fatalf("reopen: Info(%d) = {ID:%d Name:%q}, want {%d %q}", id, info.ID, info.Name, id, url)
+		}
+		if _, _, err := r2.Current(id); err != nil {
+			t.Fatalf("reopen: Current(%d): %v", id, err)
+		}
+	}
+}
+
+// TestShardCountMismatch: the shard count is part of the on-disk format;
+// reopening with a different -shards must fail typed, not reshuffle.
+func TestShardCountMismatch(t *testing.T) {
+	root := t.TempDir()
+	r, err := OpenDurable(Config{Shards: 2}, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put(testURL(0), testTree(0, 1), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDurable(Config{Shards: 4}, root); !errors.Is(err, ErrShardCountMismatch) {
+		t.Fatalf("reopen with 4 shards of a 2-shard root: err = %v, want ErrShardCountMismatch", err)
+	}
+	// The matching count still opens.
+	r2, err := OpenDurable(Config{Shards: 2}, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Close()
+}
+
+// TestLayout recognizes sharded roots and rejects nothing else.
+func TestLayout(t *testing.T) {
+	root := t.TempDir()
+	if _, _, ok, err := Layout(root); ok || err != nil {
+		t.Fatalf("Layout of a plain dir = ok %v err %v, want false nil", ok, err)
+	}
+	r, err := OpenDurable(Config{Shards: 3}, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	n, dirs, ok, err := Layout(root)
+	if err != nil || !ok || n != 3 {
+		t.Fatalf("Layout = %d,%v,%v, want 3,true,nil", n, ok, err)
+	}
+	for i, d := range dirs {
+		if want := filepath.Join(root, ShardDirName(i)); d != want {
+			t.Fatalf("Layout dir %d = %q, want %q", i, d, want)
+		}
+		if _, err := os.Stat(d); err != nil {
+			t.Fatalf("shard dir %q missing: %v", d, err)
+		}
+	}
+}
+
+// TestDistributionSkew: hashing the tdocgen corpus URLs must spread
+// documents across shards without pathological skew. The bound is loose
+// (max/min ratio ≤ 2) — FNV-1a over hundreds of distinct URLs lands well
+// inside it; the test exists to catch a broken or truncated hash.
+func TestDistributionSkew(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		r := Open(Config{Shards: shards})
+		g := tdocgen.New(tdocgen.Config{Seed: 1, Docs: 512})
+		counts := make([]int, shards)
+		for i := 0; i < 512; i++ {
+			counts[r.HomeShard(g.URL(i))]++
+		}
+		min, max := counts[0], counts[0]
+		for _, c := range counts[1:] {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if min == 0 || float64(max)/float64(min) > 2 {
+			t.Errorf("shards=%d: skewed distribution %v (max/min > 2)", shards, counts)
+		}
+		r.Close()
+	}
+}
+
+// TestShardStatsAndGates: after a mixed workload the admission counters
+// balance (nothing active or queued at rest), per-shard doc counts sum to
+// the corpus, and ops flowed through every populated shard.
+func TestShardStatsAndGates(t *testing.T) {
+	r := Open(Config{Shards: 4, ShardInflight: 2})
+	defer r.Close()
+	const docs = 16
+	for i := 0; i < docs; i++ {
+		id, err := r.Put(testURL(i), testTree(i, 1), model.Time(1000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.Update(id, testTree(i, 2), model.Time(2000+i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.Current(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for _, st := range r.ShardStats() {
+		if st.Active != 0 || st.Queued != 0 {
+			t.Errorf("shard %d at rest reports active=%d queued=%d", st.Shard, st.Active, st.Queued)
+		}
+		if st.Docs > 0 && st.Ops == 0 {
+			t.Errorf("shard %d holds %d docs but counted no ops", st.Shard, st.Docs)
+		}
+		total += st.Docs
+	}
+	if total != docs {
+		t.Errorf("per-shard doc counts sum to %d, want %d", total, docs)
+	}
+}
+
+// TestDocmapOrphanAdoption simulates the crash window between a shard's
+// WAL commit and the docmap append: a document written directly into a
+// shard engine (bypassing the router, as a torn put would leave it) must
+// be re-adopted at the tail of the global sequence on reopen, and the
+// repaired docmap must survive the next restart.
+func TestDocmapOrphanAdoption(t *testing.T) {
+	root := t.TempDir()
+	r, err := OpenDurable(Config{Shards: 2}, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Put(testURL(i), testTree(i, 1), model.Time(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Find a URL that homes on shard 0 and is not yet stored.
+	orphanURL := ""
+	for i := 100; i < 200; i++ {
+		if r.HomeShard(testURL(i)) == 0 {
+			orphanURL = testURL(i)
+			break
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Write the orphan straight into shard 0's engine.
+	db, err := core.OpenDurable(core.Config{}, filepath.Join(root, ShardDirName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Put(orphanURL, testTree(99, 1), 5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := OpenDurable(Config{Shards: 2}, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := r2.LookupDoc(orphanURL)
+	if !ok {
+		t.Fatal("orphaned document not adopted on reopen")
+	}
+	if id != 4 {
+		t.Fatalf("orphan adopted as global %d, want tail of sequence 4", id)
+	}
+	if s, _ := r2.ShardOf(id); s != 0 {
+		t.Fatalf("orphan located on shard %d, want 0", s)
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The repair was logged: a third restart replays it without re-adopting.
+	f, err := os.Open(filepath.Join(root, "docmap.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+	}
+	f.Close()
+	if lines != 4 {
+		t.Fatalf("docmap.log has %d records after repair, want 4", lines)
+	}
+	r3, err := OpenDurable(Config{Shards: 2}, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Close()
+	if id3, ok := r3.LookupDoc(orphanURL); !ok || id3 != id {
+		t.Fatalf("orphan id changed across restarts: %d,%v want %d", id3, ok, id)
+	}
+}
+
+// TestUnknownDoc: operators on unallocated globals fail typed.
+func TestUnknownDoc(t *testing.T) {
+	r := Open(Config{Shards: 2})
+	defer r.Close()
+	if _, err := r.Info(7); !errors.Is(err, ErrUnknownDoc) {
+		t.Fatalf("Info(7) err = %v, want ErrUnknownDoc", err)
+	}
+	if _, _, err := r.Update(7, testTree(0, 1), 1); !errors.Is(err, ErrUnknownDoc) {
+		t.Fatalf("Update(7) err = %v, want ErrUnknownDoc", err)
+	}
+}

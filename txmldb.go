@@ -45,6 +45,7 @@ import (
 	"txmldb/internal/plan"
 	"txmldb/internal/query"
 	"txmldb/internal/resilience"
+	"txmldb/internal/shard"
 	"txmldb/internal/similarity"
 	"txmldb/internal/store"
 	"txmldb/internal/tdocgen"
@@ -79,6 +80,55 @@ func Open(cfg Config) *DB { return core.Open(cfg) }
 // reopening replays the log, truncates any torn tail and rebuilds all
 // in-memory indexes. Close the database to release the log file.
 func OpenDurable(cfg Config, dir string) (*DB, error) { return core.OpenDurable(cfg, dir) }
+
+// Sharding tier (DESIGN.md §3i): a ShardedDB partitions documents across
+// N independent engines by a stable URL hash, routes single-document
+// operators to the owning shard and scatter-gathers the multi-document
+// temporal operators with a deterministic merge — results are
+// byte-identical to a single engine at every shard count. It exposes the
+// same query surface as DB, so the query planner, CLI and txserved run
+// unmodified on top of it.
+type (
+	// ShardedDB is a DocID-partitioned ensemble of engines behind one
+	// router. Open one with OpenSharded or OpenShardedDurable.
+	ShardedDB = shard.Router
+	// ShardConfig parameterizes the router and its engines.
+	ShardConfig = shard.Config
+	// ShardStats is one shard's serving counters, from
+	// (*ShardedDB).ShardStats.
+	ShardStats = shard.Stats
+	// ShardHealth is one shard's health, from (*ShardedDB).ShardHealth.
+	ShardHealth = shard.ShardHealth
+)
+
+// OpenSharded creates an empty in-memory sharded database.
+func OpenSharded(cfg ShardConfig) *ShardedDB { return shard.Open(cfg) }
+
+// OpenShardedDurable opens (or creates) a durable sharded database under
+// root: a shards.json manifest, one crash-safe engine per shard-NN/
+// subdirectory, and an append-only global DocID map. Reopening with a
+// different shard count fails with ErrShardCountMismatch.
+func OpenShardedDurable(cfg ShardConfig, root string) (*ShardedDB, error) {
+	return shard.OpenDurable(cfg, root)
+}
+
+// ShardLayout inspects a durable root: it reports the shard count and
+// per-shard data directories when root holds a sharded database, ok=false
+// for a plain single-engine datadir.
+func ShardLayout(root string) (shards int, dirs []string, ok bool, err error) {
+	return shard.Layout(root)
+}
+
+// ShardDirName returns the name of shard i's subdirectory under a durable
+// root ("shard-00", "shard-01", …).
+func ShardDirName(i int) string { return shard.ShardDirName(i) }
+
+// Typed sharding errors, matched with errors.Is.
+var (
+	// ErrShardCountMismatch reports a durable root opened with a shard
+	// count different from its manifest.
+	ErrShardCountMismatch = shard.ErrShardCountMismatch
+)
 
 // Durability and corruption-detection types (the storage fault model is
 // described in DESIGN.md, "Durability & fault model").
