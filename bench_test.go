@@ -7,6 +7,7 @@ package txmldb_test
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"txmldb/internal/core"
@@ -15,6 +16,7 @@ import (
 	"txmldb/internal/pagestore"
 	"txmldb/internal/store"
 	"txmldb/internal/vcache"
+	"txmldb/internal/xmltree"
 )
 
 var day = experiments.Day
@@ -493,5 +495,56 @@ func BenchmarkP1DocHistory(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkW2MixedThroughput is the benchmark behind experiment W2: a
+// mixed workload on a durable engine with a WAL group-commit window —
+// eight concurrent writers each commit one version of their own document
+// while a reader pins the current epoch and walks a raced document's
+// history. One op is one full wave: eight commits amortized into the
+// batch window's shared fsyncs plus one snapshot-isolated read.
+func BenchmarkW2MixedThroughput(b *testing.B) {
+	const writers = 8
+	db, err := core.OpenDurable(core.Config{
+		Store: store.Config{Pages: pagestore.Config{GroupWindow: experiments.W2Window}},
+	}, b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	tree := func(w, ver int) *xmltree.Node {
+		return xmltree.Elem("guide", xmltree.Elem("restaurant",
+			xmltree.ElemText("name", fmt.Sprintf("W2_%d_%d", w, ver)),
+			xmltree.ElemText("price", fmt.Sprint(5+(w*31+ver*7)%40))))
+	}
+	ids := make([]model.DocID, writers)
+	for w := range ids {
+		if ids[w], err = db.Put(fmt.Sprintf("w2-bench-%d.xml", w), tree(w, 1), timeAtVersion(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ver := i + 2
+		var wg sync.WaitGroup
+		errs := make([]error, writers)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				_, _, errs[w] = db.Update(ids[w], tree(w, ver), timeAtVersion(ver))
+			}(w)
+		}
+		ctx := store.WithEpoch(context.Background(), db.Epoch())
+		if _, err := db.DocHistoryContext(ctx, ids[i%writers], model.Always); err != nil {
+			b.Fatal(err)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }

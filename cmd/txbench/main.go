@@ -1,8 +1,9 @@
 // Command txbench regenerates the reproduction experiments of
 // EXPERIMENTS.md: F1 (the paper's Figure 1 data and queries Q1–Q3),
 // C1–C12, one quantitative experiment per analytical performance claim of
-// the paper, plus the infrastructure experiments (W1 durability, S1/S2
-// serving, P1 parallelism, R1 chaos/resilience, S3 sharded read scaling).
+// the paper, plus the infrastructure experiments (W1 durability, W2
+// write-path scaling, S1/S2 serving, P1 parallelism, R1 chaos/resilience,
+// S3 sharded read scaling).
 // It prints one table per experiment.
 //
 // Usage:
@@ -52,6 +53,7 @@ func main() {
 		{"C11", experiments.C11},
 		{"C12", func() (experiments.Table, error) { return experiments.C12(10000) }},
 		{"W1", experiments.W1},
+		{"W2", func() (experiments.Table, error) { return experiments.W2([]int{1, 2, 4, 8}) }},
 		{"S1", func() (experiments.Table, error) { return experiments.S1([]int{1, 8, 64}, 200) }},
 		{"S2", func() (experiments.Table, error) { return experiments.S2([]int{1, 8, 64}, 200) }},
 		{"S3", func() (experiments.Table, error) { return experiments.S3([]int{1, 2, 4, 8}, 16, 50) }},

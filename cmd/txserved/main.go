@@ -75,6 +75,7 @@ func main() {
 	cacheReplay := flag.Int("cache-replay", 128, "max deltas replayed forward from a cached ancestor version")
 	workers := flag.Int("workers", 0, "worker-pool size for parallel operators (0 = GOMAXPROCS, 1 = sequential)")
 	ckptEvery := flag.Duration("checkpoint-every", 0, "durable mode: background checkpoint interval (0 disables; checkpoints bound reopen replay and reclaim log segments)")
+	commitWindow := flag.Duration("commit-window", 0, "durable mode: WAL group-commit window — concurrent commits arriving within it share one fsync (0 disables batching; try 1ms under concurrent writers)")
 	shards := flag.Int("shards", 1, "partition documents across this many engine instances; with -datadir the directory becomes a root holding shard-NN/ subdirs")
 	shardInflight := flag.Int("shard-inflight", 0, "per-shard admission bound (0 = default)")
 	flag.Parse()
@@ -89,7 +90,7 @@ func main() {
 			},
 		}
 	}
-	db, err := openDB(*dataDir, *demo, txmldb.CacheConfig{MaxBytes: *cacheBytes, MaxReplay: *cacheReplay}, *workers, res, *shards, *shardInflight)
+	db, err := openDB(*dataDir, *demo, txmldb.CacheConfig{MaxBytes: *cacheBytes, MaxReplay: *cacheReplay}, *workers, res, *shards, *shardInflight, *commitWindow)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -206,10 +207,16 @@ type engine interface {
 // shard-NN/ subdirectory per engine). The demo pins the clock to the
 // paper's "today" (February 10, 2001) so NOW-relative queries match the
 // text.
-func openDB(dataDir string, demo bool, cache txmldb.CacheConfig, workers int, res txmldb.ResilienceConfig, shards, shardInflight int) (engine, error) {
+func openDB(dataDir string, demo bool, cache txmldb.CacheConfig, workers int, res txmldb.ResilienceConfig, shards, shardInflight int, commitWindow time.Duration) (engine, error) {
 	cfg := txmldb.Config{Cache: cache, Workers: workers, Resilience: res}
 	if demo {
 		cfg.Clock = func() txmldb.Time { return txmldb.Date(2001, time.February, 10) }
+	}
+	if dataDir != "" && commitWindow > 0 {
+		// Group commit only pays off against a real durability barrier;
+		// in-memory engines commit without one, so the window is durable-only.
+		// With -shards every engine gets its own batcher via the config.
+		cfg.Store.Pages.GroupWindow = commitWindow
 	}
 	if shards > 1 {
 		if dataDir != "" {

@@ -6,6 +6,7 @@ import (
 	"txmldb/internal/analysis/ctxflow"
 	"txmldb/internal/analysis/determinism"
 	"txmldb/internal/analysis/errcmp"
+	"txmldb/internal/analysis/fsyncpoint"
 	"txmldb/internal/analysis/lockhold"
 	"txmldb/internal/analysis/metricname"
 )
@@ -17,6 +18,7 @@ func All() []*analysis.Analyzer {
 		ctxflow.Analyzer,
 		determinism.Analyzer,
 		errcmp.Analyzer,
+		fsyncpoint.Analyzer,
 		lockhold.Analyzer,
 		metricname.Analyzer,
 	}

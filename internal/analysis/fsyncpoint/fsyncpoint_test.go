@@ -1,0 +1,20 @@
+package fsyncpoint_test
+
+import (
+	"testing"
+
+	"txmldb/internal/analysis/analysistest"
+	"txmldb/internal/analysis/fsyncpoint"
+)
+
+func TestFsyncpointEngineSide(t *testing.T) {
+	// The fixture's path segment "store" is inside the analyzer gate: every
+	// direct Backend.Commit/Sync and os.File.Sync is a finding there.
+	analysistest.Run(t, "testdata/src/store", fsyncpoint.Analyzer)
+}
+
+func TestFsyncpointPagestore(t *testing.T) {
+	// Storage side: the method-value flush wiring and decorator delegation
+	// are allowed, direct barrier calls are findings.
+	analysistest.Run(t, "testdata/src/pagestore", fsyncpoint.Analyzer)
+}

@@ -1,0 +1,56 @@
+// Package store is the fsyncpoint fixture for the engine side; its path
+// segment matches the real version-store package so the analyzer gate
+// admits it. On the engine side every direct barrier is a finding: the
+// engine must commit through the page store so group commit can batch
+// the fsync.
+package store
+
+import "os"
+
+// FixtureBackend mimics the pluggable I/O surface: a named interface
+// ending in "Backend" with a durability barrier.
+type FixtureBackend interface {
+	Commit() error
+	Sync() error
+}
+
+// Pages mimics the page store facade the engine is supposed to use.
+type Pages struct{}
+
+// Commit is the sanctioned commit path.
+func (*Pages) Commit() error { return nil }
+
+// Engine mirrors the store shape: a page store, a raw backend, a file.
+type Engine struct {
+	pages   *Pages
+	backend FixtureBackend
+	f       *os.File
+}
+
+// commitViaPages is the correct shape: the page store owns the barrier.
+func (e *Engine) commitViaPages() error {
+	return e.pages.Commit()
+}
+
+func (e *Engine) commitDirect() error {
+	return e.backend.Commit() // want "FixtureBackend.Commit called from store"
+}
+
+func (e *Engine) syncDirect() error {
+	return e.backend.Sync() // want "FixtureBackend.Sync called from store"
+}
+
+func (e *Engine) fsyncFile() error {
+	return e.f.Sync() // want "os.File.Sync called from store"
+}
+
+// Commit delegation does not excuse the engine: even from a method named
+// Commit, the barrier belongs to the page store.
+func (e *Engine) Commit() error {
+	return e.backend.Commit() // want "FixtureBackend.Commit called from store"
+}
+
+// closeFile is fine — only Sync is a barrier.
+func (e *Engine) closeFile() error {
+	return e.f.Close()
+}

@@ -1,0 +1,257 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"txmldb/internal/core"
+	"txmldb/internal/model"
+	"txmldb/internal/pagestore"
+	"txmldb/internal/store"
+	"txmldb/internal/xmltree"
+)
+
+// Group-commit torture: crash-at-every-offset through a WAL written by
+// concurrent writers sharing fsyncs. With group commit a batch of commits
+// is sealed by a single commit marker, so recovery is batch-atomic: a cut
+// inside a batch must drop the whole batch, a cut at or beyond its marker
+// must recover every member. The campaign runs waves of concurrent
+// writers against a batching engine, then truncates the log at every
+// (strided) byte and requires each crash state to reopen to a
+// whole-commit prefix of the workload — per-document version lists that
+// are exact prefixes of the final state, counts bracketed by the wave
+// goldens, monotone over the sweep, with a clean Fsck every time.
+
+const (
+	groupWriters = 4 // concurrent committers per wave, one document each
+	groupWaves   = 3 // commit rounds; wave w writes version w+1 of every doc
+)
+
+// groupTorture carries the prepared directory and goldens of one campaign.
+type groupTorture struct {
+	cfg TortureConfig
+	rep *Report
+	dir string
+
+	workDir string
+	final   map[string][]string
+	goldens []ckptGolden
+}
+
+// GroupCommitTorture runs the group-commit crash campaign in dir. The
+// report passes iff every constructed crash state reopened to a
+// whole-commit prefix of the committed workload with a clean Fsck, and
+// the full log recovered the final state exactly.
+func GroupCommitTorture(dir string, cfg TortureConfig) *Report {
+	cfg = cfg.withDefaults()
+	t := &groupTorture{cfg: cfg, rep: &Report{Seed: cfg.Seed}, dir: dir}
+	if err := t.setup(); err != nil {
+		t.rep.violate("setup: %v", err)
+		return t.rep
+	}
+	t.tortureTruncation()
+	return t.rep
+}
+
+func (t *groupTorture) coreConfig() core.Config {
+	return core.Config{
+		Store: store.Config{Pages: pagestore.Config{
+			// A generous window and a cap at the wave width: a wave of
+			// concurrent writers collects into (ideally) one batch, and the
+			// batch seals the moment the last one joins.
+			GroupWindow:   25 * time.Millisecond,
+			GroupMaxBatch: groupWriters,
+		}},
+	}
+}
+
+func (t *groupTorture) url(doc int) string {
+	return fmt.Sprintf("group-torture-%d.xml", doc)
+}
+
+// gtree is the deterministic content of document doc's version ver, so a
+// recovered version is verifiable byte-for-byte against the final state.
+func (t *groupTorture) gtree(doc, ver int) *xmltree.Node {
+	return xmltree.Elem("guide", xmltree.Elem("restaurant",
+		xmltree.ElemText("name", fmt.Sprintf("G%d_%d_%d", t.cfg.Seed, doc, ver)),
+		xmltree.ElemText("price", fmt.Sprint(5+(doc*31+ver*7)%40))))
+}
+
+// setup runs the concurrent batched workload and captures a golden
+// (log offset, committed state) after each quiesced wave.
+func (t *groupTorture) setup() error {
+	t.workDir = filepath.Join(t.dir, "base")
+	db, err := core.OpenDurable(t.coreConfig(), t.workDir)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	ids := make([]model.DocID, groupWriters)
+	for wave := 0; wave < groupWaves; wave++ {
+		var wg sync.WaitGroup
+		errs := make([]error, groupWriters)
+		for w := 0; w < groupWriters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if wave == 0 {
+					ids[w], errs[w] = db.Put(t.url(w), t.gtree(w, 1), when(1))
+					return
+				}
+				_, _, errs[w] = db.Update(ids[w], t.gtree(w, wave+1), when(wave+1))
+			}(w)
+		}
+		wg.Wait()
+		for w, err := range errs {
+			if err != nil {
+				return fmt.Errorf("wave %d writer %d: %w", wave, w, err)
+			}
+		}
+		st, err := render(db)
+		if err != nil {
+			return fmt.Errorf("wave %d render: %w", wave, err)
+		}
+		size, err := logSize(t.workDir)
+		if err != nil {
+			return err
+		}
+		t.goldens = append(t.goldens, ckptGolden{size, st})
+	}
+	t.final = t.goldens[len(t.goldens)-1].state
+
+	// The interesting crash states need commits that actually shared a
+	// marker; with four concurrent writers per wave at least one multi-commit
+	// batch forms for all practical purposes.
+	gs, ok := db.CommitBatchStats()
+	if !ok || gs.Commits == 0 {
+		return fmt.Errorf("engine did not route commits through the batcher: %+v", gs)
+	}
+	if gs.MaxBatch < 2 {
+		return fmt.Errorf("no multi-commit batch formed (%d commits in %d fsyncs) — cannot torture batch atomicity", gs.Commits, gs.Batches)
+	}
+	t.cfg.Logf("group torture: %d commits in %d fsyncs, widest batch %d", gs.Commits, gs.Batches, gs.MaxBatch)
+	return nil
+}
+
+// counts reduces a rendered state to per-document version counts.
+func counts(st map[string][]string) map[string]int {
+	out := make(map[string]int, len(st))
+	for k, v := range st {
+		out[k] = len(v)
+	}
+	return out
+}
+
+// tortureTruncation truncates the batched log at every (strided) byte and
+// verifies each crash state.
+func (t *groupTorture) tortureTruncation() {
+	total := t.goldens[len(t.goldens)-1].offset
+	t.cfg.Logf("group torture: truncation (0..%d bytes, stride %d)", total, t.cfg.Stride)
+	prev := map[string]int{}
+	for cut := int64(0); ; cut += int64(t.cfg.Stride) {
+		if cut > total {
+			cut = total
+		}
+		s := filepath.Join(t.dir, fmt.Sprintf("cut-%d", cut))
+		if err := os.MkdirAll(s, 0o755); err != nil {
+			t.rep.violate("cut %d: %v", cut, err)
+			return
+		}
+		if err := truncateLog(t.workDir, s, cut); err != nil {
+			t.rep.violate("cut %d: %v", cut, err)
+			return
+		}
+		prev = t.verifyCut(s, cut, prev)
+		os.RemoveAll(s)
+		if cut == total {
+			return
+		}
+	}
+}
+
+// verifyCut reopens one truncated state and checks the whole-commit
+// prefix invariants; it returns the recovered per-document version counts
+// for the sweep's monotonicity check.
+func (t *groupTorture) verifyCut(crashDir string, cut int64, prev map[string]int) map[string]int {
+	db, err := core.OpenDurable(t.coreConfig(), crashDir)
+	if err != nil {
+		t.rep.violate("cut %d: reopen: %v", cut, err)
+		return prev
+	}
+	defer db.Close()
+	got, err := render(db)
+	if err != nil {
+		t.rep.addQuery(false, false, true)
+		t.rep.violate("cut %d: recovered state unreadable: %v", cut, err)
+		return prev
+	}
+
+	// Bracketing goldens: replay to a wave boundary must recover exactly
+	// that wave's state, replay inside a wave something between them.
+	lo := map[string]int{}
+	hi := counts(t.final)
+	for _, g := range t.goldens {
+		if g.offset <= cut {
+			lo = counts(g.state)
+		}
+	}
+	for i := len(t.goldens) - 1; i >= 0; i-- {
+		if t.goldens[i].offset >= cut {
+			hi = counts(t.goldens[i].state)
+		}
+	}
+
+	ok := true
+	for url, imgs := range got {
+		want, exists := t.final[url]
+		if !exists || len(imgs) > len(want) {
+			t.rep.violate("cut %d: recovered unknown document state %s (%d versions)", cut, url, len(imgs))
+			ok = false
+			continue
+		}
+		for i := range imgs {
+			if imgs[i] != want[i] {
+				t.rep.violate("cut %d: %s v%d diverged from committed content:\n got %s\nwant %s",
+					cut, url, i+1, imgs[i], want[i])
+				ok = false
+			}
+		}
+		if len(imgs) < lo[url] || len(imgs) > hi[url] {
+			t.rep.violate("cut %d: %s has %d versions, want between %d and %d (whole-batch prefix)",
+				cut, url, len(imgs), lo[url], hi[url])
+			ok = false
+		}
+		if len(imgs) < prev[url] {
+			t.rep.violate("cut %d: %s lost versions vs shorter prefix (%d < %d) — replay is not monotone",
+				cut, url, len(imgs), prev[url])
+			ok = false
+		}
+	}
+	for url, n := range lo {
+		if n > 0 && len(got[url]) == 0 {
+			t.rep.violate("cut %d: committed document %s missing after recovery", cut, url)
+			ok = false
+		}
+	}
+	if cut == t.goldens[len(t.goldens)-1].offset && !equalStates(got, t.final) {
+		t.rep.violate("cut %d: full log did not recover the final state:\n got %v\nwant %v", cut, got, t.final)
+		ok = false
+	}
+	t.rep.addQuery(true, ok, false)
+	if !ok {
+		return prev
+	}
+	if fr := db.Fsck(); !fr.Clean() {
+		t.rep.violate("cut %d: fsck after recovery:\n%s", cut, fr)
+	}
+	if cut == t.goldens[len(t.goldens)-1].offset {
+		if _, err := db.Put("post-crash.xml", t.gtree(9, 99), when(99)); err != nil {
+			t.rep.violate("cut %d: write after recovery: %v", cut, err)
+		}
+	}
+	return counts(got)
+}

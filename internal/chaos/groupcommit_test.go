@@ -1,0 +1,30 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+)
+
+// TestGroupCommitTorture runs waves of concurrent writers through the WAL
+// group-commit batcher, then truncates the log at every (strided) byte
+// across the multi-commit batches. Every crash state must reopen to a
+// whole-commit prefix of the workload — batch-atomic replay, exact
+// version content, clean Fsck — and the full log to the exact final
+// state. By default a prime stride samples the offsets; set
+// CHAOS_EXHAUSTIVE=1 to truncate at every single byte.
+func TestGroupCommitTorture(t *testing.T) {
+	cfg := TortureConfig{Seed: 42, Stride: 7, Logf: t.Logf}
+	if os.Getenv("CHAOS_EXHAUSTIVE") != "" {
+		cfg.Stride = 1
+	} else if testing.Short() {
+		cfg.Stride = 23
+	}
+	rep := GroupCommitTorture(t.TempDir(), cfg)
+	if !rep.Passed() {
+		t.Fatalf("group-commit torture violations:\n%s", rep)
+	}
+	if rep.Succeeded == 0 || rep.Matched != rep.Succeeded {
+		t.Fatalf("group-commit torture: %d reopens, %d matched", rep.Succeeded, rep.Matched)
+	}
+	t.Logf("group-commit torture: %d crash states reopened and verified", rep.Succeeded)
+}

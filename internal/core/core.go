@@ -436,7 +436,11 @@ func teidsOf(ms []pattern.Match, p *pattern.PNode, stamp func(pattern.Match) mod
 // ScanTContext implements plan.ContextScanner: TPatternScan with the
 // per-document join on the shared worker pool, under the caller's context.
 func (db *DB) ScanTContext(ctx context.Context, p *pattern.PNode, t model.Time) ([]pattern.Match, error) {
-	return pattern.ScanTPool(ctx, db.fti, p, t, db.pool)
+	ms, err := pattern.ScanTPool(ctx, db.fti, p, t, db.pool)
+	if err != nil {
+		return nil, err
+	}
+	return db.clampMatches(ctx, ms), nil
 }
 
 // ScanT implements plan.Engine by delegating to ScanTContext.
@@ -448,7 +452,11 @@ func (db *DB) ScanT(p *pattern.PNode, t model.Time) ([]pattern.Match, error) {
 // ScanAllContext implements plan.ContextScanner: TPatternScanAll under the
 // caller's context.
 func (db *DB) ScanAllContext(ctx context.Context, p *pattern.PNode) ([]pattern.Match, error) {
-	return pattern.ScanAllPool(ctx, db.fti, p, db.pool)
+	ms, err := pattern.ScanAllPool(ctx, db.fti, p, db.pool)
+	if err != nil {
+		return nil, err
+	}
+	return db.clampMatches(ctx, ms), nil
 }
 
 // ScanAll implements plan.Engine by delegating to ScanAllContext.
@@ -460,7 +468,11 @@ func (db *DB) ScanAll(p *pattern.PNode) ([]pattern.Match, error) {
 // ScanCurrentContext implements plan.ContextScanner: the non-temporal
 // PatternScan under the caller's context.
 func (db *DB) ScanCurrentContext(ctx context.Context, p *pattern.PNode) ([]pattern.Match, error) {
-	return pattern.ScanCurrentPool(ctx, db.fti, p, db.pool)
+	ms, err := pattern.ScanCurrentPool(ctx, db.fti, p, db.pool)
+	if err != nil {
+		return nil, err
+	}
+	return db.clampMatches(ctx, ms), nil
 }
 
 // ScanCurrent implements plan.Engine by delegating to ScanCurrentContext.
@@ -485,6 +497,12 @@ func (db *DB) DocHistory(id model.DocID, iv model.Interval) ([]store.VersionTree
 // DocHistoryContext is DocHistory under a caller context: cancellation
 // aborts the chunked parallel walk between chunk reconstructions.
 func (db *DB) DocHistoryContext(ctx context.Context, id model.DocID, iv model.Interval) ([]store.VersionTree, error) {
+	if _, pinnedRead := store.EpochOf(ctx); pinnedRead {
+		// Pinned walks take the sequential store path: the parallel
+		// chunker plans against the live version table, and the clamped
+		// infos a pinned walk yields must not enter the cache.
+		return db.store.DocHistoryContext(ctx, id, iv)
+	}
 	out, ok := db.parallelDocHistory(ctx, id, iv)
 	if !ok {
 		if err := ctx.Err(); err != nil {
@@ -543,7 +561,7 @@ func (db *DB) Reconstruct(teid model.TEID) (*xmltree.Node, error) {
 
 // ReconstructContext is Reconstruct under a caller context.
 func (db *DB) ReconstructContext(ctx context.Context, teid model.TEID) (*xmltree.Node, error) {
-	v, err := db.store.VersionAt(teid.E.Doc, teid.T)
+	v, err := db.store.VersionAtContext(ctx, teid.E.Doc, teid.T)
 	if err != nil {
 		return nil, err
 	}
@@ -575,17 +593,32 @@ func (db *DB) ReconstructVersion(id model.DocID, ver model.VersionNo) (store.Ver
 // the current version whole). Anything else propagates the typed failure
 // fast.
 func (db *DB) ReconstructVersionContext(ctx context.Context, id model.DocID, ver model.VersionNo) (store.VersionTree, error) {
+	_, pinnedRead := store.EpochOf(ctx)
 	var vt store.VersionTree
 	var err error
 	if db.vcache != nil {
-		vt, err = db.vcache.GetContext(ctx, id, ver)
+		fetchCtx := ctx
+		if pinnedRead {
+			// Fetch through the cache at the live horizon: a committed
+			// version's content is immutable, so the bytes are identical,
+			// and the cache stays free of pin-clamped validity metadata.
+			// The caller's pinned view of the metadata is re-derived below.
+			fetchCtx = store.WithEpoch(ctx, 0)
+		}
+		vt, err = db.vcache.GetContext(fetchCtx, id, ver)
 	} else {
 		vt, err = db.store.ReconstructVersionContext(ctx, id, ver)
 	}
 	if err != nil && errors.Is(err, resilience.ErrCircuitOpen) {
 		if cur, info, cerr := db.store.Current(id); cerr == nil && info.Ver == ver {
 			db.res.NoteDegradedServe()
-			return store.VersionTree{Info: info, Root: cur}, nil
+			vt, err = store.VersionTree{Info: info, Root: cur}, nil
+		}
+	}
+	if err == nil && pinnedRead {
+		vt.Info, err = db.store.ClampInfoContext(ctx, id, vt.Info)
+		if err != nil {
+			return store.VersionTree{}, err
 		}
 	}
 	return vt, err
@@ -616,6 +649,13 @@ func (db *DB) IOStats() pagestore.IOStats { return db.store.Pages().Stats() }
 // Versions implements plan.Engine.
 func (db *DB) Versions(id model.DocID) ([]store.VersionInfo, error) {
 	return db.store.Versions(id)
+}
+
+// VersionsContext implements plan.ContextVersionLister: the version list
+// clamped to the epoch pin carried by ctx, so [EVERY] and interval
+// expansions inside a pinned query never select post-pin versions.
+func (db *DB) VersionsContext(ctx context.Context, id model.DocID) ([]store.VersionInfo, error) {
+	return db.store.VersionsContext(ctx, id)
 }
 
 // CreTime returns the element's creation time, via the auxiliary index
@@ -764,6 +804,9 @@ func (db *DB) Query(src string) (*plan.Result, error) {
 // snapshot succeed flagged Result.Degraded; queries needing the sick
 // backend fail fast with an error wrapping resilience.ErrCircuitOpen.
 func (db *DB) QueryContext(ctx context.Context, src string) (*plan.Result, error) {
+	// Pin the commit horizon once: the whole query observes one consistent
+	// snapshot while concurrent writers keep publishing (see epoch.go).
+	ctx = db.pinned(ctx)
 	res, err := plan.RunStringContext(ctx, db, src)
 	if err != nil {
 		if errors.Is(err, resilience.ErrCircuitOpen) {

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+
+	"txmldb/internal/model"
+	"txmldb/internal/pagestore"
+	"txmldb/internal/pattern"
+	"txmldb/internal/store"
+)
+
+// Epoch-pinned queries.
+//
+// QueryContext pins the store's commit horizon once, at query start, and
+// every selection the query makes is clamped to that pin (see
+// internal/store/epoch.go). Concurrent writers keep publishing — readers
+// never block them and are never blocked by them — yet each query observes
+// one consistent snapshot: no version published after its pin, and the
+// version that was current at the pin still reading as current.
+//
+// The full-text and time indexes are maintained live, so a pinned scan may
+// surface postings from versions published after the pin; clampMatches
+// post-filters them out by each document's pinned horizon. The TS-navigation
+// operators (PreviousTS, NextTS, CurrentTS, Versions) remain live-horizon:
+// they are index-only lookups whose results carry no content, and clamping
+// them buys no isolation a caller of those raw APIs expects.
+
+// Epoch returns the store's current commit horizon. Pass it through
+// store.WithEpoch to pin several queries to one snapshot.
+func (db *DB) Epoch() uint64 { return db.store.Epoch() }
+
+// pinned returns ctx with an epoch pin, adding the current horizon when the
+// caller has not pinned one already.
+func (db *DB) pinned(ctx context.Context) context.Context {
+	if _, ok := store.EpochOf(ctx); !ok {
+		ctx = store.WithEpoch(ctx, db.store.Epoch())
+	}
+	return ctx
+}
+
+// clampMatches post-filters pattern-scan results under the epoch pin
+// carried by ctx (a no-op without one). The scan ran against the live
+// full-text index, so matches may involve versions published after the pin:
+// a match whose span starts past the document's pinned horizon is dropped
+// entirely, and a span closed past the horizon is reopened to Forever —
+// at the pin, whatever closed it had not happened yet.
+func (db *DB) clampMatches(ctx context.Context, ms []pattern.Match) []pattern.Match {
+	e, ok := store.EpochOf(ctx)
+	if !ok || len(ms) == 0 {
+		return ms
+	}
+	type horizon struct {
+		max, del model.Time
+		ok       bool
+	}
+	hs := make(map[model.DocID]horizon)
+	out := ms[:0]
+	for _, m := range ms {
+		h, cached := hs[m.Doc]
+		if !cached {
+			h.max, h.del, h.ok = db.store.PinnedHorizon(m.Doc, e)
+			hs[m.Doc] = h
+		}
+		if !h.ok || m.Span.Start > h.max {
+			// Document or version published after the pin.
+			continue
+		}
+		if m.Span.End > h.max && h.del == model.Forever {
+			// Closed by a post-pin version (the deletion, if any, is also
+			// post-pin): at the pin this interval was still open.
+			m.Span.End = model.Forever
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// CommitBatchStats returns the WAL group-commit counters of the underlying
+// page store; ok is false when commit batching is not configured.
+func (db *DB) CommitBatchStats() (pagestore.GroupStats, bool) {
+	return db.store.Pages().GroupStats()
+}

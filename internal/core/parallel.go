@@ -67,7 +67,7 @@ func (db *DB) parallelDocHistory(ctx context.Context, id model.DocID, iv model.I
 	if db.store.SnapshotEvery() <= 0 && db.vcache == nil {
 		return nil, false
 	}
-	versions, err := db.store.Versions(id)
+	versions, err := db.store.VersionsContext(ctx, id)
 	if err != nil {
 		return nil, false
 	}

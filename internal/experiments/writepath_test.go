@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestW2ShapeHolds runs the write-path scaling experiment at a reduced
+// writer ladder and checks the claim's shape: the batched configuration's
+// commit throughput grows with writers (amortization > 1 at the top
+// rung), and every pinned read matched the quiesced oracle (a violation
+// is an error, so W2 returning at all asserts isolation).
+func TestW2ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: timing-sensitive workload")
+	}
+	tbl, err := W2([]int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("want 3 rows (sync baseline + 2 batched), got %d", len(tbl.Rows))
+	}
+	rate := func(row []string) float64 {
+		v, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("bad commits_per_sec %q: %v", row[4], err)
+		}
+		return v
+	}
+	one, four := tbl.Rows[1], tbl.Rows[2]
+	if r1, r4 := rate(one), rate(four); r4 <= r1 {
+		t.Errorf("batched throughput did not scale: 1 writer %.0f/s, 4 writers %.0f/s", r1, r4)
+	}
+	amort, err := strconv.ParseFloat(four[7], 64)
+	if err != nil || amort <= 1.0 {
+		t.Errorf("4 writers amortized %s commits per fsync, want > 1 (err %v)", four[7], err)
+	}
+	if !strings.Contains(tbl.Verdict, "oracle") {
+		t.Errorf("verdict does not state the oracle result: %q", tbl.Verdict)
+	}
+}

@@ -85,6 +85,15 @@ type Config struct {
 	SeekLatency time.Duration
 	// PageLatency is the simulated transfer time per page; see SeekLatency.
 	PageLatency time.Duration
+	// GroupWindow enables WAL group commit: Commit calls collect for up to
+	// this window (or until GroupMaxBatch of them wait) and share one
+	// backend Commit, so one fsync is amortized across the batch. Each
+	// caller still blocks until its batch's durability point. Zero (the
+	// default) keeps the synchronous one-fsync-per-commit path.
+	GroupWindow time.Duration
+	// GroupMaxBatch caps how many commits share one fsync before the batch
+	// is sealed early. Zero defaults to 64. Ignored unless GroupWindow > 0.
+	GroupMaxBatch int
 }
 
 // IOStats are the accumulated counters of a Store.
@@ -160,6 +169,8 @@ type Store struct {
 	lastPos int64          // page position after the most recent read
 	stats   IOStats
 	cache   *lruCache
+	group   *GroupCommitter  // non-nil when cfg.GroupWindow > 0
+	limbo   map[int64]Extent // extents logged free but still readable (see FreeStaged)
 }
 
 type arena struct {
@@ -188,6 +199,12 @@ func New(cfg Config) *Store {
 	}
 	if cfg.BufferPages > 0 {
 		s.cache = newLRU(cfg.BufferPages)
+	}
+	if cfg.GroupWindow > 0 {
+		// The flush function is the batch's single durability point; the
+		// backend serializes appends against its own fsync internally, so
+		// s.mu is not held across the device wait.
+		s.group = NewGroupCommitter(s.backend.Commit, cfg.GroupWindow, cfg.GroupMaxBatch)
 	}
 	return s
 }
@@ -291,7 +308,12 @@ func (s *Store) readLocked(ref Ref) ([]byte, time.Duration, error) {
 	//txvet:ignore lockhold backend Get is an in-memory lookup; the simulated device wait is returned and paid by Read after release
 	ext, err := s.backend.Get(ref.Start)
 	if err != nil {
-		return nil, 0, fmt.Errorf("pagestore: read of extent at page %d: %w", ref.Start, err)
+		if lext, ok := s.limbo[ref.Start]; ok {
+			// Logged free, not yet published: still readable.
+			ext = lext
+		} else {
+			return nil, 0, fmt.Errorf("pagestore: read of extent at page %d: %w", ref.Start, err)
+		}
 	}
 	if err := verify(ref, ext); err != nil {
 		return nil, 0, err
@@ -335,6 +357,74 @@ func (s *Store) Free(ref Ref) {
 	if s.cache != nil {
 		s.cache.drop(ref.Start)
 	}
+	delete(s.limbo, ref.Start)
+}
+
+// FreeStaged logs the extent's release so the WAL free record precedes the
+// caller's next Commit marker — replay then drops the extent and the commit
+// atomically, exactly like a pre-commit Free — but parks the payload in a
+// limbo table that keeps it readable. Concurrent readers holding a version
+// table that still references the extent (the staged-mutation window
+// between the durability point and publication) are thus unaffected. The
+// caller must follow up with ReleaseStaged after publishing the successor
+// table, or UnfreeStaged after abandoning the commit.
+func (s *Store) FreeStaged(ref Ref) {
+	if ref.Zero() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//txvet:ignore lockhold backend Get/Delete are in-memory ops; limbo and free state must stay consistent under s.mu
+	ext, err := s.backend.Get(ref.Start)
+	if err != nil {
+		return // already gone; nothing to park
+	}
+	//txvet:ignore lockhold backend Delete is an in-memory unlink; limbo and free state must stay consistent under s.mu
+	if err := s.backend.Delete(ref.Start); err != nil {
+		return
+	}
+	if s.limbo == nil {
+		s.limbo = make(map[int64]Extent)
+	}
+	s.limbo[ref.Start] = ext
+}
+
+// ReleaseStaged drops a payload parked by FreeStaged once no published
+// version table references the extent any longer.
+func (s *Store) ReleaseStaged(ref Ref) {
+	if ref.Zero() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.limbo, ref.Start)
+	if s.cache != nil {
+		s.cache.drop(ref.Start)
+	}
+}
+
+// UnfreeStaged undoes a FreeStaged whose commit was abandoned: the parked
+// payload is written back under its original reference, so the published
+// version table that still names it keeps working. The rewrite appends a
+// fresh extent record, which is harmless on replay — committed alone it
+// restores the same bytes at the same pages; uncommitted it is ignored,
+// and so is the free record it compensates.
+func (s *Store) UnfreeStaged(ref Ref) error {
+	if ref.Zero() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ext, ok := s.limbo[ref.Start]
+	if !ok {
+		return nil
+	}
+	//txvet:ignore lockhold backend Put is an in-memory/WAL-buffer append; limbo state must stay consistent under s.mu
+	if err := s.backend.Put(ref.Start, ext); err != nil {
+		return fmt.Errorf("pagestore: unfree of extent at page %d: %w", ref.Start, err)
+	}
+	delete(s.limbo, ref.Start)
+	return nil
 }
 
 // SetMeta hands an opaque metadata blob to the backend (the version store's
@@ -398,16 +488,40 @@ func (s *Store) Provenance(start int64) (string, bool) {
 	return pb.Provenance(start)
 }
 
-// Commit asks the backend to make everything written so far durable.
+// Commit makes everything written so far durable. With group commit
+// enabled (Config.GroupWindow > 0) the call joins the forming batch and
+// returns after the batch's shared fsync — nil on success, an error
+// matching ErrGroupCommit when the batch's fsync failed. Without it, the
+// backend is committed synchronously under the store mutex.
 func (s *Store) Commit() error {
+	if s.group != nil {
+		// The caller's extents were Put under s.mu before this call, and
+		// the backend orders appends against its fsync internally, so the
+		// batch flush needs no store lock.
+		return s.group.Commit()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	//txvet:ignore lockhold Commit must serialize against writers: fsync under s.mu is the WAL's documented durability point
+	//txvet:ignore lockhold,fsyncpoint synchronous fallback: with no batcher configured this IS the durability point, and fsync under s.mu is the WAL's documented commit-order discipline
 	return s.backend.Commit()
 }
 
-// Close releases the backend.
+// GroupStats reports the group-commit batcher's amortization counters and
+// whether batching is enabled at all.
+func (s *Store) GroupStats() (GroupStats, bool) {
+	if s.group == nil {
+		return GroupStats{}, false
+	}
+	return s.group.Stats(), true
+}
+
+// Close releases the backend. The batcher, when present, is drained first
+// so in-flight commits reach their durability point before the backend
+// goes away.
 func (s *Store) Close() error {
+	if s.group != nil {
+		s.group.Close()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	//txvet:ignore lockhold Close runs once at shutdown; holding s.mu fences late writers

@@ -82,6 +82,15 @@ func (ex *executor) tree(doc model.DocID, ver model.VersionNo) (*store.VersionTr
 	return &vt, nil
 }
 
+// versions lists a document's versions, through the engine's context-aware
+// listing when it has one (epoch-pinned queries see a clamped list).
+func (ex *executor) versions(doc model.DocID) ([]store.VersionInfo, error) {
+	if vl, ok := ex.engine.(ContextVersionLister); ok {
+		return vl.VersionsContext(ex.ctx, doc)
+	}
+	return ex.engine.Versions(doc)
+}
+
 // node resolves the element bound by b in its document version.
 func (ex *executor) node(b *binding) (*xmltree.Node, error) {
 	vt, err := ex.tree(b.doc, b.docVer.Ver)
@@ -238,7 +247,7 @@ func (ex *executor) bindFromItem(q *query.Query, f query.FromItem) ([]*binding, 
 	if err != nil {
 		return nil, err
 	}
-	versions, err := ex.engine.Versions(doc)
+	versions, err := ex.versions(doc)
 	if err != nil {
 		return nil, err
 	}

@@ -76,6 +76,14 @@ type ContextReconstructor interface {
 	ReconstructVersionContext(ctx context.Context, doc model.DocID, ver model.VersionNo) (store.VersionTree, error)
 }
 
+// ContextVersionLister is an optional Engine extension: a version listing
+// that honors the executor's context. Engines with epoch-pinned snapshot
+// reads use it so a pinned query's [EVERY] and interval expansions select
+// only versions published at or before the pin.
+type ContextVersionLister interface {
+	VersionsContext(ctx context.Context, doc model.DocID) ([]store.VersionInfo, error)
+}
+
 // DegradedReporter is an optional Engine extension: engines carrying a
 // resilience tier report whether they are serving in degraded mode so the
 // executor can flag results (Result.Degraded, the envelope's

@@ -6,9 +6,12 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"txmldb/internal/core"
 	"txmldb/internal/model"
+	"txmldb/internal/pagestore"
+	"txmldb/internal/store"
 	"txmldb/internal/vcache"
 	"txmldb/internal/xmltree"
 )
@@ -167,5 +170,63 @@ func TestCheckpointMetricsExposed(t *testing.T) {
 	}
 	if strings.Contains(out, "txserved_wal_segments 0") {
 		t.Error("/metrics reports zero WAL segments on a durable engine")
+	}
+}
+
+// TestGroupCommitMetricsExposed: an engine with a WAL group-commit window
+// exposes the txserved_commit_batch_* series with live values, and an
+// engine without batching exposes none of them.
+func TestGroupCommitMetricsExposed(t *testing.T) {
+	db, err := core.OpenDurable(core.Config{
+		Store: store.Config{Pages: pagestore.Config{GroupWindow: time.Millisecond}},
+		Clock: func() model.Time { return model.Date(2001, 2, 10) },
+	}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.Put("http://guide.com/restaurants.xml",
+		xmltree.Elem("guide", xmltree.Elem("restaurant",
+			xmltree.ElemText("name", "Napoli"), xmltree.ElemText("price", "15"))),
+		model.Date(2001, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(db, Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(body)
+	for _, want := range []string{
+		"txserved_commit_batch_commits_total",
+		"txserved_commit_batch_batches_total",
+		"txserved_commit_batch_failures_total 0",
+		"txserved_commit_batch_max_batch",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if strings.Contains(out, "txserved_commit_batch_commits_total 0") {
+		t.Error("/metrics reports zero batched commits after a Put")
+	}
+
+	// No GroupWindow → the family stays out of the exposition.
+	s2 := New(figure1DB(t), Config{})
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	resp2, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if strings.Contains(string(body2), "txserved_commit_batch_") {
+		t.Error("/metrics exposes commit-batch series for an engine without batching")
 	}
 }

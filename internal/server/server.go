@@ -85,6 +85,15 @@ type checkpointStatser interface {
 	WALSegments() int64
 }
 
+// groupStatser is optionally implemented by engines (txmldb.DB and
+// txmldb.ShardedDB are two) to expose the WAL group-commit batcher's
+// counters on /metrics. CommitBatchStats returns false when commit
+// batching is not configured (PageConfig.GroupWindow <= 0), which keeps
+// the metric family out of the exposition entirely.
+type groupStatser interface {
+	CommitBatchStats() (txmldb.GroupStats, bool)
+}
+
 // healthReporter is optionally implemented by engines (txmldb.DB is one)
 // carrying a resilience tier: /readyz and the txserved_health_* /
 // txserved_breaker_* metrics are derived from its snapshots, and 503
@@ -310,6 +319,25 @@ func (s *Server) registerEngineMetrics() {
 			s.reg.GaugeFunc("txserved_wal_segments",
 				"write-ahead-log segments currently on disk",
 				func() int64 { return ck.WALSegments() })
+		}
+	}
+	if gs, ok := s.engine.(groupStatser); ok {
+		if _, batching := gs.CommitBatchStats(); batching {
+			gcs := func(f func(txmldb.GroupStats) int64) func() int64 {
+				return func() int64 { st, _ := gs.CommitBatchStats(); return f(st) }
+			}
+			s.reg.CounterFunc("txserved_commit_batch_commits_total",
+				"commits that went through the WAL group-commit batcher",
+				gcs(func(st txmldb.GroupStats) int64 { return st.Commits }))
+			s.reg.CounterFunc("txserved_commit_batch_batches_total",
+				"batches flushed, i.e. fsyncs actually issued",
+				gcs(func(st txmldb.GroupStats) int64 { return st.Batches }))
+			s.reg.CounterFunc("txserved_commit_batch_failures_total",
+				"commits that failed with their batch's shared fsync error",
+				gcs(func(st txmldb.GroupStats) int64 { return st.Failures }))
+			s.reg.GaugeFunc("txserved_commit_batch_max_batch",
+				"largest number of commits amortized into a single fsync",
+				gcs(func(st txmldb.GroupStats) int64 { return st.MaxBatch }))
 		}
 	}
 	if hr, ok := s.engine.(healthReporter); ok {

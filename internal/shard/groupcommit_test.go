@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"txmldb/internal/core"
+	"txmldb/internal/model"
+	"txmldb/internal/pagestore"
+	"txmldb/internal/store"
+)
+
+// TestShardGroupCommitBatchers verifies the Engine config passthrough
+// gives every shard its own WAL group-commit batcher: concurrent writers
+// landing on different shards amortize fsyncs per shard, and the router
+// aggregates the counters.
+func TestShardGroupCommitBatchers(t *testing.T) {
+	root := t.TempDir()
+	cfg := Config{
+		Shards: 3,
+		Engine: func(int) core.Config {
+			return core.Config{
+				Store: store.Config{Pages: pagestore.Config{
+					GroupWindow: time.Millisecond,
+				}},
+				Clock: func() model.Time { return 1_000_000 },
+			}
+		},
+	}
+	r, err := OpenDurable(cfg, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	const writers = 6
+	const docsPer = 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < docsPer; i++ {
+				url := testURL(w*docsPer + i)
+				if _, err := r.Put(url, testTree(w*docsPer+i, 1), 1000); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	agg, ok := r.CommitBatchStats()
+	if !ok {
+		t.Fatal("CommitBatchStats: no shard has commit batching despite GroupWindow > 0")
+	}
+	if agg.Commits == 0 || agg.Batches == 0 {
+		t.Fatalf("aggregated group stats empty: %+v", agg)
+	}
+	if agg.Batches > agg.Commits {
+		t.Fatalf("more batches than commits: %+v", agg)
+	}
+	perShard := 0
+	for i := 0; i < r.Shards(); i++ {
+		if st, ok := r.Shard(i).CommitBatchStats(); ok && st.Commits > 0 {
+			perShard++
+		}
+	}
+	if perShard == 0 {
+		t.Fatal("no shard recorded batched commits")
+	}
+
+	// Everything written through the batchers is durable across reopen.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := OpenDurable(cfg, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := len(r2.Docs()); got != writers*docsPer {
+		t.Fatalf("reopened router has %d docs, want %d", got, writers*docsPer)
+	}
+}

@@ -95,6 +95,29 @@ func (r *Router) WALStats() (pagestore.WALStats, bool) {
 	return agg, any
 }
 
+// CommitBatchStats sums the per-shard WAL group-commit counters; ok is
+// false when no shard has commit batching configured. Each shard owns an
+// independent batcher (its engine's page store), so MaxBatch is the
+// largest any one shard amortized into a single fsync.
+func (r *Router) CommitBatchStats() (pagestore.GroupStats, bool) {
+	var agg pagestore.GroupStats
+	any := false
+	for _, db := range r.shards {
+		st, ok := db.CommitBatchStats()
+		if !ok {
+			continue
+		}
+		any = true
+		agg.Commits += st.Commits
+		agg.Batches += st.Batches
+		agg.Failures += st.Failures
+		if st.MaxBatch > agg.MaxBatch {
+			agg.MaxBatch = st.MaxBatch
+		}
+	}
+	return agg, any
+}
+
 // Vacuum applies the retention policy on every shard and merges the
 // reports; the checkpoint half of the return sums like Checkpoint's.
 func (r *Router) Vacuum(ret store.Retention) (store.VacuumReport, checkpoint.RunStats, error) {

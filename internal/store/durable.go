@@ -108,12 +108,14 @@ func (s *Store) marshalMetaLocked() ([]byte, error) {
 	return json.Marshal(mf)
 }
 
-// marshalDocDeltaLocked serializes a single-document upsert record.
-// Callers hold s.mu.
-func (s *Store) marshalDocDeltaLocked(d *docEntry) ([]byte, error) {
+// marshalDocDelta serializes a single-document upsert record. The entry is
+// a writer's private staged copy, so no store lock is needed; nextDoc is a
+// point-in-time reading (restore merges NextDoc by maximum, so a value that
+// is stale relative to a concurrent Put is harmless).
+func marshalDocDelta(d *docEntry, nextDoc int64) ([]byte, error) {
 	return json.Marshal(metaDelta{
 		Format:  metaFormat,
-		NextDoc: int64(s.nextDoc),
+		NextDoc: nextDoc,
 		Doc:     metaDocOf(d),
 	})
 }

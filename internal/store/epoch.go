@@ -1,0 +1,182 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"txmldb/internal/model"
+	"txmldb/internal/pagestore"
+)
+
+// Epoch-pinned snapshot reads.
+//
+// Every published mutation (Put, Update, Delete) advances the store's epoch
+// — a monotonically increasing commit horizon — and stamps the version (or
+// deletion) it published with that epoch. A reader that wants a consistent
+// snapshot pins the epoch once, at query start, and carries it in its
+// context; every selection the store makes on that context's behalf is then
+// clamped to the versions published at or before the pin. Committed
+// versions are immutable (the paper's Section 7.1 model), so pinning costs
+// nothing: no read locks writers out, no writer invalidates what a pinned
+// reader may still materialize.
+//
+// The clamp applies to *selection*, not to reconstruction mechanics: a
+// pinned reconstruction may well read the snapshot of a version published
+// after the pin and walk inverted deltas back to the pinned target — the
+// target's content is identical either way, and this is exactly what makes
+// the pinned read non-blocking when the writer has since replaced the
+// current snapshot.
+//
+// Epoch 0 never names a publication (the store's first epoch is 1), so it
+// doubles as the "no pin" sentinel: recovered versions carry epoch 0 and
+// are visible at every pin.
+
+type epochKeyType struct{}
+
+var epochKey epochKeyType
+
+// WithEpoch returns a context carrying the commit-horizon pin e. Epoch 0
+// removes the pin.
+func WithEpoch(ctx context.Context, e uint64) context.Context {
+	return context.WithValue(ctx, epochKey, e)
+}
+
+// EpochOf reports the commit-horizon pin carried by ctx, if any.
+func EpochOf(ctx context.Context) (uint64, bool) {
+	e, ok := ctx.Value(epochKey).(uint64)
+	if !ok || e == 0 {
+		return 0, false
+	}
+	return e, true
+}
+
+// epochOf is EpochOf collapsed to the 0-means-unpinned form the internal
+// clamp helpers use.
+func epochOf(ctx context.Context) uint64 {
+	e, _ := EpochOf(ctx)
+	return e
+}
+
+// Epoch returns the current commit horizon: the epoch of the newest
+// published mutation. Pass it to WithEpoch to pin a snapshot read.
+func (s *Store) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// visibleLen returns how many of the document's versions are visible at
+// pin e (0 = no pin, everything visible). Versions are published in epoch
+// order, so the visible set is always a prefix.
+func (d *docEntry) visibleLen(e uint64) int {
+	n := len(d.versions)
+	if e == 0 {
+		return n
+	}
+	for n > 0 && d.versions[n-1].Epoch > e {
+		n--
+	}
+	return n
+}
+
+// deletedAt returns the document's deletion time as seen at pin e: Forever
+// while the deletion is unpublished or was published after the pin.
+func (d *docEntry) deletedAt(e uint64) model.Time {
+	if e != 0 && d.deletedEpoch > e {
+		return model.Forever
+	}
+	return d.deleted
+}
+
+// infoAt returns the i-th (0-based) version's info as seen at pin e. The
+// last visible version reads as current — End Forever, no outgoing delta —
+// when whatever closed it (a successor version or the document's deletion)
+// was published after the pin.
+func (d *docEntry) infoAt(i int, e uint64) VersionInfo {
+	v := d.versions[i]
+	if e == 0 {
+		return v
+	}
+	if i < len(d.versions)-1 {
+		if d.versions[i+1].Epoch > e {
+			// Closed by an invisible successor: at the pin this version
+			// was still current.
+			v.End = model.Forever
+			v.DeltaToNext = pagestore.Ref{}
+		}
+		return v
+	}
+	if d.deleted != model.Forever && d.deletedEpoch > e {
+		// Closed by an invisible deletion.
+		v.End = model.Forever
+	}
+	return v
+}
+
+// versionAtEpoch is versionAt clamped to pin e.
+func (d *docEntry) versionAtEpoch(t model.Time, e uint64) (VersionInfo, error) {
+	if e == 0 {
+		return d.versionAt(t)
+	}
+	n := d.visibleLen(e)
+	// Binary search the visible prefix for the last version with Stamp <= t.
+	i := sort.Search(n, func(i int) bool { return d.versions[i].Stamp > t }) - 1
+	if i < 0 {
+		return VersionInfo{}, fmt.Errorf("%w: %s before first version", ErrNoVersion, t)
+	}
+	v := d.infoAt(i, e)
+	if !v.Interval().Contains(t) {
+		return VersionInfo{}, fmt.Errorf("%w: %s (document deleted)", ErrNoVersion, t)
+	}
+	return v, nil
+}
+
+// visibleAt reports whether the document itself is visible at pin e: its
+// first version must have been published at or before the pin.
+func (d *docEntry) visibleAt(e uint64) bool {
+	return e == 0 || (len(d.versions) > 0 && d.versions[0].Epoch <= e)
+}
+
+// PinnedHorizon reports the document's read horizon at pin e: the stamp of
+// its newest visible version and its visible deletion time (Forever while
+// the document is live at the pin). ok is false when the document does not
+// exist or was created after the pin. Scan post-filters use it to clamp
+// match spans: any interval endpoint set by a version published after the
+// pin is strictly greater than the returned stamp.
+func (s *Store) PinnedHorizon(id model.DocID, e uint64) (maxStamp, deleted model.Time, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, found := s.docs[id]
+	if !found {
+		return 0, 0, false
+	}
+	n := d.visibleLen(e)
+	if n == 0 {
+		return 0, 0, false
+	}
+	return d.versions[n-1].Stamp, d.deletedAt(e), true
+}
+
+// ClampInfoContext re-derives a version's validity metadata under the epoch
+// pin carried by ctx: a no-op without a pin, an error when the version (or
+// its document) was published after the pin, and otherwise the entry as it
+// read at the pin — the then-current version shows End Forever and no
+// outgoing delta. Cache layers use it so that entries materialized at one
+// horizon serve pinned readers at another.
+func (s *Store) ClampInfoContext(ctx context.Context, id model.DocID, info VersionInfo) (VersionInfo, error) {
+	e := epochOf(ctx)
+	if e == 0 {
+		return info, nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok || !d.visibleAt(e) {
+		return VersionInfo{}, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if int(info.Ver) > d.visibleLen(e) {
+		return VersionInfo{}, fmt.Errorf("store: doc %d has no version %d", id, info.Ver)
+	}
+	return d.infoAt(int(info.Ver)-1, e), nil
+}

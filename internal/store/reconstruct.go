@@ -57,7 +57,9 @@ func (s *Store) ReadDeltaContext(ctx context.Context, id model.DocID, fromVer mo
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
-	if fromVer < 1 || int(fromVer) >= len(d.versions) {
+	// A delta is visible once its target version is: under an epoch pin the
+	// last visible version reads as current, with no outgoing delta yet.
+	if fromVer < 1 || int(fromVer) >= d.visibleLen(epochOf(ctx)) {
 		return nil, fmt.Errorf("store: doc %d has no delta from version %d", id, fromVer)
 	}
 	return s.readScript(ctx, d, fromVer)
@@ -85,7 +87,15 @@ func (s *Store) ReconstructVersionContext(ctx context.Context, id model.DocID, v
 }
 
 func (s *Store) reconstruct(ctx context.Context, d *docEntry, ver model.VersionNo) (VersionTree, error) {
-	if ver < 1 || int(ver) > len(d.versions) {
+	// Selection honors the epoch pin: versions published after the pin do
+	// not exist for this reader. Mechanics below deliberately do not — the
+	// snapshot search walks the full version list, because a pinned target's
+	// content is immutable and may well be cheapest to materialize from a
+	// snapshot published after the pin (walking inverted deltas back). That
+	// is exactly what keeps pinned reads working when a concurrent writer
+	// has dropped the old current snapshot in favor of a newer one.
+	e := epochOf(ctx)
+	if ver < 1 || int(ver) > d.visibleLen(e) {
 		return VersionTree{}, fmt.Errorf("store: doc %d has no version %d", d.id, ver)
 	}
 	if d.versions[ver-1].Pruned {
@@ -134,7 +144,7 @@ func (s *Store) reconstruct(ctx context.Context, d *docEntry, ver model.VersionN
 			return VersionTree{}, fmt.Errorf("store: applying inverse delta %d→%d: %w", v+1, v, err)
 		}
 	}
-	return VersionTree{Info: d.versions[ver-1], Root: tree}, nil
+	return VersionTree{Info: d.infoAt(int(ver)-1, e), Root: tree}, nil
 }
 
 // ReconstructFrom rebuilds version `to` of the document by replaying
@@ -160,7 +170,8 @@ func (s *Store) ReconstructFromContext(ctx context.Context, id model.DocID, base
 	if !ok {
 		return VersionTree{}, fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
-	if to < 1 || int(to) > len(d.versions) {
+	e := epochOf(ctx)
+	if to < 1 || int(to) > d.visibleLen(e) {
 		return VersionTree{}, fmt.Errorf("store: doc %d has no version %d", d.id, to)
 	}
 	from := base.Info.Ver
@@ -178,7 +189,7 @@ func (s *Store) ReconstructFromContext(ctx context.Context, id model.DocID, base
 			return VersionTree{}, fmt.Errorf("store: applying delta %d→%d: %w", v, v+1, err)
 		}
 	}
-	return VersionTree{Info: d.versions[to-1], Root: tree}, nil
+	return VersionTree{Info: d.infoAt(int(to)-1, e), Root: tree}, nil
 }
 
 // ReconstructAt rebuilds the version of the document valid at time t.
@@ -194,7 +205,7 @@ func (s *Store) ReconstructAtContext(ctx context.Context, id model.DocID, t mode
 	if !ok {
 		return VersionTree{}, fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
-	v, err := d.versionAt(t)
+	v, err := d.versionAtEpoch(t, epochOf(ctx))
 	if err != nil {
 		return VersionTree{}, err
 	}
@@ -217,11 +228,15 @@ func (s *Store) DocHistoryContext(ctx context.Context, id model.DocID, iv model.
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
-	// Find the newest and oldest versions whose validity intersects [from, to).
+	// Find the newest and oldest versions whose validity intersects
+	// [from, to). Overlap tests use epoch-clamped intervals: at the pin the
+	// last visible version read as current (End Forever), so it overlaps
+	// ranges its post-pin closure would exclude.
+	e := epochOf(ctx)
 	var out []VersionTree
 	last := -1
-	for i := len(d.versions) - 1; i >= 0; i-- {
-		if d.versions[i].Interval().Overlaps(iv) {
+	for i := d.visibleLen(e) - 1; i >= 0; i-- {
+		if d.infoAt(i, e).Interval().Overlaps(iv) {
 			last = i
 			break
 		}
@@ -236,8 +251,8 @@ func (s *Store) DocHistoryContext(ctx context.Context, id model.DocID, iv model.
 		return nil, err
 	}
 	tree := vt.Root
-	for i := last; i >= 0 && d.versions[i].Interval().Overlaps(iv); i-- {
-		out = append(out, VersionTree{Info: d.versions[i], Root: tree.Clone()})
+	for i := last; i >= 0 && d.infoAt(i, e).Interval().Overlaps(iv); i-- {
+		out = append(out, VersionTree{Info: d.infoAt(i, e), Root: tree.Clone()})
 		if i > 0 && d.versions[i-1].Pruned {
 			// Pruning is a per-document prefix: everything further back was
 			// reclaimed by retention, so the walk ends here.

@@ -67,6 +67,12 @@ type VersionInfo struct {
 	// delta index — but both refs are zero and the version cannot be
 	// materialized anymore (ErrPruned).
 	Pruned bool
+	// Epoch is the store-wide commit epoch at which this version was
+	// published. It is runtime-only (never persisted; versions recovered
+	// from disk carry 0, visible at every pin) and drives the snapshot
+	// isolation of epoch-pinned readers: a reader pinned at epoch E never
+	// selects a version with Epoch > E.
+	Epoch uint64
 }
 
 // Interval returns the transaction-time validity of the version.
@@ -98,11 +104,31 @@ type docEntry struct {
 	cur      *xmltree.Node // cached current version; nil if unrecoverable
 	curErr   error         // why cur is nil after a degraded recovery
 	versions []VersionInfo // index 0 = version 1
+
+	// wmu is the per-document write latch: the single serialization point
+	// of the concurrent write path. A writer holds it from version-number
+	// assignment through publication, so two writers never stage the same
+	// successor; writers of different documents proceed fully in parallel.
+	// Lock order: wmu before s.mu (publication takes s.mu.Lock while
+	// holding wmu).
+	wmu sync.Mutex
+
+	// deletedEpoch is the store epoch at which the deletion was published
+	// (0 while live or when recovered from disk). Pinned readers treat a
+	// deletion published after their pin as not yet having happened.
+	deletedEpoch uint64
 }
 
 func (d *docEntry) curInfo() *VersionInfo { return &d.versions[len(d.versions)-1] }
 
-// Store is the version store. It is safe for concurrent use.
+// Store is the version store. It is safe for concurrent use, including
+// concurrent writers: mutations stage their extents and metadata outside
+// the global lock (serialized per document by the entry's write latch),
+// wait for the commit's durability point — where the pagestore's
+// group-commit batcher amortizes one fsync across concurrent commits — and
+// only then publish the new version under a brief write lock. Readers
+// therefore never block on a writer's fsync, and a reader pinned to an
+// epoch (WithEpoch) gets a consistent snapshot while writers advance.
 type Store struct {
 	mu      sync.RWMutex
 	cfg     Config
@@ -110,6 +136,24 @@ type Store struct {
 	docs    map[model.DocID]*docEntry
 	byName  map[string]model.DocID
 	nextDoc model.DocID
+
+	// epoch is the commit horizon: incremented under s.mu at every
+	// publication, stamped onto the published version. Starts at 1 so that
+	// 0 stays the "no pin" sentinel and recovered versions (epoch 0) are
+	// visible at every pin.
+	epoch uint64
+
+	// pendingNames holds names claimed by in-flight Puts that have not
+	// published yet, so two concurrent creates of the same name cannot both
+	// proceed to their durability point.
+	pendingNames map[string]bool
+
+	// legacy selects the original fully-serialized write path for durable
+	// backends without metadata-delta support (single-file WAL, fault
+	// injector): their persistence rewrites the whole document table per
+	// commit, which cannot tolerate interleaved writers, and their crash
+	// tests rely on every record of a mutation preceding its commit marker.
+	legacy bool
 
 	// jmu guards jrnd: retry-backoff jitter is drawn concurrently by
 	// readers that only hold s.mu.RLock.
@@ -128,13 +172,20 @@ func New(cfg Config) *Store {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Store{
-		cfg:    cfg,
-		pages:  pagestore.New(cfg.Pages),
-		docs:   make(map[model.DocID]*docEntry),
-		byName: make(map[string]model.DocID),
-		jrnd:   rand.New(rand.NewSource(seed)),
+	s := &Store{
+		cfg:          cfg,
+		pages:        pagestore.New(cfg.Pages),
+		docs:         make(map[model.DocID]*docEntry),
+		byName:       make(map[string]model.DocID),
+		epoch:        1,
+		pendingNames: make(map[string]bool),
+		jrnd:         rand.New(rand.NewSource(seed)),
 	}
+	if s.pages.Durable() {
+		_, deltaMeta := s.pages.Backend().(pagestore.DeltaMetaBackend)
+		s.legacy = !deltaMeta
+	}
+	return s
 }
 
 // Resilience returns the resilience tier the store feeds, nil when
@@ -296,15 +347,55 @@ func (s *Store) persistLocked() error {
 	return nil
 }
 
-// persistDocLocked makes a single-document mutation durable. On backends
-// with metadata-delta support it logs only the touched document's table
-// entry — O(doc) instead of O(database) per commit — and falls back to the
-// full persistLocked snapshot otherwise. Callers hold s.mu.
+// persistStaged makes a staged single-document mutation durable *before*
+// it is published: the staged entry's metadata goes to the backend, then
+// Commit blocks until the durability point — under group commit, until the
+// staged records shared a batch fsync with every other in-flight commit.
+// It returns whether a durable commit actually happened (so the caller
+// counts it toward the checkpoint trigger after publishing). The staged
+// entry is private to the calling writer; no lock is held across the
+// fsync, which is the whole point of the concurrent write path.
+//
+// On backends with metadata-delta support the record is a single-document
+// upsert — O(doc) per commit, and commutative across concurrently staged
+// documents, which is what lets writers interleave inside one WAL batch.
+// Durable backends without delta support rewrite the full table (the
+// staged entry substituted in); those stores run in legacy mode, where
+// s.wlegacy has already serialized whole mutations, so the snapshot
+// cannot lose a concurrent writer's update.
+func (s *Store) persistStaged(staged *docEntry) (bool, error) {
+	if !s.pages.Durable() {
+		return false, nil
+	}
+	s.mu.RLock()
+	nextDoc := int64(s.nextDoc)
+	s.mu.RUnlock()
+	delta, err := marshalDocDelta(staged, nextDoc)
+	if err != nil {
+		return false, fmt.Errorf("store: serialize meta delta: %w", err)
+	}
+	ok, err := s.pages.SetMetaDelta(delta)
+	if err != nil {
+		return false, fmt.Errorf("store: persist meta delta: %w", err)
+	}
+	if !ok {
+		return false, fmt.Errorf("store: backend lost metadata-delta support mid-run")
+	}
+	if err := s.pages.Commit(); err != nil {
+		return false, fmt.Errorf("store: commit: %w", err)
+	}
+	return true, nil
+}
+
+// persistDocLocked makes a single-document mutation durable on the legacy
+// write path. On backends with metadata-delta support it logs only the
+// touched document's table entry and falls back to the full persistLocked
+// snapshot otherwise. Callers hold s.mu.
 func (s *Store) persistDocLocked(d *docEntry) error {
 	if !s.pages.Durable() {
 		return nil
 	}
-	delta, err := s.marshalDocDeltaLocked(d)
+	delta, err := marshalDocDelta(d, int64(s.nextDoc))
 	if err != nil {
 		return fmt.Errorf("store: serialize meta delta: %w", err)
 	}
@@ -341,10 +432,82 @@ func (s *Store) NoteCheckpoint() {
 // annotated in place with fresh XIDs and stamp t. If a document with the
 // same name existed before, it must be deleted; the new document gets a new
 // DocID (XIDs are never shared across document incarnations).
+//
+// The write is staged: the DocID and name are claimed under a brief global
+// lock, the snapshot extent and metadata are written and committed with no
+// lock held (joining the group-commit batch when one is configured), and
+// the document becomes visible — atomically, with a fresh epoch — only
+// after the durability point. A failed commit leaves the store exactly as
+// before, minus a DocID gap.
 func (s *Store) Put(name string, tree *xmltree.Node, t model.Time) (model.DocID, error) {
 	if err := tree.Validate(); err != nil {
 		return 0, fmt.Errorf("store: put %q: %w", name, err)
 	}
+	if s.legacy {
+		return s.putLegacy(name, tree, t)
+	}
+	s.mu.Lock()
+	if prev, ok := s.byName[name]; ok {
+		if s.docs[prev].deleted == model.Forever {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("%w: %q", ErrExists, name)
+		}
+	}
+	if s.pendingNames[name] {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q (concurrent create in flight)", ErrExists, name)
+	}
+	s.pendingNames[name] = true
+	s.nextDoc++
+	id := s.nextDoc
+	s.mu.Unlock()
+
+	unclaim := func() {
+		s.mu.Lock()
+		delete(s.pendingNames, name)
+		s.mu.Unlock()
+	}
+	d := &docEntry{
+		id:      id,
+		name:    name,
+		created: t,
+		deleted: model.Forever,
+	}
+	nx := model.XID(0)
+	diff.AssignXIDs(tree, func() model.XID { nx++; return nx }, t)
+	d.nextXID = nx
+	d.rootXID = tree.XID
+	d.cur = tree.Clone()
+	ref, err := s.pages.Write(int(id), xmltree.Marshal(d.cur))
+	if err != nil {
+		unclaim()
+		return 0, fmt.Errorf("store: put %q: %w", name, err)
+	}
+	d.versions = []VersionInfo{{Ver: 1, Stamp: t, End: model.Forever, Snapshot: ref}}
+	committed, err := s.persistStaged(d)
+	if err != nil {
+		unclaim()
+		s.pages.Free(ref)
+		return 0, fmt.Errorf("store: put %q: %w", name, err)
+	}
+
+	s.mu.Lock()
+	s.epoch++
+	d.versions[0].Epoch = s.epoch
+	s.docs[id] = d
+	s.byName[name] = id
+	delete(s.pendingNames, name)
+	if committed {
+		s.ckptCommits++
+	}
+	s.mu.Unlock()
+	return id, nil
+}
+
+// putLegacy is Put on the fully-serialized legacy path: the whole mutation
+// — in-memory change, persistence, fsync — under s.mu.Lock, exactly the
+// pre-group-commit behaviour legacy backends' crash-offset tests pin down.
+func (s *Store) putLegacy(name string, tree *xmltree.Node, t model.Time) (model.DocID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if prev, ok := s.byName[name]; ok {
@@ -374,6 +537,8 @@ func (s *Store) Put(name string, tree *xmltree.Node, t model.Time) (model.DocID,
 	if err := s.persistDocLocked(d); err != nil {
 		return 0, fmt.Errorf("store: put %q: %w", name, err)
 	}
+	s.epoch++
+	d.versions[0].Epoch = s.epoch
 	return id, nil
 }
 
@@ -386,10 +551,125 @@ func (d *docEntry) allocXID() model.XID {
 // tree is annotated in place with XIDs (persistent for matched elements,
 // fresh for new ones). It returns the new version number and the completed
 // delta script that was stored, which index maintenance consumes.
+// Update is staged like Put: the writer holds only the document's write
+// latch (the single serialization point — version-number assignment and
+// everything that depends on it) while diffing, writing extents and
+// waiting out the commit's durability point; the global lock is taken just
+// long enough to publish the new version under a fresh epoch. Readers —
+// including epoch-pinned ones — never wait on the fsync, and a failed
+// commit publishes nothing.
 func (s *Store) Update(id model.DocID, tree *xmltree.Node, t model.Time) (model.VersionNo, *diff.Script, error) {
 	if err := tree.Validate(); err != nil {
 		return 0, nil, fmt.Errorf("store: update %d: %w", id, err)
 	}
+	if s.legacy {
+		return s.updateLegacy(id, tree, t)
+	}
+	s.mu.RLock()
+	d, ok := s.docs[id]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	// Under the latch the entry's fields are stable: only the latch holder
+	// publishes to this document, and publication itself additionally takes
+	// s.mu, so concurrent readers are ordered too.
+	if d.deleted != model.Forever {
+		return 0, nil, fmt.Errorf("%w: %d", ErrDeleted, id)
+	}
+	if d.cur == nil {
+		return 0, nil, fmt.Errorf("store: update %d: current version unavailable: %w", id, d.curErr)
+	}
+	cur := *d.curInfo()
+	if t <= cur.Stamp {
+		return 0, nil, fmt.Errorf("%w: %s <= %s", ErrStale, t, cur.Stamp)
+	}
+	newVer := cur.Ver + 1
+	// XIDs are allocated against a private counter; the entry's high-water
+	// mark moves only at publication, so an abandoned stage leaves at most
+	// an XID gap and readers never observe a half-advanced counter.
+	nx := d.nextXID
+	script, annotated, err := diff.Diff(d.cur, tree, diff.Options{
+		Alloc:     func() model.XID { nx++; return nx },
+		Stamp:     t,
+		FromStamp: cur.Stamp,
+		FromVer:   cur.Ver,
+		ToVer:     newVer,
+	})
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: update %d: %w", id, err)
+	}
+	// Store the completed delta as its own XML document (Section 7.1).
+	deltaRef, err := s.pages.Write(int(id), xmltree.Marshal(script.ToXML()))
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: update %d: %w", id, err)
+	}
+	// Stage a copy-on-write successor of the delta index: the shared slice
+	// is never mutated in place, so readers (pinned or not) keep a
+	// consistent view until the publication swap.
+	vs := make([]VersionInfo, len(d.versions), len(d.versions)+1)
+	copy(vs, d.versions)
+	last := &vs[len(vs)-1]
+	last.DeltaToNext = deltaRef
+	last.End = t
+	// The previous "current" full version is dropped unless it is a
+	// snapshot version: the chain of completed deltas replaces it. The
+	// free is logged *before* the durability point — replay drops the
+	// extent and the commit atomically — but the payload stays readable
+	// (parked in the page store's limbo) until publication, so a
+	// concurrent reader that still selects the old version materializes
+	// it; after publication such a reader falls forward to the new
+	// current snapshot and walks the inverted delta back.
+	var freeOld pagestore.Ref
+	if !s.isSnapshotVersion(last.Ver) {
+		freeOld = last.Snapshot
+		last.Snapshot = pagestore.Ref{}
+	}
+	newInfo := VersionInfo{Ver: newVer, Stamp: t, End: model.Forever}
+	newInfo.Snapshot, err = s.pages.Write(int(id), xmltree.Marshal(annotated))
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: update %d: %w", id, err)
+	}
+	vs = append(vs, newInfo)
+	staged := &docEntry{
+		id: d.id, name: d.name, nextXID: nx,
+		created: d.created, deleted: d.deleted, rootXID: d.rootXID,
+		versions: vs,
+	}
+	s.pages.FreeStaged(freeOld)
+	committed, err := s.persistStaged(staged)
+	if err != nil {
+		// Nothing was published; the staged extents are unreferenced, and
+		// the old snapshot — still named by the published table — is
+		// restored from limbo.
+		s.pages.Free(deltaRef)
+		s.pages.Free(newInfo.Snapshot)
+		if uerr := s.pages.UnfreeStaged(freeOld); uerr != nil {
+			// The old snapshot could not be written back: degrade the
+			// cached current version rather than serve a dangling ref.
+			err = errors.Join(err, uerr)
+		}
+		return 0, nil, fmt.Errorf("store: update %d: %w", id, err)
+	}
+
+	s.mu.Lock()
+	s.epoch++
+	vs[len(vs)-1].Epoch = s.epoch
+	d.versions = vs
+	d.cur = annotated
+	d.nextXID = nx
+	if committed {
+		s.ckptCommits++
+	}
+	s.mu.Unlock()
+	s.pages.ReleaseStaged(freeOld)
+	return newVer, script, nil
+}
+
+// updateLegacy is Update on the fully-serialized legacy path; see putLegacy.
+func (s *Store) updateLegacy(id model.DocID, tree *xmltree.Node, t model.Time) (model.VersionNo, *diff.Script, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d, ok := s.docs[id]
@@ -440,6 +720,8 @@ func (s *Store) Update(id model.DocID, tree *xmltree.Node, t model.Time) (model.
 	if err := s.persistDocLocked(d); err != nil {
 		return 0, nil, fmt.Errorf("store: update %d: %w", id, err)
 	}
+	s.epoch++
+	d.versions[len(d.versions)-1].Epoch = s.epoch
 	return newVer, script, nil
 }
 
@@ -449,8 +731,55 @@ func (s *Store) isSnapshotVersion(v model.VersionNo) bool {
 	return s.cfg.SnapshotEvery > 0 && int(v)%s.cfg.SnapshotEvery == 0
 }
 
-// Delete marks the document deleted at time t. Its history stays queryable.
+// Delete marks the document deleted at time t. Its history stays
+// queryable. Like Put and Update it stages, waits for the durability
+// point, and publishes under a fresh epoch, so a pinned reader whose pin
+// precedes the deletion still sees the document live.
 func (s *Store) Delete(id model.DocID, t model.Time) error {
+	if s.legacy {
+		return s.deleteLegacy(id, t)
+	}
+	s.mu.RLock()
+	d, ok := s.docs[id]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if d.deleted != model.Forever {
+		return fmt.Errorf("%w: %d", ErrDeleted, id)
+	}
+	cur := *d.curInfo()
+	if t <= cur.Stamp {
+		return fmt.Errorf("%w: delete at %s <= %s", ErrStale, t, cur.Stamp)
+	}
+	vs := append([]VersionInfo(nil), d.versions...)
+	vs[len(vs)-1].End = t
+	staged := &docEntry{
+		id: d.id, name: d.name, nextXID: d.nextXID,
+		created: d.created, deleted: t, rootXID: d.rootXID,
+		versions: vs,
+	}
+	committed, err := s.persistStaged(staged)
+	if err != nil {
+		return fmt.Errorf("store: delete %d: %w", id, err)
+	}
+
+	s.mu.Lock()
+	s.epoch++
+	d.deleted = t
+	d.deletedEpoch = s.epoch
+	d.versions = vs
+	if committed {
+		s.ckptCommits++
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// deleteLegacy is Delete on the fully-serialized legacy path; see putLegacy.
+func (s *Store) deleteLegacy(id model.DocID, t model.Time) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d, ok := s.docs[id]
@@ -469,6 +798,8 @@ func (s *Store) Delete(id model.DocID, t model.Time) error {
 	if err := s.persistDocLocked(d); err != nil {
 		return fmt.Errorf("store: delete %d: %w", id, err)
 	}
+	s.epoch++
+	d.deletedEpoch = s.epoch
 	return nil
 }
 
@@ -538,15 +869,44 @@ func (s *Store) Versions(id model.DocID) ([]VersionInfo, error) {
 	return append([]VersionInfo(nil), d.versions...), nil
 }
 
+// VersionsContext is Versions honoring an epoch pin carried by ctx: only
+// versions published at or before the pin are listed, each reading as it
+// did at the pin (the newest visible one as current). A document created
+// after the pin reads as not found.
+func (s *Store) VersionsContext(ctx context.Context, id model.DocID) ([]VersionInfo, error) {
+	e := epochOf(ctx)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[id]
+	if !ok || !d.visibleAt(e) {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if e == 0 {
+		return append([]VersionInfo(nil), d.versions...), nil
+	}
+	out := make([]VersionInfo, d.visibleLen(e))
+	for i := range out {
+		out[i] = d.infoAt(i, e)
+	}
+	return out, nil
+}
+
 // VersionAt returns the version valid at time t.
 func (s *Store) VersionAt(id model.DocID, t model.Time) (VersionInfo, error) {
+	return s.VersionAtContext(context.Background(), id, t)
+}
+
+// VersionAtContext is VersionAt honoring an epoch pin carried by ctx:
+// selection is clamped to the versions published at or before the pin, and
+// the returned info reads as it did at the pin.
+func (s *Store) VersionAtContext(ctx context.Context, id model.DocID, t model.Time) (VersionInfo, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	d, ok := s.docs[id]
 	if !ok {
 		return VersionInfo{}, fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
-	return d.versionAt(t)
+	return d.versionAtEpoch(t, epochOf(ctx))
 }
 
 func (d *docEntry) versionAt(t model.Time) (VersionInfo, error) {

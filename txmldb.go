@@ -140,6 +140,29 @@ type (
 	FsckProblem = store.FsckProblem
 	// WALStats are write-ahead-log counters (write amplification etc.).
 	WALStats = pagestore.WALStats
+
+	// GroupStats are WAL group-commit counters (fsync amortization), from
+	// (*DB).CommitBatchStats / (*ShardedDB).CommitBatchStats. Enable
+	// batching with PageConfig.GroupWindow.
+	GroupStats = pagestore.GroupStats
+)
+
+// Typed write-path errors surfaced by group commit (match with errors.Is).
+var (
+	// ErrGroupCommit marks a commit that failed because its batch's shared
+	// fsync failed; the concrete error attributes the batch.
+	ErrGroupCommit = pagestore.ErrGroupCommit
+)
+
+// Epoch-pinned snapshot reads: (*DB).Epoch returns the commit horizon,
+// WithEpoch pins a context to it, and every read on that context observes
+// the store exactly as of the pin while concurrent writers proceed.
+// QueryContext pins automatically; these are for multi-query pinning.
+var (
+	// WithEpoch returns a context carrying the commit-horizon pin e.
+	WithEpoch = store.WithEpoch
+	// EpochOf reports the pin carried by a context, if any.
+	EpochOf = store.EpochOf
 )
 
 // Typed storage errors, matched with errors.Is.
