@@ -15,6 +15,9 @@ import (
 	"go/types"
 	"regexp"
 	"strings"
+
+	"txmldb/internal/analysis/callgraph"
+	"txmldb/internal/analysis/load"
 )
 
 // Analyzer is one named invariant check.
@@ -26,8 +29,14 @@ type Analyzer struct {
 	Doc string
 	// Run applies the check to one package. Diagnostics are delivered via
 	// pass.Report / pass.Reportf; the error return is for operational
-	// failures (not findings).
+	// failures (not findings). Exactly one of Run and RunProgram is set.
 	Run func(*Pass) error
+	// RunProgram applies a whole-program check once over every loaded
+	// package: the pass carries Program (call graph + all packages)
+	// instead of a single package's Files/Pkg/TypesInfo. Interprocedural
+	// analyzers — reachability, global lock ordering — use this so a
+	// cross-package invariant produces one deduplicated set of findings.
+	RunProgram func(*Pass) error
 }
 
 // Diagnostic is one finding at a source position.
@@ -36,15 +45,72 @@ type Diagnostic struct {
 	Message string
 }
 
-// Pass carries one type-checked package through one analyzer.
+// Pass carries one type-checked package — or, for RunProgram analyzers,
+// the whole loaded program — through one analyzer.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Program is the whole loaded package set plus the interprocedural
+	// facts shared by every analyzer (the call graph). Always set by the
+	// driver; per-package analyzers may consult it for cross-package
+	// facts, RunProgram analyzers work from it exclusively.
+	Program *Program
 	// Report delivers one diagnostic. Set by the driver.
 	Report func(Diagnostic)
+	// Note records a short per-analyzer statistics string (call-graph
+	// roots reached, lock-graph size, ...) surfaced in the -summary
+	// table. Set by the driver; may be nil in tests.
+	Note func(string)
+}
+
+// Program is the whole loaded package set with shared interprocedural
+// facts, built once per driver run and handed to every pass.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*load.Package
+	// Graph is the whole-program call graph (static calls, method sets,
+	// bounded interface devirtualization).
+	Graph *callgraph.Graph
+}
+
+// NewProgram builds the shared facts for a loaded package set.
+func NewProgram(pkgs []*load.Package) *Program {
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	return &Program{
+		Fset:     fset,
+		Packages: pkgs,
+		Graph:    callgraph.Build(pkgs, 0),
+	}
+}
+
+// PackageOf returns the loaded package whose Fset position owns pos
+// (matched by file name), or nil.
+func (p *Program) PackageOf(pos token.Pos) *load.Package {
+	if !pos.IsValid() || p.Fset == nil {
+		return nil
+	}
+	file := p.Fset.Position(pos).Filename
+	for _, pkg := range p.Packages {
+		for _, gf := range pkg.GoFiles {
+			if gf == file {
+				return pkg
+			}
+		}
+	}
+	return nil
+}
+
+// Notef formats and records a statistics note (see Pass.Note).
+func (p *Pass) Notef(format string, args ...any) {
+	if p.Note != nil {
+		p.Note(fmt.Sprintf(format, args...))
+	}
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -18,6 +18,14 @@
 // they sit inside the txmldb module they may import real repo packages
 // (vcache, metrics, ...) so analyzers are tested against the actual types
 // they gate on.
+//
+// Interprocedural analyzers are supported two ways: every pass carries a
+// Program built over all fixture packages of the run (so per-package
+// analyzers can consult the call graph), and an analyzer declaring
+// RunProgram instead of Run executes once over the whole fixture set.
+// RunDirs loads several fixture directories into one program, which is
+// how cross-package call-graph edges (e.g. through an interface defined
+// in one fixture package and implemented in another) are exercised.
 package analysistest
 
 import (
@@ -25,11 +33,55 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
-	"testing"
 
 	"txmldb/internal/analysis"
 	"txmldb/internal/analysis/load"
 )
+
+// TB is the subset of testing.TB the harness reports through; *testing.T
+// satisfies it, and Recorder captures failures instead of failing — which
+// is how the neutered-analyzer tests assert that a fixture WOULD fail.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// Recorder is a TB that collects failures. Fatalf unwinds via panic like
+// testing.T's FailNow; use RunRecorded rather than calling the harness
+// with a Recorder directly.
+type Recorder struct {
+	Errors   []string
+	FatalMsg string
+}
+
+type recorderStop struct{}
+
+func (r *Recorder) Helper() {}
+func (r *Recorder) Errorf(format string, args ...any) {
+	r.Errors = append(r.Errors, fmt.Sprintf(format, args...))
+}
+func (r *Recorder) Fatalf(format string, args ...any) {
+	r.FatalMsg = fmt.Sprintf(format, args...)
+	panic(recorderStop{})
+}
+
+// RunRecorded runs the analyzer over the fixture directories and returns
+// the recorded failures instead of failing a test. A fixture guarding a
+// working analyzer yields no errors; the same fixture run against a
+// neutered analyzer yields unmatched-expectation errors.
+func RunRecorded(a *analysis.Analyzer, dirs ...string) (rec *Recorder) {
+	rec = &Recorder{}
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(recorderStop); !ok {
+				panic(p)
+			}
+		}
+	}()
+	RunDirs(rec, a, dirs...)
+	return rec
+}
 
 // expectation is one // want regexp at a file:line.
 type expectation struct {
@@ -43,38 +95,72 @@ type expectation struct {
 // working directory, e.g. "testdata/src/a"), applies the analyzer, and
 // reports mismatches between diagnostics and // want expectations as test
 // errors.
-func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+func Run(t TB, dir string, a *analysis.Analyzer) {
 	t.Helper()
-	pkgs, err := load.Load(".", "./"+strings.TrimPrefix(dir, "./"))
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", dir, err)
+	RunDirs(t, a, dir)
+}
+
+// RunDirs loads several fixture directories into one program — one Load
+// call, one shared FileSet, one call graph — and applies the analyzer to
+// all of them. Expectations are matched globally: a diagnostic may land
+// in any of the fixture packages.
+func RunDirs(t TB, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	patterns := make([]string, len(dirs))
+	for i, d := range dirs {
+		patterns[i] = "./" + strings.TrimPrefix(d, "./")
 	}
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", dirs, err)
+	}
+	prog := analysis.NewProgram(pkgs)
+
+	var wants []*expectation
 	for _, pkg := range pkgs {
-		wants := collectWants(t, pkg)
+		wants = append(wants, collectWants(t, pkg)...)
+	}
 
-		var diags []analysis.Diagnostic
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+
+	if a.Run != nil {
+		for _, pkg := range pkgs {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+				Program:   prog,
+				Report:    report,
+			}
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	if a.RunProgram != nil {
 		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Pkg,
-			TypesInfo: pkg.TypesInfo,
-			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			Analyzer: a,
+			Fset:     prog.Fset,
+			Program:  prog,
+			Report:   report,
 		}
-		if err := a.Run(pass); err != nil {
-			t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+		if err := a.RunProgram(pass); err != nil {
+			t.Fatalf("%s (program): %v", a.Name, err)
 		}
+	}
 
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
-			if !claim(wants, pos.Filename, pos.Line, d.Message) {
-				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
-			}
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
 		}
-		for _, w := range wants {
-			if !w.matched {
-				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
-			}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
 		}
 	}
 }
@@ -92,7 +178,7 @@ func claim(wants []*expectation, file string, line int, msg string) bool {
 }
 
 // collectWants extracts // want expectations from the fixture sources.
-func collectWants(t *testing.T, pkg *load.Package) []*expectation {
+func collectWants(t TB, pkg *load.Package) []*expectation {
 	t.Helper()
 	var wants []*expectation
 	for _, f := range pkg.Files {

@@ -1,7 +1,9 @@
-// Package driver orchestrates the txvet analyzers: it runs each analyzer
-// over each loaded package, applies //txvet:ignore suppression directives,
-// and aggregates per-analyzer finding counts for the CLI and the CI job
-// summary.
+// Package driver orchestrates the txvet analyzers: it builds the shared
+// interprocedural facts (the whole-program call graph) once, runs each
+// per-package analyzer over each loaded package and each whole-program
+// analyzer once over everything, applies //txvet:ignore suppression
+// directives, and aggregates per-analyzer finding counts and stats for
+// the CLI and the CI job summary.
 //
 // Suppression: a comment of the form
 //
@@ -12,13 +14,16 @@
 // without a justification is itself reported as a finding (analyzer name
 // "txvet"), as is a directive naming an analyzer that does not exist.
 // Suppressed findings are retained (and counted) so the CI summary shows
-// how much is being waived, not just how much is clean.
+// how much is being waived, not just how much is clean. Every directive
+// is also retained with a used/stale flag, which is what the
+// `txvet audit-ignores` subcommand reports on.
 package driver
 
 import (
 	"fmt"
 	"go/token"
 	"sort"
+	"strconv"
 	"strings"
 
 	"txmldb/internal/analysis"
@@ -39,6 +44,15 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
 }
 
+// Directive is one //txvet:ignore comment, with whether any diagnostic
+// actually matched it in this run.
+type Directive struct {
+	Pos    token.Position
+	Names  []string // analyzer names the directive waives, sorted
+	Reason string
+	Used   bool
+}
+
 // Result is the outcome of one driver run.
 type Result struct {
 	// Findings are live (unsuppressed) diagnostics, sorted by position.
@@ -50,6 +64,15 @@ type Result struct {
 	Counts map[string]int
 	// SuppressedCounts maps analyzer name to suppressed finding count.
 	SuppressedCounts map[string]int
+	// Directives are every well-formed //txvet:ignore in the loaded
+	// packages, sorted by position. A directive with Used == false after
+	// a full-suite run is stale: the analyzer no longer fires there.
+	Directives []Directive
+	// Stats maps analyzer name to a short statistics note (call-graph
+	// reachability, lock-graph size, ...) recorded via Pass.Note.
+	Stats map[string]string
+	// CallGraph summarizes the shared call graph the run was built on.
+	CallGraph string
 }
 
 // Select resolves analyzer names to analyzers from the registry. Empty
@@ -100,11 +123,15 @@ type ignoreDirective struct {
 	used   bool
 }
 
-// Run applies analyzers to packages and resolves suppressions.
+// Run applies analyzers to packages and resolves suppressions. The
+// whole-program facts (call graph) are built once and shared: every
+// per-package pass sees them through Pass.Program, and analyzers with
+// RunProgram execute a single pass over the entire package set.
 func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) (*Result, error) {
 	res := &Result{
 		Counts:           make(map[string]int),
 		SuppressedCounts: make(map[string]int),
+		Stats:            make(map[string]string),
 	}
 	for _, a := range analyzers {
 		res.Counts[a.Name] = 0
@@ -114,46 +141,150 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) (*Result, error) 
 		known[a.Name] = true
 	}
 
-	for _, pkg := range pkgs {
-		directives, bad := collectDirectives(pkg, known)
-		res.Findings = append(res.Findings, bad...)
+	prog := analysis.NewProgram(pkgs)
+	res.CallGraph = fmt.Sprintf("funcs=%d static=%d devirt=%d iface-sites=%d unresolved=%d",
+		prog.Graph.Stats.Funcs, prog.Graph.Stats.StaticEdges, prog.Graph.Stats.DevirtEdges,
+		prog.Graph.Stats.IfaceSites, prog.Graph.Stats.UnresolvedSites)
 
-		var diags []Finding
+	// Directives are collected across the whole program up front: a
+	// whole-program analyzer may report into any file.
+	directives := make(map[string][]*ignoreDirective)
+	for _, pkg := range pkgs {
+		bad := collectDirectives(pkg, known, directives)
+		res.Findings = append(res.Findings, bad...)
+	}
+
+	var diags []Finding
+	report := func(a *analysis.Analyzer, fset *token.FileSet) func(analysis.Diagnostic) {
+		return func(d analysis.Diagnostic) {
+			diags = append(diags, Finding{
+				Analyzer: a.Name,
+				Pos:      fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+	}
+	note := func(a *analysis.Analyzer) func(string) {
+		return func(s string) { res.Stats[a.Name] = mergeNote(res.Stats[a.Name], s) }
+	}
+
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			a := a
+			if a.Run == nil {
+				continue
+			}
 			pass := &analysis.Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Pkg,
 				TypesInfo: pkg.TypesInfo,
-				Report: func(d analysis.Diagnostic) {
-					diags = append(diags, Finding{
-						Analyzer: a.Name,
-						Pos:      pkg.Fset.Position(d.Pos),
-						Message:  d.Message,
-					})
-				},
+				Program:   prog,
+				Report:    report(a, pkg.Fset),
+				Note:      note(a),
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("driver: analyzer %s on %s: %v", a.Name, pkg.PkgPath, err)
 			}
 		}
-		for _, d := range diags {
-			if dir := matchDirective(directives, d); dir != nil {
-				dir.used = true
-				d.SuppressedBy = dir.reason
-				res.Suppressed = append(res.Suppressed, d)
-				res.SuppressedCounts[d.Analyzer]++
-			} else {
-				res.Findings = append(res.Findings, d)
-				res.Counts[d.Analyzer]++
-			}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     prog.Fset,
+			Program:  prog,
+			Report:   report(a, prog.Fset),
+			Note:     note(a),
+		}
+		if err := a.RunProgram(pass); err != nil {
+			return nil, fmt.Errorf("driver: analyzer %s (program): %v", a.Name, err)
 		}
 	}
+
+	for _, d := range diags {
+		if dir := matchDirective(directives, d); dir != nil {
+			dir.used = true
+			d.SuppressedBy = dir.reason
+			res.Suppressed = append(res.Suppressed, d)
+			res.SuppressedCounts[d.Analyzer]++
+		} else {
+			res.Findings = append(res.Findings, d)
+			res.Counts[d.Analyzer]++
+		}
+	}
+	for _, dirs := range directives {
+		for _, dir := range dirs {
+			var names []string
+			for n := range dir.names {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			res.Directives = append(res.Directives, Directive{
+				Pos: dir.pos, Names: names, Reason: dir.reason, Used: dir.used,
+			})
+		}
+	}
+	sort.Slice(res.Directives, func(i, j int) bool {
+		a, b := res.Directives[i], res.Directives[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
 	sortFindings(res.Findings)
 	sortFindings(res.Suppressed)
 	return res, nil
+}
+
+// mergeNote combines per-package analyzer notes of the space-separated
+// "key=int" form by summing values per key, so a per-package analyzer's
+// stats aggregate across the whole run ("go-sites=3" + "go-sites=1" →
+// "go-sites=4"). Notes that don't parse replace the previous value.
+func mergeNote(old, new string) string {
+	if old == "" {
+		return new
+	}
+	parse := func(s string) ([]string, map[string]int, bool) {
+		var order []string
+		vals := make(map[string]int)
+		for _, f := range strings.Fields(s) {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, nil, false
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, nil, false
+			}
+			if _, seen := vals[k]; !seen {
+				order = append(order, k)
+			}
+			vals[k] += n
+		}
+		return order, vals, len(order) > 0
+	}
+	order, vals, ok := parse(old)
+	newOrder, newVals, ok2 := parse(new)
+	if !ok || !ok2 {
+		return new
+	}
+	for _, k := range newOrder {
+		if _, seen := vals[k]; !seen {
+			order = append(order, k)
+		}
+		vals[k] += newVals[k]
+	}
+	var b strings.Builder
+	for i, k := range order {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, vals[k])
+	}
+	return b.String()
 }
 
 func sortFindings(fs []Finding) {
@@ -172,11 +303,10 @@ func sortFindings(fs []Finding) {
 	})
 }
 
-// collectDirectives parses //txvet:ignore comments in a package. Malformed
-// directives (missing reason, unknown analyzer name) are returned as
-// findings under the reserved analyzer name "txvet".
-func collectDirectives(pkg *load.Package, known map[string]bool) (map[string][]*ignoreDirective, []Finding) {
-	byFile := make(map[string][]*ignoreDirective)
+// collectDirectives parses //txvet:ignore comments in a package into
+// byFile. Malformed directives (missing reason, unknown analyzer name)
+// are returned as findings under the reserved analyzer name "txvet".
+func collectDirectives(pkg *load.Package, known map[string]bool, byFile map[string][]*ignoreDirective) []Finding {
 	var bad []Finding
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -219,7 +349,7 @@ func collectDirectives(pkg *load.Package, known map[string]bool) (map[string][]*
 			}
 		}
 	}
-	return byFile, bad
+	return bad
 }
 
 // matchDirective finds a directive covering the diagnostic: same file,

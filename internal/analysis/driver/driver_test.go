@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"txmldb/internal/analysis"
 	"txmldb/internal/analysis/driver"
 	"txmldb/internal/analysis/load"
 )
@@ -66,6 +67,94 @@ func TestSuppression(t *testing.T) {
 	// show the full suite ran.
 	if n, ok := res.Counts["determinism"]; !ok || n != 0 {
 		t.Errorf("Counts[determinism] = %d,%v; want explicit 0", n, ok)
+	}
+}
+
+// TestDirectiveAudit checks the used/stale bookkeeping behind the
+// audit-ignores subcommand: both well-formed directives in the fixture
+// match a diagnostic, so neither is stale; malformed and unknown-name
+// directives are not recorded as directives at all (they are findings).
+func TestDirectiveAudit(t *testing.T) {
+	pkgs, err := load.Load(".", "./testdata/src/suppress")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	analyzers, err := driver.Select(nil)
+	if err != nil {
+		t.Fatalf("Select(all): %v", err)
+	}
+	res, err := driver.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Directives) != 2 {
+		t.Fatalf("Directives = %d, want 2 (the well-formed ones): %+v", len(res.Directives), res.Directives)
+	}
+	for _, d := range res.Directives {
+		if !d.Used {
+			t.Errorf("directive at %s is stale, want used (its errcmp finding fired)", d.Pos)
+		}
+		if d.Reason == "" || len(d.Names) == 0 {
+			t.Errorf("directive at %s lost its names/reason: %+v", d.Pos, d)
+		}
+	}
+}
+
+// TestProgramAnalyzer checks the whole-program analyzer contract: one
+// RunProgram invocation over the full package set (not one per package),
+// a shared Program with a built call graph, and per-package Note strings
+// aggregating by key across packages.
+func TestProgramAnalyzer(t *testing.T) {
+	pkgs, err := load.Load(".", "./testdata/src/suppress", "./testdata/src/progb")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+
+	programRuns := 0
+	prog := &analysis.Analyzer{
+		Name: "progprobe",
+		Doc:  "test probe",
+		RunProgram: func(p *analysis.Pass) error {
+			programRuns++
+			if p.Program == nil || p.Program.Graph == nil {
+				t.Error("RunProgram pass has no Program/Graph")
+			} else if len(p.Program.Packages) != 2 {
+				t.Errorf("Program.Packages = %d, want 2", len(p.Program.Packages))
+			}
+			p.Notef("graphs=%d", 1)
+			return nil
+		},
+	}
+	perPkg := &analysis.Analyzer{
+		Name: "pkgprobe",
+		Doc:  "test probe",
+		Run: func(p *analysis.Pass) error {
+			if p.Program == nil || p.Program.Graph == nil {
+				t.Error("per-package pass has no Program/Graph")
+			}
+			p.Notef("pkgs=%d", 1)
+			return nil
+		},
+	}
+
+	res, err := driver.Run(pkgs, []*analysis.Analyzer{prog, perPkg})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if programRuns != 1 {
+		t.Errorf("RunProgram invoked %d times, want exactly 1", programRuns)
+	}
+	if got := res.Stats["progprobe"]; got != "graphs=1" {
+		t.Errorf("Stats[progprobe] = %q, want graphs=1", got)
+	}
+	if got := res.Stats["pkgprobe"]; got != "pkgs=2" {
+		t.Errorf("Stats[pkgprobe] = %q, want pkgs=2 (notes summed across packages)", got)
+	}
+	if res.CallGraph == "" {
+		t.Error("Result.CallGraph is empty, want build stats")
 	}
 }
 

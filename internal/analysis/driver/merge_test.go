@@ -1,0 +1,21 @@
+package driver
+
+import "testing"
+
+func TestMergeNote(t *testing.T) {
+	cases := []struct {
+		old, new, want string
+	}{
+		{"", "a=1", "a=1"},
+		{"a=1", "a=2", "a=3"},
+		{"a=1 b=2", "a=1", "a=2 b=2"},
+		{"a=1", "b=5", "a=1 b=5"},
+		{"free-form note", "a=1", "a=1"},            // unparsable old: replaced
+		{"a=1", "free-form note", "free-form note"}, // unparsable new: replaced
+	}
+	for _, c := range cases {
+		if got := mergeNote(c.old, c.new); got != c.want {
+			t.Errorf("mergeNote(%q, %q) = %q, want %q", c.old, c.new, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+// Second fixture package: gives the driver tests a two-package program
+// so they can assert whole-program analyzers run once, not per package.
+package progb
+
+func Ping() int { return 1 }

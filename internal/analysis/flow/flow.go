@@ -1,0 +1,364 @@
+// Package flow is txvet's forward, path-insensitive dataflow walker: it
+// drives a string-keyed fact set through one function body in control
+// order, forking at branches and unioning the surviving states where
+// control rejoins. Analyzers plug in through hooks — the Call hook sees
+// every call expression with the facts live at that point and may add or
+// remove facts (acquire a lock, stage a free, release it), and the Exit
+// hook sees the facts live on every path that leaves the function
+// (explicit returns and falling off the end).
+//
+// The walker is path-insensitive in the classic sense: it does not track
+// branch conditions, so a fact surviving on any incoming path survives
+// the join. For "must eventually release" obligations that union is the
+// conservative direction — an obligation is reported unless every path
+// discharges it. For "may hold" facts (lock sets) the union is likewise
+// conservative — a lock possibly held at a point is treated as held.
+//
+// Deferred calls are applied at each exit, in LIFO registration order,
+// before the Exit hook runs — matching the language: defer mu.Unlock()
+// keeps the mutex held through the body and releases on every path, and
+// a cleanup deferred before the unlock runs after it (outside the lock)
+// while one deferred after it runs first (still under the lock).
+//
+// Panics terminate a path without reaching Exit: obligations checked at
+// Exit are therefore "on all non-panic paths". Function literals are not
+// entered — a literal body runs when invoked, not where written; callers
+// walk literal bodies as functions of their own if they care. Bodies of
+// go statements are skipped for the same reason.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Facts is the dataflow state: fact key → position that established it.
+type Facts map[string]token.Pos
+
+// Clone copies the fact set.
+func (f Facts) Clone() Facts {
+	out := make(Facts, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// union folds o into f, keeping f's position for keys present in both.
+func (f Facts) union(o Facts) {
+	for k, v := range o {
+		if _, ok := f[k]; !ok {
+			f[k] = v
+		}
+	}
+}
+
+// Hooks are the analyzer-supplied transfer functions.
+type Hooks struct {
+	// Call is invoked for every call expression reached in control order
+	// — including calls inside conditions, assignments, and other
+	// expressions — and may mutate the fact set.
+	Call func(st Facts, call *ast.CallExpr)
+	// Exit is invoked once per path leaving the function normally, after
+	// that path's deferred calls have been applied. at is the return
+	// statement, or the function body for the implicit final return.
+	Exit func(st Facts, at ast.Node)
+}
+
+// state is one path's walker state: live facts plus the defers
+// registered so far (applied LIFO at exit).
+type state struct {
+	facts  Facts
+	defers []*ast.CallExpr
+}
+
+func (s *state) clone() *state {
+	return &state{facts: s.facts.Clone(), defers: append([]*ast.CallExpr(nil), s.defers...)}
+}
+
+// join unions o's facts and defers into s (defers are approximated as a
+// set union in registration order: a defer registered on either branch
+// may run at exit).
+func (s *state) join(o *state) {
+	s.facts.union(o.facts)
+	for _, d := range o.defers {
+		found := false
+		for _, e := range s.defers {
+			if e == d {
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.defers = append(s.defers, d)
+		}
+	}
+}
+
+// Walk runs the hooks over body.
+func Walk(body *ast.BlockStmt, h Hooks) {
+	w := &walker{h: h}
+	st := &state{facts: make(Facts)}
+	if terminated := w.stmts(body.List, st); !terminated {
+		w.exit(st, body)
+	}
+}
+
+type walker struct {
+	h Hooks
+}
+
+// exit applies the path's defers (LIFO) and fires the Exit hook.
+func (w *walker) exit(st *state, at ast.Node) {
+	for i := len(st.defers) - 1; i >= 0; i-- {
+		w.call(st, st.defers[i])
+	}
+	if w.h.Exit != nil {
+		w.h.Exit(st.facts, at)
+	}
+}
+
+// call fires the Call hook for one call expression and the calls nested
+// in its arguments (arguments evaluate before the call).
+func (w *walker) call(st *state, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		w.expr(st, arg)
+	}
+	w.expr(st, call.Fun)
+	if w.h.Call != nil {
+		w.h.Call(st.facts, call)
+	}
+}
+
+// expr fires the Call hook for every call inside e, syntactically
+// outer-to-inner, skipping function literals.
+func (w *walker) expr(st *state, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if w.h.Call != nil {
+				w.h.Call(st.facts, n)
+			}
+		}
+		return true
+	})
+}
+
+// stmts walks a statement list; the return reports whether every path
+// through the list terminated (returned, panicked, or branched away).
+func (w *walker) stmts(list []ast.Stmt, st *state) bool {
+	for _, s := range list {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt walks one statement, mutating st in place; it reports whether the
+// path terminated inside the statement.
+func (w *walker) stmt(s ast.Stmt, st *state) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if isPanic(call) {
+				w.call(st, call)
+				return true // panic: path ends without Exit
+			}
+			w.call(st, call)
+			return false
+		}
+		w.expr(st, s.X)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.expr(st, r)
+		}
+		for _, l := range s.Lhs {
+			w.expr(st, l)
+		}
+	case *ast.DeclStmt:
+		w.expr(st, nil)
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(st, v)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(st, r)
+		}
+		w.exit(st, s)
+		return true
+	case *ast.DeferStmt:
+		// Arguments evaluate at the defer statement; the call runs at exit.
+		for _, arg := range s.Call.Args {
+			w.expr(st, arg)
+		}
+		st.defers = append(st.defers, s.Call)
+	case *ast.GoStmt:
+		// The spawned body runs on another goroutine; only the argument
+		// expressions evaluate here.
+		for _, arg := range s.Call.Args {
+			w.expr(st, arg)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.expr(st, s.Cond)
+		then := st.clone()
+		thenDone := w.stmts(s.Body.List, then)
+		var elseDone bool
+		var els *state
+		if s.Else != nil {
+			els = st.clone()
+			elseDone = w.stmt(s.Else, els)
+		}
+		switch {
+		case s.Else == nil:
+			// Fall-through = pre-state ∪ then-exit (if then didn't return).
+			if !thenDone {
+				st.join(then)
+			}
+			return false
+		case thenDone && elseDone:
+			return true
+		case thenDone:
+			*st = *els
+			return false
+		case elseDone:
+			*st = *then
+			return false
+		default:
+			*st = *then
+			st.join(els)
+			return false
+		}
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.expr(st, s.Cond)
+		}
+		body := st.clone()
+		if !w.stmts(s.Body.List, body) {
+			if s.Post != nil {
+				w.stmt(s.Post, body)
+			}
+			st.join(body) // body may run 0+ times
+		}
+		return false
+	case *ast.RangeStmt:
+		w.expr(st, s.X)
+		body := st.clone()
+		if !w.stmts(s.Body.List, body) {
+			st.join(body)
+		}
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.branches(s, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list; the loop/switch
+		// approximation above already unions body states conservatively.
+		return true
+	case *ast.SendStmt:
+		w.expr(st, s.Chan)
+		w.expr(st, s.Value)
+	case *ast.IncDecStmt:
+		w.expr(st, s.X)
+	}
+	return false
+}
+
+// branches handles switch/type-switch/select: every clause walks on a
+// fork of the incoming state and the survivors union into the result.
+// A switch without a default may match nothing, so the pre-state joins
+// too; a select always takes some clause.
+func (w *walker) branches(s ast.Stmt, st *state) bool {
+	var body *ast.BlockStmt
+	hasDefault := false
+	mustBranch := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.expr(st, s.Tag)
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+		mustBranch = true
+	}
+	var survivors []*state
+	n := 0
+	for _, c := range body.List {
+		var clauseBody []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.expr(st, e)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			clauseBody = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.stmt(c.Comm, st)
+			} else {
+				hasDefault = true
+			}
+			clauseBody = c.Body
+		}
+		n++
+		fork := st.clone()
+		if !w.stmts(clauseBody, fork) {
+			survivors = append(survivors, fork)
+		}
+	}
+	if n == 0 {
+		return false
+	}
+	terminated := len(survivors) == 0 && (hasDefault || mustBranch)
+	if terminated {
+		return true
+	}
+	if hasDefault || mustBranch {
+		// Some clause definitely ran: result = union of survivors.
+		*st = *survivors[0]
+		for _, sv := range survivors[1:] {
+			st.join(sv)
+		}
+		return false
+	}
+	// No default: the pre-state is itself a survivor.
+	for _, sv := range survivors {
+		st.join(sv)
+	}
+	return false
+}
+
+// isPanic recognizes the builtin panic.
+func isPanic(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

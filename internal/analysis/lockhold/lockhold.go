@@ -28,15 +28,21 @@
 // discipline, and fsync under it is the group-commit design.
 //
 // The check is intraprocedural and does not follow calls into other
-// functions or function literals; branch-level lock state is approximated
-// by scanning statements in source order.
+// functions or function literals. Lock state is driven by the shared
+// flow walker: branches fork and rejoin with a may-hold union, and
+// deferred calls are applied in LIFO order at every exit — so a cleanup
+// deferred after `defer mu.Unlock()` runs outside the lock, while one
+// deferred before it (registered later, run earlier) is correctly seen
+// as running under the mutex.
 package lockhold
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"txmldb/internal/analysis"
+	"txmldb/internal/analysis/flow"
 )
 
 // Analyzer flags blocking work under storage-layer mutexes.
@@ -71,102 +77,41 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			w := &walker{pass: pass, held: map[string]bool{}, fsRules: seg == "checkpoint"}
-			w.stmts(fd.Body.List)
+			w := &walker{pass: pass, fsRules: seg == "checkpoint", reported: map[token.Pos]bool{}}
+			flow.Walk(fd.Body, flow.Hooks{
+				Call: func(st flow.Facts, call *ast.CallExpr) {
+					if key, locked, ok := w.lockOp(call); ok {
+						if locked {
+							st[key] = call.Pos()
+						} else {
+							delete(st, key)
+						}
+						return
+					}
+					if len(st) == 0 {
+						return
+					}
+					w.checkCall(st, call)
+				},
+			})
 		}
 	}
 	return nil
 }
 
-// walker tracks the set of held mutexes (keyed by the printed receiver
-// expression, e.g. "s.mu") through one function body.
+// walker holds the per-function reporting state; the held-lock set lives
+// in the flow walker's facts.
 type walker struct {
 	pass    *analysis.Pass
-	held    map[string]bool
 	fsRules bool // checkpoint package: also forbid filesystem I/O under locks
-}
-
-func (w *walker) stmts(list []ast.Stmt) {
-	for _, s := range list {
-		w.stmt(s)
-	}
-}
-
-func (w *walker) stmt(s ast.Stmt) {
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		if key, locked, ok := w.lockOp(s.X); ok {
-			if locked {
-				w.held[key] = true
-			} else {
-				delete(w.held, key)
-			}
-			return
-		}
-		w.checkExpr(s.X)
-	case *ast.DeferStmt:
-		// defer mu.Unlock() keeps the lock held for the rest of the
-		// function; deferred non-lock calls run after release, skip them.
-		return
-	case *ast.AssignStmt:
-		for _, rhs := range s.Rhs {
-			w.checkExpr(rhs)
-		}
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			w.checkExpr(r)
-		}
-	case *ast.IfStmt:
-		if s.Init != nil {
-			w.stmt(s.Init)
-		}
-		w.checkExpr(s.Cond)
-		w.stmts(s.Body.List)
-		if s.Else != nil {
-			w.stmt(s.Else)
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			w.stmt(s.Init)
-		}
-		if s.Cond != nil {
-			w.checkExpr(s.Cond)
-		}
-		w.stmts(s.Body.List)
-	case *ast.RangeStmt:
-		w.checkExpr(s.X)
-		w.stmts(s.Body.List)
-	case *ast.BlockStmt:
-		w.stmts(s.List)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			w.stmt(s.Init)
-		}
-		w.stmts(s.Body.List)
-	case *ast.TypeSwitchStmt:
-		w.stmts(s.Body.List)
-	case *ast.SelectStmt:
-		w.stmts(s.Body.List)
-	case *ast.CaseClause:
-		w.stmts(s.Body)
-	case *ast.CommClause:
-		w.stmts(s.Body)
-	case *ast.GoStmt:
-		// A spawned goroutine does not run under the caller's lock.
-		return
-	case *ast.DeclStmt, *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt,
-		*ast.LabeledStmt, *ast.SendStmt:
-		// No lock-relevant calls, or handled conservatively.
-	}
+	// reported dedupes diagnostics per call site: a deferred call is
+	// replayed once per function exit, but is one site in the source.
+	reported map[token.Pos]bool
 }
 
 // lockOp recognizes mu.Lock/RLock/Unlock/RUnlock on sync mutexes and
 // returns the receiver key and whether it acquires.
-func (w *walker) lockOp(e ast.Expr) (key string, locked, ok bool) {
-	call, isCall := e.(*ast.CallExpr)
-	if !isCall {
-		return "", false, false
-	}
+func (w *walker) lockOp(call *ast.CallExpr) (key string, locked, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
 		return "", false, false
@@ -204,36 +149,17 @@ func isSyncMutex(t types.Type) bool {
 	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
 }
 
-// checkExpr reports forbidden calls inside e while any lock is held.
-func (w *walker) checkExpr(e ast.Expr) {
-	if e == nil || len(w.held) == 0 {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			// Literal bodies run when invoked, typically after release
-			// (deferred cleanup, pool tasks); out of intraprocedural scope.
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		w.checkCall(call)
-		return true
-	})
-}
-
-func (w *walker) checkCall(call *ast.CallExpr) {
-	lock := w.anyHeld()
+// checkCall reports a forbidden call made while a lock in st is held.
+func (w *walker) checkCall(st flow.Facts, call *ast.CallExpr) {
+	lock := anyHeld(st)
 	if w.pass.PkgFunc(call, "time", "Sleep") {
-		w.pass.Reportf(call.Pos(), "time.Sleep while holding %s: latency must be paid outside the mutex", lock)
+		w.reportf(call.Pos(), "time.Sleep while holding %s: latency must be paid outside the mutex", lock)
 		return
 	}
 	if w.fsRules {
 		for _, fn := range osFilesystemFuncs {
 			if w.pass.PkgFunc(call, "os", fn) {
-				w.pass.Reportf(call.Pos(), "os.%s while holding %s: filesystem I/O must run outside the mutex", fn, lock)
+				w.reportf(call.Pos(), "os.%s while holding %s: filesystem I/O must run outside the mutex", fn, lock)
 				return
 			}
 		}
@@ -246,19 +172,29 @@ func (w *walker) checkCall(call *ast.CallExpr) {
 		switch s.Kind() {
 		case types.MethodVal:
 			if name, ok := backendType(s.Recv()); ok {
-				w.pass.Reportf(call.Pos(), "%s.%s I/O while holding %s: move device access outside the mutex",
+				w.reportf(call.Pos(), "%s.%s I/O while holding %s: move device access outside the mutex",
 					name, sel.Sel.Name, lock)
 			} else if w.fsRules && isOSFile(s.Recv()) {
-				w.pass.Reportf(call.Pos(), "os.File.%s while holding %s: file I/O must run outside the mutex",
+				w.reportf(call.Pos(), "os.File.%s while holding %s: file I/O must run outside the mutex",
 					sel.Sel.Name, lock)
 			}
 		case types.FieldVal:
 			if _, ok := s.Obj().Type().Underlying().(*types.Signature); ok {
-				w.pass.Reportf(call.Pos(), "callback %s invoked while holding %s: user code must not run under the store mutex",
+				w.reportf(call.Pos(), "callback %s invoked while holding %s: user code must not run under the store mutex",
 					types.ExprString(sel), lock)
 			}
 		}
 	}
+}
+
+// reportf emits one diagnostic per call site: a deferred call replays at
+// every exit but is a single site in the source.
+func (w *walker) reportf(pos token.Pos, format string, args ...any) {
+	if w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	w.pass.Reportf(pos, format, args...)
 }
 
 // isOSFile reports whether t (or *t) is os.File.
@@ -296,9 +232,9 @@ func backendType(t types.Type) (string, bool) {
 
 // anyHeld returns one held lock key for diagnostics (the smallest, so
 // messages are stable when several locks are held).
-func (w *walker) anyHeld() string {
+func anyHeld(st flow.Facts) string {
 	best := ""
-	for k := range w.held {
+	for k := range st {
 		if best == "" || k < best {
 			best = k
 		}
