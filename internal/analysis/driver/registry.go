@@ -5,10 +5,14 @@ import (
 	"txmldb/internal/analysis/cachealias"
 	"txmldb/internal/analysis/ctxflow"
 	"txmldb/internal/analysis/determinism"
+	"txmldb/internal/analysis/epochpin"
 	"txmldb/internal/analysis/errcmp"
 	"txmldb/internal/analysis/fsyncpoint"
+	"txmldb/internal/analysis/goroleak"
 	"txmldb/internal/analysis/lockhold"
+	"txmldb/internal/analysis/lockorder"
 	"txmldb/internal/analysis/metricname"
+	"txmldb/internal/analysis/stagedfree"
 )
 
 // All returns every registered analyzer, in stable order.
@@ -17,9 +21,13 @@ func All() []*analysis.Analyzer {
 		cachealias.Analyzer,
 		ctxflow.Analyzer,
 		determinism.Analyzer,
+		epochpin.Analyzer,
 		errcmp.Analyzer,
 		fsyncpoint.Analyzer,
+		goroleak.Analyzer,
 		lockhold.Analyzer,
+		lockorder.Analyzer,
 		metricname.Analyzer,
+		stagedfree.Analyzer,
 	}
 }

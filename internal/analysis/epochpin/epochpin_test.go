@@ -1,0 +1,29 @@
+package epochpin_test
+
+import (
+	"testing"
+
+	"txmldb/internal/analysis"
+	"txmldb/internal/analysis/analysistest"
+	"txmldb/internal/analysis/epochpin"
+)
+
+func TestEpochpinCrossPackage(t *testing.T) {
+	// Both fixture packages load into one program: the finding in core is
+	// reachable from plan.RunContext only through the devirtualized
+	// Engine-interface edge, so this exercises the cross-package call
+	// graph end to end.
+	analysistest.RunDirs(t, epochpin.Analyzer, "testdata/src/plan", "testdata/src/core")
+}
+
+func TestNeuteredEpochpinFailsFixture(t *testing.T) {
+	neutered := *epochpin.Analyzer
+	neutered.RunProgram = func(*analysis.Pass) error { return nil }
+	rec := analysistest.RunRecorded(&neutered, "testdata/src/plan", "testdata/src/core")
+	if rec.FatalMsg != "" {
+		t.Fatalf("fixture load failed: %s", rec.FatalMsg)
+	}
+	if len(rec.Errors) == 0 {
+		t.Fatal("neutered epochpin passed its fixture; the fixture no longer guards the analyzer")
+	}
+}

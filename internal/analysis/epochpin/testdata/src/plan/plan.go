@@ -1,0 +1,24 @@
+// Fixture for the epochpin analyzer, query-plan side. The path segment
+// "plan" puts this package inside the analyzer's gate and makes its
+// exported Run entry point a reachability root. The Engine interface
+// mirrors the real plan.Engine shape; the concrete implementation lives
+// in the sibling core fixture, so the only route from RunContext to the
+// Versions call there is a devirtualized interface edge — this is the
+// cross-package call-graph fixture.
+package plan
+
+import "context"
+
+// Engine is the interface the executor drives; the core fixture's DB
+// implements it.
+type Engine interface {
+	QueryContext(ctx context.Context) context.Context
+	Snapshot(doc string) []int
+}
+
+// RunContext is a reachability root (exported Run* in a plan package).
+func RunContext(ctx context.Context, e Engine) []int {
+	ctx = e.QueryContext(ctx)
+	_ = ctx
+	return e.Snapshot("doc")
+}

@@ -1,0 +1,28 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"txmldb/internal/analysis"
+	"txmldb/internal/analysis/analysistest"
+	"txmldb/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	// The fixture's path segment "core" is inside the analyzer gate: every
+	// accepted spawn shape from the repo is represented as a negative, and
+	// the unbound literal and method spawns are the findings.
+	analysistest.Run(t, "testdata/src/core", goroleak.Analyzer)
+}
+
+func TestNeuteredGoroleakFailsFixture(t *testing.T) {
+	neutered := *goroleak.Analyzer
+	neutered.Run = func(*analysis.Pass) error { return nil }
+	rec := analysistest.RunRecorded(&neutered, "testdata/src/core")
+	if rec.FatalMsg != "" {
+		t.Fatalf("fixture load failed: %s", rec.FatalMsg)
+	}
+	if len(rec.Errors) == 0 {
+		t.Fatal("neutered goroleak passed its fixture; the fixture no longer guards the analyzer")
+	}
+}

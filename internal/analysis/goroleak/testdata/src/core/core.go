@@ -1,0 +1,106 @@
+// Fixture for the goroleak analyzer. The path segment "core" puts this
+// package inside the gate. Each accepted shape mirrors a real spawn in
+// the repo: the ctx-bound worker, the local fork/join WaitGroup, the
+// completion channel received in the same function, the WaitGroup field
+// joined by Close, and the batcher-style method spawn whose stop channel
+// Close receives. The two findings are goroutines nothing waits for.
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// leakLiteral spawns a goroutine bound to nothing.
+func leakLiteral() {
+	go func() { // want "goroutine is not bound"
+		work()
+	}()
+}
+
+// ctxLiteral is bound by referencing a context in the body.
+func ctxLiteral(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func worker(ctx context.Context) {}
+
+// ctxArg is bound by passing a context to the spawned function.
+func ctxArg(ctx context.Context) {
+	go worker(ctx)
+}
+
+// wgLocal is the fork/join shape: Done in the literal, Wait in the same
+// function.
+func wgLocal(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// chanLocal signals completion on a channel received in this function.
+func chanLocal() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// W joins its worker through a WaitGroup field that Close waits on.
+type W struct {
+	wg sync.WaitGroup
+}
+
+func (w *W) Start() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		work()
+	}()
+}
+
+func (w *W) Close() {
+	w.wg.Wait()
+}
+
+// G is the batcher shape: a method spawn whose body closes a stop
+// channel that Close receives.
+type G struct {
+	stopped chan struct{}
+}
+
+func (g *G) run() {
+	work()
+	close(g.stopped)
+}
+
+func (g *G) Start() {
+	go g.run()
+}
+
+func (g *G) Close() {
+	<-g.stopped
+}
+
+// H spawns a method no shutdown path ever waits for.
+type H struct{}
+
+func (h *H) run() {
+	work()
+}
+
+func (h *H) Start() {
+	go h.run() // want "goroutine is not bound"
+}

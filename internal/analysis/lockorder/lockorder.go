@@ -1,0 +1,444 @@
+// Package lockorder defines an Analyzer that builds a whole-program
+// mutex-acquisition-order graph and reports cycles as potential
+// deadlocks. If one code path locks A then B while another locks B then
+// A, the two paths can each hold their first mutex and block forever on
+// the second; the repo's layered lock discipline (pagestore below store
+// below core, shard and vcache on the side) is exactly a claim that this
+// graph is acyclic — this analyzer machine-checks it.
+//
+// Locks are identified structurally, not by object: a field mutex is
+// "pkg.Type.field" (every instance of store.Store.mu is one graph node,
+// because instances share the code paths that order them), a
+// package-level mutex is "pkg.var", and a function-local one is
+// "pkg.func.var". Acquisition order is computed with the flow walker:
+// within each function the held set advances through Lock/RLock and
+// Unlock/RUnlock (deferred unlocks applying at exits, so a mutex stays
+// held through the body), and acquiring l while holding h adds the edge
+// h → l. Order also flows through calls: a fixpoint over the call graph
+// computes every lock a callee may acquire (directly or transitively),
+// and a call made while holding h adds h → l for each such l — this is
+// what catches an AB/BA split across functions or packages.
+//
+// Cycles are found per strongly connected component and reported once,
+// with a witness: for each edge in the cycle, where the second lock was
+// acquired while the first was held. Call-derived self-edges (a helper
+// that re-acquires the lock its caller holds) are deliberately not
+// reported here — the intraprocedural double-Lock case is, since locking
+// a sync.Mutex already held by the same goroutine is an immediate
+// self-deadlock, not just a potential one.
+//
+// Locks acquired inside function literals are attributed to nothing (the
+// flow walker does not enter literals); like the rest of txvet this
+// trades soundness at the edges for zero-dependency precision at the
+// core.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"txmldb/internal/analysis"
+	"txmldb/internal/analysis/callgraph"
+	"txmldb/internal/analysis/flow"
+	"txmldb/internal/analysis/load"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "lockorder",
+	Doc:        "builds the global mutex-acquisition graph across engine packages and reports lock-order cycles (potential deadlocks) with witness paths",
+	RunProgram: run,
+}
+
+// targetSegments are the engine packages participating in the global
+// lock order.
+var targetSegments = map[string]bool{
+	"pagestore":  true,
+	"store":      true,
+	"core":       true,
+	"shard":      true,
+	"vcache":     true,
+	"checkpoint": true,
+}
+
+// orderEdge is the first witness for "to acquired while holding from".
+type orderEdge struct {
+	from, to string
+	fn       *callgraph.Node
+	site     token.Pos
+	via      *callgraph.Node // callee that (transitively) acquires to; nil for a direct acquire
+}
+
+type builder struct {
+	pass  *analysis.Pass
+	graph *callgraph.Graph
+
+	edges map[[2]string]*orderEdge
+	adj   map[string]map[string]bool
+	locks map[string]bool
+
+	// direct lock sets and call records feeding the interprocedural pass.
+	direct map[*callgraph.Node]map[string]token.Pos
+	calls  map[*callgraph.Node][]callRec
+}
+
+type callRec struct {
+	site token.Pos
+	held []string
+}
+
+func run(pass *analysis.Pass) error {
+	b := &builder{
+		pass:   pass,
+		graph:  pass.Program.Graph,
+		edges:  make(map[[2]string]*orderEdge),
+		adj:    make(map[string]map[string]bool),
+		locks:  make(map[string]bool),
+		direct: make(map[*callgraph.Node]map[string]token.Pos),
+		calls:  make(map[*callgraph.Node][]callRec),
+	}
+
+	var fns []*callgraph.Node
+	for _, n := range b.graph.Nodes() {
+		if n.Decl == nil || n.Pkg == nil || n.Decl.Body == nil {
+			continue
+		}
+		if !targetSegments[analysis.PathBase(n.Pkg.PkgPath)] {
+			continue
+		}
+		fns = append(fns, n)
+	}
+
+	for _, fn := range fns {
+		b.walkFunc(fn)
+	}
+	acquired := b.fixpoint(fns)
+	for _, fn := range fns {
+		for _, rec := range b.calls[fn] {
+			for _, callee := range b.graph.CalleesAt(fn, rec.site) {
+				for _, l := range sortedKeys(acquired[callee]) {
+					for _, h := range rec.held {
+						if h == l {
+							continue // call-derived self-edge: helper under caller's lock
+						}
+						b.addEdge(h, l, fn, rec.site, callee)
+					}
+				}
+			}
+		}
+	}
+
+	cycles := b.reportCycles()
+	pass.Notef("locks=%d order-edges=%d cycles=%d", len(b.locks), len(b.edges), cycles)
+	return nil
+}
+
+// walkFunc records direct acquisition order, double-locks, and the held
+// set at every call site in one function.
+func (b *builder) walkFunc(fn *callgraph.Node) {
+	pkg := fn.Pkg
+	flow.Walk(fn.Decl.Body, flow.Hooks{
+		Call: func(st flow.Facts, call *ast.CallExpr) {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				b.recordCall(fn, st, call)
+				return
+			}
+			op := sel.Sel.Name
+			switch op {
+			case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+			default:
+				b.recordCall(fn, st, call)
+				return
+			}
+			recvT, ok := pkg.TypesInfo.Types[sel.X]
+			if !ok || !isMutex(recvT.Type) {
+				b.recordCall(fn, st, call)
+				return
+			}
+			id := b.lockID(pkg, fn, sel.X)
+			switch op {
+			case "Unlock", "RUnlock":
+				delete(st, id)
+			default:
+				if prev, held := st[id]; held && op == "Lock" {
+					b.pass.Reportf(call.Pos(),
+						"mutex %s locked at %s is locked again on the same path: self-deadlock",
+						id, b.pass.Fset.Position(prev))
+				}
+				b.locks[id] = true
+				for _, h := range sortedKeys(st) {
+					if h != id {
+						b.addEdge(h, id, fn, call.Pos(), nil)
+					}
+				}
+				if b.direct[fn] == nil {
+					b.direct[fn] = make(map[string]token.Pos)
+				}
+				if _, ok := b.direct[fn][id]; !ok {
+					b.direct[fn][id] = call.Pos()
+				}
+				st[id] = call.Pos()
+			}
+		},
+	})
+}
+
+func (b *builder) recordCall(fn *callgraph.Node, st flow.Facts, call *ast.CallExpr) {
+	if len(st) == 0 {
+		return
+	}
+	b.calls[fn] = append(b.calls[fn], callRec{site: call.Lparen, held: sortedKeys(st)})
+}
+
+// fixpoint computes, for every function, the set of locks it may acquire
+// directly or through any call chain.
+func (b *builder) fixpoint(fns []*callgraph.Node) map[*callgraph.Node]map[string]token.Pos {
+	acquired := make(map[*callgraph.Node]map[string]token.Pos, len(fns))
+	for _, fn := range fns {
+		acquired[fn] = make(map[string]token.Pos)
+		for l, pos := range b.direct[fn] {
+			acquired[fn][l] = pos
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			for _, e := range fn.Out {
+				callee := acquired[e.Callee]
+				if callee == nil {
+					continue
+				}
+				for l, pos := range callee {
+					if _, ok := acquired[fn][l]; !ok {
+						acquired[fn][l] = pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return acquired
+}
+
+func (b *builder) addEdge(from, to string, fn *callgraph.Node, site token.Pos, via *callgraph.Node) {
+	b.locks[from] = true
+	b.locks[to] = true
+	k := [2]string{from, to}
+	if _, ok := b.edges[k]; !ok {
+		b.edges[k] = &orderEdge{from: from, to: to, fn: fn, site: site, via: via}
+	}
+	if b.adj[from] == nil {
+		b.adj[from] = make(map[string]bool)
+	}
+	b.adj[from][to] = true
+}
+
+// reportCycles finds strongly connected components of the order graph
+// and reports one witness cycle per non-trivial SCC.
+func (b *builder) reportCycles() int {
+	sccs := tarjan(sortedKeys(b.locks), func(n string) []string { return sortedKeys(b.adj[n]) })
+	cycles := 0
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		cycles++
+		cycle := b.witnessCycle(scc)
+		var path strings.Builder
+		for i, l := range cycle {
+			if i > 0 {
+				path.WriteString(" → ")
+			}
+			path.WriteString(l)
+		}
+		path.WriteString(" → ")
+		path.WriteString(cycle[0])
+		var wits []string
+		var reportAt token.Pos
+		for i := range cycle {
+			from, to := cycle[i], cycle[(i+1)%len(cycle)]
+			e := b.edges[[2]string{from, to}]
+			if e == nil {
+				continue
+			}
+			if reportAt == token.NoPos {
+				reportAt = e.site
+			}
+			w := fmt.Sprintf("%s acquired while holding %s in %s at %s",
+				to, from, e.fn.Fn.Name(), b.pass.Fset.Position(e.site))
+			if e.via != nil {
+				w += fmt.Sprintf(" (via call to %s)", e.via.Fn.Name())
+			}
+			wits = append(wits, w)
+		}
+		b.pass.Reportf(reportAt, "lock-order cycle: %s; %s", path.String(), strings.Join(wits, "; "))
+	}
+	return cycles
+}
+
+// witnessCycle walks inside one SCC from its smallest lock, always
+// taking the smallest in-SCC successor, until a lock repeats; it returns
+// the cycle in deterministic order.
+func (b *builder) witnessCycle(scc []string) []string {
+	in := make(map[string]bool, len(scc))
+	for _, l := range scc {
+		in[l] = true
+	}
+	sort.Strings(scc)
+	start := scc[0]
+	var path []string
+	index := make(map[string]int)
+	cur := start
+	for {
+		if at, seen := index[cur]; seen {
+			return path[at:]
+		}
+		index[cur] = len(path)
+		path = append(path, cur)
+		next := ""
+		for _, s := range sortedKeys(b.adj[cur]) {
+			if in[s] {
+				next = s
+				break
+			}
+		}
+		if next == "" {
+			return path // cannot happen in a real SCC; be defensive
+		}
+		cur = next
+	}
+}
+
+// lockID names a mutex structurally; see the package comment.
+func (b *builder) lockID(pkg *load.Package, fn *callgraph.Node, recv ast.Expr) string {
+	base := analysis.PathBase(pkg.PkgPath)
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if owner := namedName(sel.Recv()); owner != "" {
+				return base + "." + owner + "." + e.Sel.Name
+			}
+		}
+		return base + "." + types.ExprString(e)
+	case *ast.Ident:
+		if v, ok := pkg.TypesInfo.Uses[e].(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return base + "." + e.Name
+			}
+		}
+		return base + "." + fn.Fn.Name() + "." + e.Name
+	default:
+		return base + "." + types.ExprString(recv)
+	}
+}
+
+func namedName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func isMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tarjan computes strongly connected components (iterative Tarjan) over
+// nodes with the given successor function; components come out in a
+// deterministic order because nodes and successors are pre-sorted.
+func tarjan(nodes []string, succ func(string) []string) [][]string {
+	type frame struct {
+		node string
+		next int
+	}
+	index := make(map[string]int, len(nodes))
+	low := make(map[string]int, len(nodes))
+	onStack := make(map[string]bool, len(nodes))
+	var stack []string
+	var sccs [][]string
+	counter := 0
+
+	for _, root := range nodes {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{node: root}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			n := f.node
+			if f.next == 0 {
+				index[n] = counter
+				low[n] = counter
+				counter++
+				stack = append(stack, n)
+				onStack[n] = true
+			}
+			advanced := false
+			ss := succ(n)
+			for f.next < len(ss) {
+				s := ss[f.next]
+				f.next++
+				if _, seen := index[s]; !seen {
+					work = append(work, frame{node: s})
+					advanced = true
+					break
+				}
+				if onStack[s] && index[s] < low[n] {
+					low[n] = index[s]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[n] == index[n] {
+				var scc []string
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					scc = append(scc, top)
+					if top == n {
+						break
+					}
+				}
+				sort.Strings(scc)
+				sccs = append(sccs, scc)
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].node
+				if low[n] < low[parent] {
+					low[parent] = low[n]
+				}
+			}
+		}
+	}
+	return sccs
+}

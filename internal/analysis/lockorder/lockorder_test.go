@@ -1,0 +1,39 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"txmldb/internal/analysis"
+	"txmldb/internal/analysis/analysistest"
+	"txmldb/internal/analysis/lockorder"
+)
+
+func TestLockorderDirectCycle(t *testing.T) {
+	// Two-mutex AB/BA cycle within one package, plus a direct double-Lock
+	// self-deadlock.
+	analysistest.Run(t, "testdata/src/store", lockorder.Analyzer)
+}
+
+func TestLockorderInterproceduralCycle(t *testing.T) {
+	// One half of the cycle only exists through a call edge: x is held
+	// while a callee acquires y.
+	analysistest.Run(t, "testdata/src/core", lockorder.Analyzer)
+}
+
+func TestLockorderConsistentOrderClean(t *testing.T) {
+	// Negative: outer-before-inner everywhere (directly and through a
+	// callee) builds edges but no cycle.
+	analysistest.Run(t, "testdata/src/pagestore", lockorder.Analyzer)
+}
+
+func TestNeuteredLockorderFailsFixture(t *testing.T) {
+	neutered := *lockorder.Analyzer
+	neutered.RunProgram = func(*analysis.Pass) error { return nil }
+	rec := analysistest.RunRecorded(&neutered, "testdata/src/store")
+	if rec.FatalMsg != "" {
+		t.Fatalf("fixture load failed: %s", rec.FatalMsg)
+	}
+	if len(rec.Errors) == 0 {
+		t.Fatal("neutered lockorder passed its fixture; the fixture no longer guards the analyzer")
+	}
+}

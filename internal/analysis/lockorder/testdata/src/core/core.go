@@ -1,0 +1,31 @@
+// Fixture for the lockorder analyzer, interprocedural case: one half of
+// the cycle is only visible through the call graph — XthenY holds x and
+// acquires y by calling takeY, while YthenX takes the locks directly in
+// the opposite order. The report lands on the call that closes the
+// cycle and names the callee in the witness.
+package core
+
+import "sync"
+
+type C struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (c *C) takeY() {
+	c.y.Lock()
+	c.y.Unlock()
+}
+
+func (c *C) XthenY() {
+	c.x.Lock()
+	defer c.x.Unlock()
+	c.takeY() // want "lock-order cycle: core.C.x → core.C.y → core.C.x"
+}
+
+func (c *C) YthenX() {
+	c.y.Lock()
+	defer c.y.Unlock()
+	c.x.Lock()
+	c.x.Unlock()
+}

@@ -1,0 +1,30 @@
+// Negative fixture for the lockorder analyzer: every path takes outer
+// before inner — including the path where inner is acquired inside a
+// callee — so the order graph has edges but no cycle, and nothing is
+// reported.
+package pagestore
+
+import "sync"
+
+type P struct {
+	outer sync.Mutex
+	inner sync.Mutex
+}
+
+func (p *P) Flush() {
+	p.outer.Lock()
+	defer p.outer.Unlock()
+	p.meta()
+}
+
+func (p *P) meta() {
+	p.inner.Lock()
+	defer p.inner.Unlock()
+}
+
+func (p *P) Stat() {
+	p.outer.Lock()
+	p.inner.Lock()
+	p.inner.Unlock()
+	p.outer.Unlock()
+}

@@ -1,0 +1,35 @@
+// Fixture for the lockorder analyzer: the canonical two-mutex AB/BA
+// cycle, both orders taken directly within one package. The cycle is
+// reported once, anchored at the acquisition that closes it, with the
+// witness path naming both functions.
+package store
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func lockAB(s *S) {
+	s.a.Lock()
+	s.b.Lock() // want "lock-order cycle: store.S.a → store.S.b → store.S.a"
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func lockBA(s *S) {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// double locks the same plain mutex twice on one path: an immediate
+// self-deadlock, reported directly.
+func double(s *S) {
+	s.a.Lock()
+	s.a.Lock() // want "self-deadlock"
+	s.a.Unlock()
+	s.a.Unlock()
+}

@@ -1,0 +1,114 @@
+// Package stagedfree defines an Analyzer enforcing the two-phase extent
+// free protocol: a FreeStaged call stages extents for reuse but does not
+// release them — the transaction must either publish and ReleaseStaged,
+// or abandon and UnfreeStaged. A path that returns with a staging still
+// open leaks the extents until restart (they are neither reusable nor
+// accounted), and on the error path it silently converts a failed commit
+// into permanent space loss.
+//
+// The check is a must-release obligation over the flow walker: every
+// FreeStaged(x) plants an obligation keyed by the argument expression,
+// ReleaseStaged(x) or UnfreeStaged(x) discharges it, and any function
+// exit (including implicit final returns and error returns, with
+// deferred calls applied) still holding the obligation is a finding at
+// the FreeStaged site. The walker unions facts at joins, so the
+// obligation is reported unless EVERY non-panic path discharges it —
+// the conservative direction for a leak check. Panic paths are exempt:
+// the process is going down and recovery-time accounting rebuilds the
+// free map anyway.
+package stagedfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"txmldb/internal/analysis"
+	"txmldb/internal/analysis/flow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "stagedfree",
+	Doc:  "every FreeStaged must reach ReleaseStaged or UnfreeStaged on all non-panic paths, including error returns",
+	Run:  run,
+}
+
+// targetSegments gates the check to the packages that participate in the
+// two-phase free protocol.
+var targetSegments = map[string]bool{
+	"store":     true,
+	"core":      true,
+	"shard":     true,
+	"pagestore": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !targetSegments[analysis.PathBase(pass.Pkg.Path())] {
+		return nil
+	}
+	staged := 0
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			staged += check(pass, fd)
+		}
+	}
+	pass.Notef("staged-sites=%d", staged)
+	return nil
+}
+
+// obligationKey names a staged free by its argument expression, so the
+// release must mention the same extents: FreeStaged(old) pairs with
+// ReleaseStaged(old), not with a release of some other batch.
+func obligationKey(call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return "()"
+	}
+	return types.ExprString(call.Args[0])
+}
+
+// methodName returns the selector name of a method-style call, or "".
+func methodName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl) int {
+	// leaks collects obligation positions still live at some exit; a map
+	// dedupes the same FreeStaged reported from multiple exits.
+	leaks := make(map[token.Pos]string)
+	sites := 0
+	flow.Walk(fd.Body, flow.Hooks{
+		Call: func(st flow.Facts, call *ast.CallExpr) {
+			switch methodName(call) {
+			case "FreeStaged":
+				sites++
+				st["staged:"+obligationKey(call)] = call.Pos()
+			case "ReleaseStaged", "UnfreeStaged":
+				delete(st, "staged:"+obligationKey(call))
+			}
+		},
+		Exit: func(st flow.Facts, at ast.Node) {
+			for k, pos := range st {
+				leaks[pos] = k
+			}
+		},
+	})
+	var positions []token.Pos
+	for pos := range leaks {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	for _, pos := range positions {
+		pass.Reportf(pos,
+			"FreeStaged not released on all paths: some return is missing ReleaseStaged or UnfreeStaged for %s",
+			leaks[pos][len("staged:"):])
+	}
+	return sites
+}

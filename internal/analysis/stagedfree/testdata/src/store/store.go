@@ -1,0 +1,77 @@
+// Fixture for the stagedfree analyzer. The path segment "store" puts
+// this package inside the gate. The shapes mirror the real commit path:
+// stage the old extents, publish, release — with the error path required
+// to unfree instead.
+package store
+
+import "errors"
+
+type pages struct{}
+
+func (pages) FreeStaged(ids []uint64)    {}
+func (pages) ReleaseStaged(ids []uint64) {}
+func (pages) UnfreeStaged(ids []uint64)  {}
+
+var errBoom = errors.New("boom")
+
+// commitGood discharges the staging on both the error and success paths.
+func commitGood(p pages, old []uint64, fail bool) error {
+	p.FreeStaged(old)
+	if fail {
+		p.UnfreeStaged(old)
+		return errBoom
+	}
+	p.ReleaseStaged(old)
+	return nil
+}
+
+// commitErrLeak forgets the error path: the staged extents leak when the
+// publish fails.
+func commitErrLeak(p pages, old []uint64, fail bool) error {
+	p.FreeStaged(old) // want "FreeStaged not released on all paths"
+	if fail {
+		return errBoom
+	}
+	p.ReleaseStaged(old)
+	return nil
+}
+
+// commitNoRelease never discharges at all.
+func commitNoRelease(p pages, old []uint64) {
+	p.FreeStaged(old) // want "FreeStaged not released on all paths"
+}
+
+// commitDeferred releases through a defer, which covers every return.
+func commitDeferred(p pages, old []uint64, fail bool) error {
+	p.FreeStaged(old)
+	defer p.ReleaseStaged(old)
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// commitPanic is clean: panic paths are exempt (recovery-time accounting
+// rebuilds the free map), and the surviving path releases.
+func commitPanic(p pages, old []uint64, fail bool) {
+	p.FreeStaged(old)
+	if fail {
+		panic("corrupt")
+	}
+	p.ReleaseStaged(old)
+}
+
+// wrongBatch releases a different batch than it staged: the obligation
+// is keyed by argument, so this is still a leak of old.
+func wrongBatch(p pages, old, other []uint64) {
+	p.FreeStaged(old) // want "FreeStaged not released on all paths"
+	p.ReleaseStaged(other)
+}
+
+// commitLoop stages and releases inside one loop iteration: clean.
+func commitLoop(p pages, batches [][]uint64) {
+	for _, b := range batches {
+		p.FreeStaged(b)
+		p.ReleaseStaged(b)
+	}
+}
