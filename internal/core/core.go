@@ -696,6 +696,7 @@ func (db *DB) DelTime(eid model.EID) (model.Time, error) {
 		return 0, err
 	}
 	// Traversal needs a starting version; begin at the first one.
+	//txvet:ignore epochpin only versions[0] is read, and a document's first version is immutable once published
 	versions, err := db.store.Versions(eid.Doc)
 	if err != nil {
 		return 0, err

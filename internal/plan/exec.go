@@ -88,6 +88,9 @@ func (ex *executor) versions(doc model.DocID) ([]store.VersionInfo, error) {
 	if vl, ok := ex.engine.(ContextVersionLister); ok {
 		return vl.VersionsContext(ex.ctx, doc)
 	}
+	// Engines without VersionsContext (the sharded Router: no cross-shard
+	// pin) can only serve the live list; this helper is the single fallback.
+	//txvet:ignore epochpin fallback for engines that cannot pin an epoch; pinned engines take the VersionsContext branch above
 	return ex.engine.Versions(doc)
 }
 
