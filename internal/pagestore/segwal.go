@@ -504,7 +504,7 @@ func (w *SegmentedWAL) Commit() error {
 		return err
 	}
 	w.stats.Commits++
-	//txvet:ignore lockhold Commit is the durability barrier: the fsync must
+	// Commit is the durability barrier: the fsync must
 	// complete before the mutation is acknowledged, so it stays under the
 	// lock like the single-file WAL's.
 	if err := w.f.Sync(); err != nil {
@@ -603,7 +603,7 @@ func (w *SegmentedWAL) DropSegmentsBelow(minSeq int64) (int, error) {
 		minSeq = w.seq
 	}
 	removed := 0
-	//txvet:ignore lockhold deleting dead segment files must be serialized
+	// Deleting dead segment files must be serialized
 	// with rotation (w.seq/w.minSeq); appends and reads never touch these
 	// files, so nothing blocks behind the unlink.
 	for s := w.minSeq; s < minSeq; s++ {

@@ -207,7 +207,6 @@ func (r *Router) ScanTContext(ctx context.Context, p *pattern.PNode, t model.Tim
 
 // ScanT implements plan.Engine by delegating to ScanTContext.
 func (r *Router) ScanT(p *pattern.PNode, t model.Time) ([]pattern.Match, error) {
-	//txvet:ignore ctxflow context-free plan.Engine compatibility shim; executors use ScanTContext
 	return r.ScanTContext(context.Background(), p, t)
 }
 
@@ -221,7 +220,6 @@ func (r *Router) ScanAllContext(ctx context.Context, p *pattern.PNode) ([]patter
 
 // ScanAll implements plan.Engine by delegating to ScanAllContext.
 func (r *Router) ScanAll(p *pattern.PNode) ([]pattern.Match, error) {
-	//txvet:ignore ctxflow context-free plan.Engine compatibility shim; executors use ScanAllContext
 	return r.ScanAllContext(context.Background(), p)
 }
 
@@ -235,7 +233,6 @@ func (r *Router) ScanCurrentContext(ctx context.Context, p *pattern.PNode) ([]pa
 
 // ScanCurrent implements plan.Engine by delegating to ScanCurrentContext.
 func (r *Router) ScanCurrent(p *pattern.PNode) ([]pattern.Match, error) {
-	//txvet:ignore ctxflow context-free plan.Engine compatibility shim; executors use ScanCurrentContext
 	return r.ScanCurrentContext(context.Background(), p)
 }
 
@@ -295,7 +292,6 @@ func teidsOf(ms []pattern.Match, p *pattern.PNode, stamp func(pattern.Match) mod
 // DocHistory returns all versions of the document valid in the interval,
 // most recent first.
 func (r *Router) DocHistory(id model.DocID, iv model.Interval) ([]store.VersionTree, error) {
-	//txvet:ignore ctxflow context-free operator API shim; DocHistoryContext is the canonical path
 	return r.DocHistoryContext(context.Background(), id, iv)
 }
 
@@ -312,7 +308,6 @@ func (r *Router) DocHistoryContext(ctx context.Context, id model.DocID, iv model
 // ElementHistory returns all versions of the element valid in the
 // interval, most recent first.
 func (r *Router) ElementHistory(eid model.EID, iv model.Interval) ([]store.VersionTree, error) {
-	//txvet:ignore ctxflow context-free operator API shim; ElementHistoryContext is the canonical path
 	return r.ElementHistoryContext(context.Background(), eid, iv)
 }
 
@@ -329,7 +324,6 @@ func (r *Router) ElementHistoryContext(ctx context.Context, eid model.EID, iv mo
 
 // Reconstruct rebuilds the element version identified by the TEID.
 func (r *Router) Reconstruct(teid model.TEID) (*xmltree.Node, error) {
-	//txvet:ignore ctxflow context-free operator API shim; ReconstructContext is the canonical path
 	return r.ReconstructContext(context.Background(), teid)
 }
 
@@ -346,7 +340,6 @@ func (r *Router) ReconstructContext(ctx context.Context, teid model.TEID) (*xmlt
 
 // ReconstructVersion implements plan.Engine.
 func (r *Router) ReconstructVersion(id model.DocID, ver model.VersionNo) (store.VersionTree, error) {
-	//txvet:ignore ctxflow context-free plan.Engine compatibility shim; executors use ReconstructVersionContext
 	return r.ReconstructVersionContext(context.Background(), id, ver)
 }
 
@@ -506,7 +499,6 @@ func (r *Router) CurrentTS(eid model.EID) (store.VersionInfo, error) {
 // on different shards: the pair reconstructs concurrently on the router
 // pool, the (pure) tree diff runs on shard 0.
 func (r *Router) Diff(a, b model.TEID) (*xmltree.Node, error) {
-	//txvet:ignore ctxflow context-free operator API shim; DiffContext is the canonical path
 	return r.DiffContext(context.Background(), a, b)
 }
 
