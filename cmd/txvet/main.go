@@ -6,20 +6,28 @@
 //
 // Usage:
 //
-//	go run ./cmd/txvet [-run a,b] [-summary file] [-v] [packages...]
+//	go run ./cmd/txvet [-run a,b] [-summary file] [-json file] [-v] [packages...]
+//	go run ./cmd/txvet audit-ignores [packages...]
 //
 // Suppressions use //txvet:ignore <analyzer> <reason> on the offending
-// line or the line above; the reason is mandatory.
+// line or the line above; the reason is mandatory. The audit-ignores
+// subcommand lists every directive with its justification and fails if
+// any directive is stale — the analyzer it names no longer fires at that
+// site, so the suppression (and its reason) is dead weight that would
+// silently waive a future regression.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
+	"txmldb/internal/analysis"
 	"txmldb/internal/analysis/driver"
 	"txmldb/internal/analysis/load"
 )
@@ -29,10 +37,15 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "audit-ignores" {
+		return auditIgnores(args[1:], stdout, stderr)
+	}
+
 	fs := flag.NewFlagSet("txvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	summary := fs.String("summary", "", "append a per-analyzer markdown summary to this file (e.g. $GITHUB_STEP_SUMMARY)")
+	jsonPath := fs.String("json", "", "write all findings (live and suppressed) as a JSON array to this file, - for stdout")
 	verbose := fs.Bool("v", false, "also list suppressed findings with their justifications")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -48,20 +61,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	patterns := fs.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	pkgs, err := load.Load(".", patterns...)
-	if err != nil {
-		fmt.Fprintln(stderr, "txvet:", err)
-		return 2
-	}
-
-	res, err := driver.Run(pkgs, analyzers)
-	if err != nil {
-		fmt.Fprintln(stderr, "txvet:", err)
-		return 2
+	res, code := loadAndRun(fs.Args(), analyzers, stderr)
+	if res == nil {
+		return code
 	}
 
 	for _, f := range res.Findings {
@@ -74,6 +76,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprint(stderr, countsText(res))
 
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, stdout, res); err != nil {
+			fmt.Fprintln(stderr, "txvet: writing json:", err)
+			return 2
+		}
+	}
 	if *summary != "" {
 		if err := appendSummary(*summary, res); err != nil {
 			fmt.Fprintln(stderr, "txvet: writing summary:", err)
@@ -86,13 +94,140 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// loadAndRun loads the pattern set and applies the analyzers; on
+// failure it reports to stderr and returns a nil result with the exit
+// code.
+func loadAndRun(patterns []string, analyzers []*analysis.Analyzer, stderr io.Writer) (*driver.Result, int) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "txvet:", err)
+		return nil, 2
+	}
+	res, err := driver.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "txvet:", err)
+		return nil, 2
+	}
+	return res, 0
+}
+
+// auditIgnores runs the full suite and reports on every //txvet:ignore
+// directive: file, line, analyzers, justification, and whether any
+// diagnostic actually matched it. Stale directives fail the command.
+func auditIgnores(patterns []string, stdout, stderr io.Writer) int {
+	analyzers, err := driver.Select(nil) // all: staleness is only meaningful against the full suite
+	if err != nil {
+		fmt.Fprintln(stderr, "txvet:", err)
+		return 2
+	}
+	res, code := loadAndRun(patterns, analyzers, stderr)
+	if res == nil {
+		return code
+	}
+
+	stale := 0
+	for _, d := range res.Directives {
+		status := "used "
+		if !d.Used {
+			status = "STALE"
+			stale++
+		}
+		fmt.Fprintf(stdout, "%s:%d: %s [%s] %s\n",
+			relPath(d.Pos.Filename), d.Pos.Line, status, strings.Join(d.Names, ","), d.Reason)
+	}
+	// Malformed or unknown-name directives surface as "txvet" findings;
+	// they are defects in the suppressions themselves, so the audit owns
+	// them too.
+	bad := 0
+	for _, f := range res.Findings {
+		if f.Analyzer == "txvet" {
+			fmt.Fprintln(stdout, f)
+			bad++
+		}
+	}
+	fmt.Fprintf(stderr, "txvet: %d directive(s), %d stale, %d malformed\n", len(res.Directives), stale, bad)
+	if stale > 0 || bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// jsonFinding is the machine-readable finding shape; the array is stable
+// because driver.Run sorts findings by position and the live findings
+// precede the suppressed ones.
+type jsonFinding struct {
+	Analyzer      string `json:"analyzer"`
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Col           int    `json:"col"`
+	Message       string `json:"message"`
+	Suppressed    bool   `json:"suppressed"`
+	Justification string `json:"justification,omitempty"`
+}
+
+func writeJSON(path string, stdout io.Writer, res *driver.Result) error {
+	var out []jsonFinding
+	add := func(f driver.Finding, suppressed bool) {
+		out = append(out, jsonFinding{
+			Analyzer:      f.Analyzer,
+			File:          relPath(f.Pos.Filename),
+			Line:          f.Pos.Line,
+			Col:           f.Pos.Column,
+			Message:       f.Message,
+			Suppressed:    suppressed,
+			Justification: f.SuppressedBy,
+		})
+	}
+	for _, f := range res.Findings {
+		add(f, false)
+	}
+	for _, f := range res.Suppressed {
+		add(f, true)
+	}
+	if out == nil {
+		out = []jsonFinding{}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// relPath renders a source path repo-relative when possible, so JSON
+// artifacts and audit listings are stable across checkouts.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}
+
 // countsText renders per-analyzer live/suppressed counts for the terminal.
 func countsText(res *driver.Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "txvet: %d finding(s), %d suppressed\n", len(res.Findings), len(res.Suppressed))
 	for _, name := range analyzerNames(res) {
-		fmt.Fprintf(&b, "  %-12s %3d live %3d suppressed\n", name, res.Counts[name], res.SuppressedCounts[name])
+		fmt.Fprintf(&b, "  %-12s %3d live %3d suppressed", name, res.Counts[name], res.SuppressedCounts[name])
+		if s := res.Stats[name]; s != "" {
+			fmt.Fprintf(&b, "   %s", s)
+		}
+		fmt.Fprintln(&b)
 	}
+	fmt.Fprintf(&b, "  call graph: %s\n", res.CallGraph)
 	return b.String()
 }
 
@@ -105,10 +240,11 @@ func appendSummary(path string, res *driver.Result) error {
 	}
 	defer f.Close()
 	fmt.Fprintf(f, "### txvet: %d finding(s), %d suppressed\n\n", len(res.Findings), len(res.Suppressed))
-	fmt.Fprintln(f, "| analyzer | live | suppressed |")
-	fmt.Fprintln(f, "|---|---|---|")
+	fmt.Fprintf(f, "call graph: `%s`\n\n", res.CallGraph)
+	fmt.Fprintln(f, "| analyzer | live | suppressed | stats |")
+	fmt.Fprintln(f, "|---|---|---|---|")
 	for _, name := range analyzerNames(res) {
-		fmt.Fprintf(f, "| %s | %d | %d |\n", name, res.Counts[name], res.SuppressedCounts[name])
+		fmt.Fprintf(f, "| %s | %d | %d | %s |\n", name, res.Counts[name], res.SuppressedCounts[name], res.Stats[name])
 	}
 	fmt.Fprintln(f)
 	return nil
